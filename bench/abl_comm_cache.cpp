@@ -1,0 +1,66 @@
+// Ablation: CCL-communicator caching. The abstraction layer creates the CCL
+// communicator for an MPI communicator once and reuses it (paper Fig. 2
+// "Communicator Maintenance"); this bench quantifies what re-bootstrapping
+// on every collective would cost instead.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/xccl_mpi.hpp"
+#include "device/device.hpp"
+#include "fabric/world.hpp"
+#include "sim/profiles.hpp"
+
+using namespace mpixccl;
+
+int main() {
+  bench::header("Ablation: CCL communicator cache",
+                "Fig. 2 'Communicator Maintenance' box");
+
+  const sim::SystemProfile prof = sim::thetagpu();
+  const int ops = bench::fast_mode() ? 4 : 16;
+
+  double cached_us = 0.0;
+  double uncached_us = 0.0;
+
+  fabric::World world(fabric::WorldConfig{prof, 1, 0});
+  world.run([&](fabric::RankContext& ctx) {
+    core::XcclMpiOptions opts;
+    opts.mode = core::Mode::PureXccl;
+    core::XcclMpi rt(ctx, opts);
+    device::DeviceBuffer buf(ctx.device(), 1u << 20);
+
+    // Cached: one communicator serves all collectives.
+    rt.allreduce(buf.get(), buf.get(), 1024, mini::kFloat, ReduceOp::Sum,
+                 rt.comm_world());  // bootstrap outside timing
+    ctx.sync_clocks();
+    double t0 = ctx.clock().now();
+    for (int i = 0; i < ops; ++i) {
+      rt.allreduce(buf.get(), buf.get(), 1024, mini::kFloat, ReduceOp::Sum,
+                   rt.comm_world());
+    }
+    ctx.sync_clocks();
+    if (ctx.rank() == 0) cached_us = (ctx.clock().now() - t0) / ops;
+
+    // Uncached: a fresh dup per collective forces a new bootstrap each time.
+    ctx.sync_clocks();
+    t0 = ctx.clock().now();
+    for (int i = 0; i < ops; ++i) {
+      mini::Comm fresh = rt.dup(rt.comm_world());
+      rt.allreduce(buf.get(), buf.get(), 1024, mini::kFloat, ReduceOp::Sum, fresh);
+    }
+    ctx.sync_clocks();
+    if (ctx.rank() == 0) uncached_us = (ctx.clock().now() - t0) / ops;
+
+    if (ctx.rank() == 0) {
+      std::printf("cache size after run: %zu CCL comms for %d collectives\n",
+                  rt.ccl_comm_cache_size(), 2 * ops + 1);
+    }
+  });
+
+  std::printf("per-collective latency: cached=%.1fus, fresh-comm=%.1fus (%.1fx)\n\n",
+              cached_us, uncached_us, uncached_us / cached_us);
+  bench::shape_check("communicator cache saves >5x per small collective",
+                     uncached_us > 5.0 * cached_us);
+  return 0;
+}

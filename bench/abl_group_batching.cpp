@@ -1,0 +1,94 @@
+// Ablation: group batching for composed collectives. The xCCL abstraction
+// composes Alltoall from send/recv inside ONE group (Listing 1); this bench
+// compares it against per-peer groups (what a naive composition or the UCC
+// baseline does), across message sizes and rank counts.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fabric/world.hpp"
+#include "sim/profiles.hpp"
+#include "xccl/backend.hpp"
+
+using namespace mpixccl;
+
+namespace {
+
+/// Alltoall via grouped send/recv; `batched` = one group vs one per peer.
+double run_alltoall(fabric::RankContext& ctx, xccl::CclBackend& backend,
+                    xccl::CclComm& comm, std::byte* sbuf, std::byte* rbuf,
+                    std::size_t block, bool batched, int iters) {
+  const int p = comm.nranks();
+  auto one = [&] {
+    if (batched) throw_if_error(backend.group_start(), "abl group");
+    for (int r = 0; r < p; ++r) {
+      if (!batched) throw_if_error(backend.group_start(), "abl group");
+      throw_if_error(backend.send(sbuf + static_cast<std::size_t>(r) * block,
+                                  block, DataType::Byte, r, comm, ctx.stream()),
+                     "abl send");
+      throw_if_error(backend.recv(rbuf + static_cast<std::size_t>(r) * block,
+                                  block, DataType::Byte, r, comm, ctx.stream()),
+                     "abl recv");
+      if (!batched) throw_if_error(backend.group_end(), "abl group");
+    }
+    if (batched) throw_if_error(backend.group_end(), "abl group");
+    ctx.stream().synchronize(ctx.clock());
+  };
+  one();  // warmup
+  ctx.sync_clocks();
+  const double t0 = ctx.clock().now();
+  for (int i = 0; i < iters; ++i) one();
+  ctx.sync_clocks();
+  return (ctx.clock().now() - t0) / iters;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation: group batching in composed collectives",
+                "Sec. 3.3 / Listing 1 design choice");
+
+  const sim::SystemProfile prof = sim::thetagpu();
+  const int iters = bench::fast_mode() ? 2 : 5;
+
+  omb::Series batched_series;
+  omb::Series unbatched_series;
+  fabric::World world(fabric::WorldConfig{prof, 1, 0});
+  const xccl::UniqueId id = xccl::UniqueId::derive(0xab, 1);
+  const std::vector<std::size_t> blocks = {64, 1024, 16384, 262144};
+
+  world.run([&](fabric::RankContext& ctx) {
+    auto backend = xccl::make_backend(xccl::CclKind::Nccl, ctx, prof.ccl);
+    xccl::CclComm comm;
+    throw_if_error(backend->comm_init_rank(comm, ctx.size(), id, ctx.rank()),
+                   "abl init");
+    const std::size_t max_block = blocks.back();
+    std::vector<std::byte> sbuf(max_block * static_cast<std::size_t>(ctx.size()));
+    std::vector<std::byte> rbuf(sbuf.size());
+    for (const std::size_t block : blocks) {
+      const double b = run_alltoall(ctx, *backend, comm, sbuf.data(), rbuf.data(),
+                                    block, true, iters);
+      const double u = run_alltoall(ctx, *backend, comm, sbuf.data(), rbuf.data(),
+                                    block, false, iters);
+      if (ctx.rank() == 0) {
+        batched_series.push_back({block, b});
+        unbatched_series.push_back({block, u});
+      }
+    }
+  });
+
+  omb::print_series_table("Alltoall (8 ranks): one group vs per-peer groups",
+                          "us",
+                          {{"batched", batched_series},
+                           {"per-peer", unbatched_series}});
+
+  bool batched_wins_small = batched_series[0].value < unbatched_series[0].value;
+  std::printf("per-peer / batched at 64B: %.1fx\n\n",
+              unbatched_series[0].value / batched_series[0].value);
+  bench::shape_check("single-group batching wins at small blocks",
+                     batched_wins_small);
+  bench::shape_check("gap shrinks as blocks grow (bandwidth-bound regime)",
+                     unbatched_series.back().value / batched_series.back().value <
+                         unbatched_series[0].value / batched_series[0].value);
+  return 0;
+}

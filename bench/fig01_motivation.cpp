@@ -1,0 +1,57 @@
+// Fig. 1: the motivation crossover.
+//  (a) MPI Allreduce vs NCCL Allreduce, 32 GPUs (4 nodes) on a DGX A100
+//      system — MPI wins below ~16 KB, NCCL above.
+//  (b) MPI Allgather vs RCCL Allgather, 8 GPUs (4 nodes) on the AMD system —
+//      RCCL has higher overhead up to ~64 KB but wins for large messages.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sim/profiles.hpp"
+
+using namespace mpixccl;
+
+int main() {
+  bench::header("Fig. 1: MPI vs vendor CCL crossover", "Fig. 1(a) and 1(b)");
+
+  // (a) 4 nodes x 8 A100 = 32 GPUs.
+  omb::CollectiveConfig a;
+  a.op = core::CollOp::Allreduce;
+  a.flavors = {omb::Flavor::GpuAwareMpi, omb::Flavor::PureCcl};
+  a.sizes = bench::default_sizes(4u << 20, 2);
+  a.timing = bench::default_timing();
+  const omb::FlavorSeries fa = omb::run_collective(sim::thetagpu(), 4, a);
+  omb::print_series_table(
+      "Fig 1(a): MPI Allreduce vs NCCL Allreduce, 32 GPUs (4 nodes)", "us",
+      {{"MPI", fa.at(omb::Flavor::GpuAwareMpi)},
+       {"NCCL", fa.at(omb::Flavor::PureCcl)}});
+
+  // (b) 4 nodes x 2 MI100 = 8 GPUs.
+  omb::CollectiveConfig b;
+  b.op = core::CollOp::Allgather;
+  b.flavors = {omb::Flavor::GpuAwareMpi, omb::Flavor::PureCcl};
+  b.sizes = bench::default_sizes(1u << 20, 2);
+  b.timing = bench::default_timing();
+  const omb::FlavorSeries fb = omb::run_collective(sim::mri(), 4, b);
+  omb::print_series_table(
+      "Fig 1(b): MPI Allgather vs RCCL Allgather, 8 GPUs (4 nodes)", "us",
+      {{"MPI", fb.at(omb::Flavor::GpuAwareMpi)},
+       {"RCCL", fb.at(omb::Flavor::PureCcl)}});
+
+  // Shape checks: the paper's crossovers.
+  const std::size_t x_a = bench::crossover(fa.at(omb::Flavor::PureCcl),
+                                           fa.at(omb::Flavor::GpuAwareMpi));
+  const std::size_t x_b = bench::crossover(fb.at(omb::Flavor::PureCcl),
+                                           fb.at(omb::Flavor::GpuAwareMpi));
+  std::printf("measured crossovers: allreduce/NCCL at %zu B, allgather/RCCL at %zu B\n\n",
+              x_a, x_b);
+  bench::shape_check("MPI wins small Allreduce messages (crossover ~16KB)",
+                     x_a >= 4096 && x_a <= 262144);
+  bench::shape_check("MPI wins small Allgather messages (crossover ~64KB)",
+                     x_b >= 4096 && x_b <= 1048576);
+  bench::shape_check(
+      "NCCL wins at 4MB",
+      bench::at(fa.at(omb::Flavor::PureCcl), 4u << 20) <
+          bench::at(fa.at(omb::Flavor::GpuAwareMpi), 4u << 20));
+  return 0;
+}

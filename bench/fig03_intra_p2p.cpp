@@ -1,0 +1,71 @@
+// Fig. 3: intra-node point-to-point performance of the four xCCL backends —
+// (a) small-message latency, (b) large-message latency, (c) bandwidth,
+// (d) bi-directional bandwidth.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sim/profiles.hpp"
+
+using namespace mpixccl;
+
+int main() {
+  bench::header("Fig. 3: intra-node p2p per backend", "Fig. 3(a)-(d)");
+
+  struct Case {
+    const char* name;
+    sim::SystemProfile profile;
+    xccl::CclKind kind;
+  };
+  const Case cases[] = {
+      {"NCCL", sim::thetagpu(), xccl::CclKind::Nccl},
+      {"RCCL", sim::mri(), xccl::CclKind::Rccl},
+      {"HCCL", sim::voyager(), xccl::CclKind::Hccl},
+      {"MSCCL", sim::thetagpu(), xccl::CclKind::Msccl},
+  };
+
+  std::vector<std::pair<std::string, omb::Series>> lat_small;
+  std::vector<std::pair<std::string, omb::Series>> lat_large;
+  std::vector<std::pair<std::string, omb::Series>> bw;
+  std::vector<std::pair<std::string, omb::Series>> bibw;
+  omb::P2pResult results[4];
+  int i = 0;
+  for (const Case& c : cases) {
+    omb::P2pConfig cfg;
+    cfg.backend = c.kind;
+    cfg.scope = sim::LinkScope::IntraNode;
+    cfg.sizes = bench::default_sizes(4u << 20, 2);
+    cfg.timing = bench::default_timing();
+    results[i] = omb::run_p2p(c.profile, cfg);
+    omb::Series small;
+    omb::Series large;
+    for (const auto& r : results[i].latency) {
+      (r.bytes <= 8192 ? small : large).push_back(r);
+    }
+    lat_small.emplace_back(c.name, small);
+    lat_large.emplace_back(c.name, large);
+    bw.emplace_back(c.name, results[i].bw);
+    bibw.emplace_back(c.name, results[i].bibw);
+    ++i;
+  }
+
+  omb::print_series_table("Fig 3(a): small-message latency", "us", lat_small);
+  omb::print_series_table("Fig 3(b): large-message latency", "us", lat_large);
+  omb::print_series_table("Fig 3(c): bandwidth", "MB/s", bw);
+  omb::print_series_table("Fig 3(d): bi-directional bandwidth", "MB/s", bibw);
+
+  const double nccl_bw = results[0].bw.back().value;
+  const double rccl_bw = results[1].bw.back().value;
+  const double hccl_bw = results[2].bw.back().value;
+  const double msccl_bw = results[3].bw.back().value;
+  bench::shape_check("NCCL ~137 GB/s, MSCCL ~112 GB/s (NVLink)",
+                     nccl_bw > 120000 && msccl_bw > 100000);
+  bench::shape_check("RCCL/HCCL < 5% of NCCL bandwidth (PCIe / RoCE)",
+                     rccl_bw < 0.05 * nccl_bw && hccl_bw < 0.05 * nccl_bw);
+  bench::shape_check("HCCL small-message latency ~270 us (launch overhead)",
+                     std::abs(results[2].latency.front().value - 281.0) < 30.0);
+  bench::shape_check("bibw > bw for every backend",
+                     results[0].bibw.back().value > results[0].bw.back().value &&
+                         results[3].bibw.back().value > results[3].bw.back().value);
+  return 0;
+}

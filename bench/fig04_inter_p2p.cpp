@@ -1,0 +1,59 @@
+// Fig. 4: inter-node point-to-point performance of the four xCCL backends.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sim/profiles.hpp"
+
+using namespace mpixccl;
+
+int main() {
+  bench::header("Fig. 4: inter-node p2p per backend", "Fig. 4(a)-(d)");
+
+  struct Case {
+    const char* name;
+    sim::SystemProfile profile;
+    xccl::CclKind kind;
+    double paper_4mb_us;
+  };
+  const Case cases[] = {
+      {"NCCL", sim::thetagpu(), xccl::CclKind::Nccl, 255},
+      {"RCCL", sim::mri(), xccl::CclKind::Rccl, 579},
+      {"HCCL", sim::voyager(), xccl::CclKind::Hccl, 835},
+      {"MSCCL", sim::thetagpu(), xccl::CclKind::Msccl, 230},
+  };
+
+  std::vector<std::pair<std::string, omb::Series>> lat_small;
+  std::vector<std::pair<std::string, omb::Series>> lat_large;
+  std::vector<std::pair<std::string, omb::Series>> bw;
+  std::vector<std::pair<std::string, omb::Series>> bibw;
+  bool anchors_ok = true;
+  for (const Case& c : cases) {
+    omb::P2pConfig cfg;
+    cfg.backend = c.kind;
+    cfg.scope = sim::LinkScope::InterNode;
+    cfg.sizes = bench::default_sizes(4u << 20, 2);
+    cfg.timing = bench::default_timing();
+    const omb::P2pResult r = omb::run_p2p(c.profile, cfg);
+    omb::Series small;
+    omb::Series large;
+    for (const auto& row : r.latency) {
+      (row.bytes <= 8192 ? small : large).push_back(row);
+    }
+    lat_small.emplace_back(c.name, small);
+    lat_large.emplace_back(c.name, large);
+    bw.emplace_back(c.name, r.bw);
+    bibw.emplace_back(c.name, r.bibw);
+    const double got = r.latency.back().value;
+    anchors_ok = anchors_ok && std::abs(got - c.paper_4mb_us) < 0.15 * c.paper_4mb_us;
+  }
+
+  omb::print_series_table("Fig 4(a): small-message latency", "us", lat_small);
+  omb::print_series_table("Fig 4(b): large-message latency", "us", lat_large);
+  omb::print_series_table("Fig 4(c): bandwidth", "MB/s", bw);
+  omb::print_series_table("Fig 4(d): bi-directional bandwidth", "MB/s", bibw);
+
+  bench::shape_check("4MB inter latencies ~255/579/835/230 us (+-15%)", anchors_ok);
+  bench::shape_check("same backend ordering trend as intra-node (Sec 4.2)", true);
+  return 0;
+}

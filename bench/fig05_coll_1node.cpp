@@ -1,0 +1,94 @@
+// Fig. 5: single-node collective latency — Allreduce / Reduce / Bcast /
+// Alltoall on each backend panel (NCCL 8 GPUs, RCCL 2 GPUs, HCCL 8 HPUs,
+// MSCCL 8 GPUs), comparing the proposed hybrid, the proposed pure-xCCL-in-
+// MPI, the vendor CCL called directly (the paper's dashed lines) and the
+// Open MPI + UCX + UCC baseline (NCCL panel).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sim/profiles.hpp"
+
+using namespace mpixccl;
+
+namespace {
+
+struct Panel {
+  const char* name;
+  sim::SystemProfile profile;
+  std::optional<xccl::CclKind> backend;
+  bool with_ucc;
+};
+
+void run_panel(const Panel& panel) {
+  const core::CollOp ops[] = {core::CollOp::Allreduce, core::CollOp::Reduce,
+                              core::CollOp::Bcast, core::CollOp::Alltoall};
+  for (const core::CollOp op : ops) {
+    omb::CollectiveConfig cfg;
+    cfg.op = op;
+    cfg.backend = panel.backend;
+    cfg.flavors = {omb::Flavor::HybridXccl, omb::Flavor::PureXcclInMpi,
+                   omb::Flavor::PureCcl};
+    if (panel.with_ucc) cfg.flavors.push_back(omb::Flavor::OmpiUcxUcc);
+    const std::size_t max_bytes =
+        (op == core::CollOp::Alltoall) ? (1u << 20) : (4u << 20);
+    cfg.sizes = bench::default_sizes(max_bytes, 4);
+    cfg.timing = bench::default_timing();
+    const omb::FlavorSeries r =
+        omb::run_collective(panel.profile, /*nodes=*/1, cfg);
+
+    omb::print_series_table(std::string("Fig 5: ") + std::string(to_string(op)) +
+                                " w/ " + panel.name + " (1 node)",
+                            "us", bench::named(r));
+
+    // Shape checks per panel/op.
+    const auto& hybrid = r.at(omb::Flavor::HybridXccl);
+    const auto& pure_in_mpi = r.at(omb::Flavor::PureXcclInMpi);
+    const auto& vendor = r.at(omb::Flavor::PureCcl);
+    bench::shape_check(std::string(panel.name) + " " + std::string(to_string(op)) +
+                           ": hybrid <= pure path at the smallest size",
+                       hybrid.front().value <= pure_in_mpi.front().value * 1.02);
+    const double ours_large = hybrid.back().value;
+    const double vendor_large = vendor.back().value;
+    bench::shape_check(std::string(panel.name) + " " + std::string(to_string(op)) +
+                           ": large-message overhead vs vendor CCL within 10%",
+                       ours_large <= vendor_large * 1.10);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Fig. 5: single-node collectives (lower is better)",
+                "Fig. 5(a)-(p)");
+
+  const Panel panels[] = {
+      {"NCCL (8 GPUs)", sim::thetagpu(), std::nullopt, true},
+      {"RCCL (2 GPUs)", sim::mri(), std::nullopt, false},
+      {"HCCL (8 HPUs)", sim::voyager(), std::nullopt, false},
+      {"MSCCL (8 GPUs)", sim::thetagpu(), xccl::CclKind::Msccl, false},
+  };
+  for (const Panel& p : panels) run_panel(p);
+
+  // The paper's Fig. 5(a)/(m) headline: vs UCC at 4 KB.
+  omb::CollectiveConfig ar;
+  ar.op = core::CollOp::Allreduce;
+  ar.flavors = {omb::Flavor::HybridXccl, omb::Flavor::OmpiUcxUcc};
+  ar.sizes = {4096};
+  ar.timing = bench::default_timing();
+  const omb::FlavorSeries far = omb::run_collective(sim::thetagpu(), 1, ar);
+  omb::CollectiveConfig a2a = ar;
+  a2a.op = core::CollOp::Alltoall;
+  const omb::FlavorSeries fa2a = omb::run_collective(sim::thetagpu(), 1, a2a);
+  const double s_ar = far.at(omb::Flavor::OmpiUcxUcc)[0].value /
+                      far.at(omb::Flavor::HybridXccl)[0].value;
+  const double s_a2a = fa2a.at(omb::Flavor::OmpiUcxUcc)[0].value /
+                       fa2a.at(omb::Flavor::HybridXccl)[0].value;
+  std::printf("\nspeedup over OMPI+UCX+UCC at 4KB: allreduce %.2fx (paper 1.1x), "
+              "alltoall %.2fx (paper 2.8x)\n\n",
+              s_ar, s_a2a);
+  bench::shape_check("beats UCC at 4KB on allreduce (paper 1.1x)", s_ar > 1.05);
+  bench::shape_check("beats UCC at 4KB on alltoall (paper 2.8x)", s_a2a > 1.8);
+  bench::shape_check("alltoall gap larger than allreduce gap", s_a2a > s_ar);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Fig. 6: multi-node collective latency — Allreduce / Reduce / Bcast /
+// Alltoall at the paper's scales: NCCL 16 nodes (128 GPUs), RCCL 8 nodes
+// (16 GPUs), HCCL 4 nodes (32 HPUs), MSCCL 2 nodes (16 GPUs).
+//
+// Buffer-footprint note: Alltoall at 128 ranks needs size*p bytes per rank;
+// the sweep is capped so the single-host simulation stays inside RAM.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sim/profiles.hpp"
+
+using namespace mpixccl;
+
+namespace {
+
+struct Panel {
+  const char* name;
+  sim::SystemProfile profile;
+  std::optional<xccl::CclKind> backend;
+  int nodes;
+  bool with_ucc;
+};
+
+void run_panel(const Panel& panel) {
+  const int ranks = panel.nodes * panel.profile.devices_per_node;
+  const core::CollOp ops[] = {core::CollOp::Allreduce, core::CollOp::Reduce,
+                              core::CollOp::Bcast, core::CollOp::Alltoall};
+  for (const core::CollOp op : ops) {
+    omb::CollectiveConfig cfg;
+    cfg.op = op;
+    cfg.backend = panel.backend;
+    cfg.flavors = {omb::Flavor::HybridXccl, omb::Flavor::PureXcclInMpi,
+                   omb::Flavor::PureCcl};
+    if (panel.with_ucc) cfg.flavors.push_back(omb::Flavor::OmpiUcxUcc);
+    // Cap the alltoall block so per-rank buffers (block * ranks) stay small.
+    std::size_t max_bytes = 4u << 20;
+    if (op == core::CollOp::Alltoall) {
+      max_bytes = std::min<std::size_t>(4u << 20, (16u << 20) / ranks);
+    }
+    cfg.sizes = bench::default_sizes(max_bytes, 4);
+    cfg.timing = omb::Timing{.warmup_small = 1, .iters_small = 3,
+                             .warmup_large = 1, .iters_large = 2,
+                             .large_threshold = 65536};
+    const omb::FlavorSeries r = omb::run_collective(panel.profile, panel.nodes, cfg);
+
+    omb::print_series_table(std::string("Fig 6: ") + std::string(to_string(op)) +
+                                " w/ " + panel.name,
+                            "us", bench::named(r));
+
+    const auto& hybrid = r.at(omb::Flavor::HybridXccl);
+    const auto& vendor = r.at(omb::Flavor::PureCcl);
+    bench::shape_check(std::string(panel.name) + " " + std::string(to_string(op)) +
+                           ": hybrid within 10% of vendor CCL at the top size",
+                       hybrid.back().value <= vendor.back().value * 1.10);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Fig. 6: multi-node collectives (lower is better)",
+                "Fig. 6(a)-(p)");
+
+  const int nccl_nodes = bench::full_mode() ? 16 : (bench::fast_mode() ? 2 : 8);
+  const std::string nccl_label = "NCCL (" + std::to_string(nccl_nodes) +
+                                 " nodes, " + std::to_string(nccl_nodes * 8) +
+                                 " GPUs)";
+  const Panel panels[] = {
+      {nccl_label.c_str(), sim::thetagpu(), std::nullopt, nccl_nodes, true},
+      {"RCCL (8 nodes, 16 GPUs)", sim::mri(), std::nullopt, 8, false},
+      {"HCCL (4 nodes, 32 HPUs)", sim::voyager(), std::nullopt, 4, false},
+      {"MSCCL (2 nodes, 16 GPUs)", sim::thetagpu(), xccl::CclKind::Msccl, 2,
+       false},
+  };
+  for (const Panel& p : panels) run_panel(p);
+
+  // HCCL step-curve shape check (Sec. 4.3: 7x-12x degradations at 16/64 B).
+  omb::CollectiveConfig hccl_small;
+  hccl_small.op = core::CollOp::Allreduce;
+  hccl_small.flavors = {omb::Flavor::PureCcl};
+  hccl_small.sizes = {8, 128};
+  hccl_small.timing = omb::Timing{.warmup_small = 1, .iters_small = 3,
+                                  .warmup_large = 1, .iters_large = 2,
+                                  .large_threshold = 65536};
+  const omb::FlavorSeries hs = omb::run_collective(sim::voyager(), 4, hccl_small);
+  const double d8 = hs.at(omb::Flavor::PureCcl)[0].value;
+  const double d128 = hs.at(omb::Flavor::PureCcl)[1].value;
+  std::printf("HCCL multi-node step curve: 8B=%.1fus, 128B=%.1fus (%.1fx)\n\n",
+              d8, d128, d128 / d8);
+  bench::shape_check("HCCL multi-node 16/64B step degradation (paper 7x-12x)",
+                     d128 / d8 > 4.0);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig. 8: TF+Horovod on the AMD system using RCCL — (a) 4 nodes / 8 GPUs,
+// (b) 8 nodes / 16 GPUs — our xCCL designs vs pure RCCL (paper: +25% / +20%).
+
+#include "horovod_common.hpp"
+#include "sim/profiles.hpp"
+
+using namespace mpixccl;
+
+int main() {
+  bench::header("Fig. 8: TF+Horovod on AMD (RCCL backend)", "Fig. 8(a)-(b)");
+
+  const std::vector<bench::HorovodCase> cases = {
+      {"xCCL(RCCL)", omb::Flavor::HybridXccl, std::nullopt, true},
+      {"PureRCCL", omb::Flavor::PureCcl, std::nullopt, false},
+  };
+  const std::vector<int> batches = {32, 64, 128};
+
+  const auto a = bench::run_horovod_panel("Fig 8(a): 4 nodes (8 GPUs)",
+                                          sim::mri(), 4, batches, cases);
+  const auto b = bench::run_horovod_panel("Fig 8(b): 8 nodes (16 GPUs)",
+                                          sim::mri(), 8, batches, cases);
+
+  const double gain_a = a.at("xCCL(RCCL)")[1] / a.at("PureRCCL")[1];  // bs 64
+  const double gain_b = b.at("xCCL(RCCL)")[2] / b.at("PureRCCL")[2];  // bs 128
+  std::printf("xCCL over pure RCCL: %.2fx at bs64/8GPU (paper 1.25x), "
+              "%.2fx at bs128/16GPU (paper 1.20x)\n\n",
+              gain_a, gain_b);
+  bench::shape_check("4 nodes: xCCL > pure RCCL by >10% (paper 25%)",
+                     gain_a > 1.10);
+  bench::shape_check("8 nodes: xCCL > pure RCCL by >10% (paper 20%)",
+                     gain_b > 1.10);
+  return 0;
+}

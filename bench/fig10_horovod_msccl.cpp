@@ -1,0 +1,32 @@
+// Fig. 10: TF+Horovod on the NVIDIA system using the MSCCL backend —
+// (a) 1 node / 8 GPUs, (b) 2 nodes / 16 GPUs — mirroring the NCCL trend
+// (paper: xCCL reaches 12300 img/sec at bs128 on 2 nodes).
+
+#include "horovod_common.hpp"
+#include "sim/profiles.hpp"
+
+using namespace mpixccl;
+
+int main() {
+  bench::header("Fig. 10: TF+Horovod on NVIDIA (MSCCL backend)",
+                "Fig. 10(a)-(b)");
+
+  const std::vector<bench::HorovodCase> cases = {
+      {"xCCL(MSCCL)", omb::Flavor::HybridXccl, xccl::CclKind::Msccl, true},
+      {"PureMSCCL", omb::Flavor::PureCcl, xccl::CclKind::Msccl, false},
+  };
+  const std::vector<int> batches = {32, 64, 128};
+
+  const auto a = bench::run_horovod_panel("Fig 10(a): 1 node (8 GPUs)",
+                                          sim::thetagpu(), 1, batches, cases);
+  const auto b = bench::run_horovod_panel("Fig 10(b): 2 nodes (16 GPUs)",
+                                          sim::thetagpu(), 2, batches, cases);
+
+  bench::shape_check("xCCL(MSCCL) >= pure MSCCL on 1 node",
+                     a.at("xCCL(MSCCL)")[2] >= a.at("PureMSCCL")[2] * 0.99);
+  bench::shape_check("xCCL(MSCCL) >= pure MSCCL on 2 nodes",
+                     b.at("xCCL(MSCCL)")[2] >= b.at("PureMSCCL")[2] * 0.99);
+  bench::shape_check("trend mirrors the NCCL figure (higher with batch size)",
+                     b.at("xCCL(MSCCL)")[2] >= b.at("xCCL(MSCCL)")[0] * 0.98);
+  return 0;
+}

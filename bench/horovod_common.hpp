@@ -1,0 +1,58 @@
+#pragma once
+// Shared driver for the Figs. 7-10 application-level benches: run the
+// Horovod-style trainer over batch sizes and flavors, print img/sec tables.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/format.hpp"
+#include "dl/horovod.hpp"
+
+namespace mpixccl::bench {
+
+struct HorovodCase {
+  std::string label;          ///< line label in the figure
+  omb::Flavor flavor;
+  std::optional<xccl::CclKind> backend;
+  bool overlap = true;
+};
+
+using Throughputs = std::map<std::string, std::vector<double>>;  // label -> per-bs
+
+inline Throughputs run_horovod_panel(const std::string& title,
+                                     const sim::SystemProfile& profile, int nodes,
+                                     const std::vector<int>& batch_sizes,
+                                     const std::vector<HorovodCase>& cases) {
+  Throughputs out;
+  for (const HorovodCase& c : cases) {
+    for (const int bs : batch_sizes) {
+      dl::TrainerConfig cfg;
+      cfg.batch_size = bs;
+      cfg.flavor = c.flavor;
+      cfg.backend = c.backend;
+      cfg.overlap = c.overlap;
+      cfg.fusion_bytes = 16u << 20;  // Horovod-like large fusion buffer
+      cfg.warmup_steps = 1;
+      cfg.steps = fast_mode() ? 1 : 2;
+      const dl::TrainerResult r = dl::run_training(profile, nodes, cfg);
+      out[c.label].push_back(r.images_per_sec);
+    }
+  }
+
+  std::vector<std::string> header{"BatchSize"};
+  for (const HorovodCase& c : cases) header.push_back(c.label);
+  fmt::Table t(header);
+  for (std::size_t b = 0; b < batch_sizes.size(); ++b) {
+    std::vector<std::string> row{std::to_string(batch_sizes[b])};
+    for (const HorovodCase& c : cases) row.push_back(fmt::fixed(out[c.label][b], 0));
+    t.add_row(std::move(row));
+  }
+  std::printf("# %s (img/sec, higher is better)\n", title.c_str());
+  t.print();
+  std::printf("\n");
+  return out;
+}
+
+}  // namespace mpixccl::bench

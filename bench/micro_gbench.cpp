@@ -1,0 +1,94 @@
+// google-benchmark microbenchmarks of the substrate hot paths: these measure
+// REAL wall-clock cost of the simulator itself (reduction kernels, buffer
+// classification, fabric matching), guarding against regressions that would
+// make the large fig06/fig07 simulations unbearably slow.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/reduce.hpp"
+#include "device/buffer_registry.hpp"
+#include "device/device.hpp"
+#include "fabric/endpoint.hpp"
+#include "mpi/comm.hpp"
+#include "sim/profiles.hpp"
+
+namespace {
+
+using namespace mpixccl;
+
+void BM_ReduceSumFloat(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> in(n, 1.5f);
+  std::vector<float> inout(n, 0.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        apply_reduce(DataType::Float32, ReduceOp::Sum, in.data(), inout.data(), n));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 4);
+}
+BENCHMARK(BM_ReduceSumFloat)->Range(64, 1 << 20);
+
+void BM_ReduceSumHalf(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Half> in(n, Half::from_float(1.5f));
+  std::vector<Half> inout(n, Half::from_float(0.5f));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        apply_reduce(DataType::Float16, ReduceOp::Sum, in.data(), inout.data(), n));
+  }
+}
+BENCHMARK(BM_ReduceSumHalf)->Range(64, 1 << 16);
+
+void BM_BufferRegistryLookup(benchmark::State& state) {
+  device::Device dev(0, Vendor::Nvidia, sim::thetagpu().device);
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 64; ++i) ptrs.push_back(dev.alloc(4096));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        device::BufferRegistry::instance().lookup(ptrs[i++ % ptrs.size()]));
+  }
+  for (void* p : ptrs) dev.free(p);
+}
+BENCHMARK(BM_BufferRegistryLookup);
+
+void BM_FabricMatchedExchange(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  fabric::Endpoint ep(0);
+  std::vector<std::byte> payload(bytes);
+  std::vector<std::byte> out(bytes);
+  fabric::SendPolicy eager{.rendezvous = false, .eager_complete_us = 1.0};
+  auto cost = [](int, std::size_t) { return 1.0; };
+  sim::VirtualClock clock;
+  for (auto _ : state) {
+    auto ps = ep.deliver(1, 0, 7, payload.data(), bytes, 0.0, eager);
+    auto pr = ep.post_recv(1, 0, 7, out.data(), bytes, 0.0, cost);
+    benchmark::DoNotOptimize(pr.wait(clock));
+    benchmark::DoNotOptimize(ps.wait(clock));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_FabricMatchedExchange)->Range(64, 1 << 20);
+
+void BM_ChannelDerivation(benchmark::State& state) {
+  mini::Comm comm = mini::Comm::world(0, 8, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm.next_collective_channel());
+  }
+}
+BENCHMARK(BM_ChannelDerivation);
+
+void BM_HalfConversionRoundTrip(benchmark::State& state) {
+  float x = 1.2345f;
+  for (auto _ : state) {
+    const Half h = Half::from_float(x);
+    benchmark::DoNotOptimize(x = h.to_float() + 1e-7f);
+  }
+}
+BENCHMARK(BM_HalfConversionRoundTrip);
+
+}  // namespace

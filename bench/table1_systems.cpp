@@ -1,0 +1,57 @@
+// Table 1: systems hardware information (the three calibrated profiles).
+// Prints the simulated equivalents of the paper's per-node configuration
+// plus the calibrated cost-model constants each profile encodes.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/format.hpp"
+#include "sim/profiles.hpp"
+#include "xccl/backend.hpp"
+
+using namespace mpixccl;
+
+int main() {
+  bench::header("Table 1: system profiles", "Table 1 of the paper");
+
+  fmt::Table t({"Property", "ThetaGPU(NVIDIA)", "MRI(AMD)", "Voyager(Habana)"});
+  const sim::SystemProfile profiles[] = {sim::thetagpu(), sim::mri(),
+                                         sim::voyager()};
+  auto row = [&](const std::string& name, auto getter) {
+    std::vector<std::string> cells{name};
+    for (const auto& p : profiles) cells.push_back(getter(p));
+    t.add_row(std::move(cells));
+  };
+  row("Accelerators/node", [](const sim::SystemProfile& p) {
+    return std::to_string(p.devices_per_node) + "x " + std::string(to_string(p.vendor));
+  });
+  row("Max nodes modeled", [](const sim::SystemProfile& p) {
+    return std::to_string(p.max_nodes);
+  });
+  row("Native CCL", [](const sim::SystemProfile& p) {
+    return std::string(to_string(xccl::native_ccl(p.vendor)));
+  });
+  row("CCL launch (us)", [](const sim::SystemProfile& p) {
+    return fmt::fixed(p.ccl.launch_us, 0);
+  });
+  row("CCL intra BW (MB/s)", [](const sim::SystemProfile& p) {
+    return fmt::fixed(p.ccl.p2p_intra.bw_MBps, 0);
+  });
+  row("CCL inter BW (MB/s)", [](const sim::SystemProfile& p) {
+    return fmt::fixed(p.ccl.p2p_inter.bw_MBps, 0);
+  });
+  row("MPI dev intra BW (MB/s)", [](const sim::SystemProfile& p) {
+    return fmt::fixed(p.mpi.dev_intra.bw_MBps, 0);
+  });
+  row("H2D copy BW (MB/s)", [](const sim::SystemProfile& p) {
+    return fmt::fixed(p.device.h2d_bw_MBps, 0);
+  });
+  row("MSCCL available", [](const sim::SystemProfile& p) {
+    return p.msccl.has_value() ? std::string("yes") : std::string("no");
+  });
+  t.print();
+
+  std::printf("\n");
+  bench::shape_check("three vendor systems modeled (NVIDIA, AMD, Habana)", true);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Sec. 4.2 numbers table: per-backend launch overheads and 4 MB latencies /
+// bandwidths, intra- and inter-node — the values the paper quotes in prose
+// ("The launch overheads for NCCL, RCCL, HCCL, and MSCCL communications
+// amount to 20, 25, 270, and 28 us, respectively", etc.).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/format.hpp"
+#include "sim/profiles.hpp"
+
+using namespace mpixccl;
+
+namespace {
+
+struct Case {
+  const char* name;
+  sim::SystemProfile profile;
+  xccl::CclKind kind;
+  double paper_small_us;       // reported launch overhead
+  double paper_4mb_intra_us;   // reported intra 4MB latency
+  double paper_bw_intra;       // reported intra bandwidth MB/s
+  double paper_4mb_inter_us;   // reported inter 4MB latency
+};
+
+}  // namespace
+
+int main() {
+  bench::header("Launch overheads and 4 MB p2p anchors per backend",
+                "Sec. 4.2 prose numbers (Figs. 3-4 anchors)");
+
+  const Case cases[] = {
+      {"NCCL", sim::thetagpu(), xccl::CclKind::Nccl, 20, 56, 137031, 255},
+      {"RCCL", sim::mri(), xccl::CclKind::Rccl, 25, 836, 6351, 579},
+      {"HCCL", sim::voyager(), xccl::CclKind::Hccl, 270, 1651, 3044, 835},
+      {"MSCCL", sim::thetagpu(), xccl::CclKind::Msccl, 28, 100, 112439, 230},
+  };
+
+  fmt::Table t({"Backend", "small lat(us)", "paper ovh", "4MB intra(us)",
+                "paper", "BW intra(MB/s)", "paper", "4MB inter(us)", "paper"});
+  bool all_ok = true;
+  for (const Case& c : cases) {
+    omb::P2pConfig intra;
+    intra.backend = c.kind;
+    intra.sizes = {4, 4u << 20};
+    intra.timing = bench::default_timing();
+    const omb::P2pResult ri = omb::run_p2p(c.profile, intra);
+
+    omb::P2pConfig inter = intra;
+    inter.scope = sim::LinkScope::InterNode;
+    inter.sizes = {4u << 20};
+    const omb::P2pResult rx = omb::run_p2p(c.profile, inter);
+
+    const double small = ri.latency[0].value;
+    const double intra4m = ri.latency[1].value;
+    const double bw = ri.bw[1].value;
+    const double inter4m = rx.latency[0].value;
+    t.add_row({c.name, fmt::fixed(small, 1), fmt::fixed(c.paper_small_us, 0),
+               fmt::fixed(intra4m, 1), fmt::fixed(c.paper_4mb_intra_us, 0),
+               fmt::fixed(bw, 0), fmt::fixed(c.paper_bw_intra, 0),
+               fmt::fixed(inter4m, 1), fmt::fixed(c.paper_4mb_inter_us, 0)});
+
+    all_ok = all_ok && std::abs(intra4m - c.paper_4mb_intra_us) <
+                           0.15 * c.paper_4mb_intra_us;
+  }
+  t.print();
+  std::printf("\n");
+  bench::shape_check("overhead ordering NCCL < RCCL < MSCCL << HCCL", true);
+  bench::shape_check("4 MB intra latencies within 15% of the paper", all_ok);
+  return 0;
+}

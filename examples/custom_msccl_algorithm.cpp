@@ -1,0 +1,114 @@
+// Programmable collectives: registering a custom MSCCL algorithm.
+//
+// MSCCL's distinguishing feature is user-defined collective algorithms. This
+// example writes a hierarchical two-phase allreduce in the MSCCL IR —
+// reduce-to-node-leader, leaders exchange, broadcast-within-node — registers
+// it for the 1-4 MB window, and compares it against the backend's builtin
+// ring on a 2-node world where inter-node links are the bottleneck.
+//
+//   ./examples/custom_msccl_algorithm
+
+#include <cstdio>
+#include <vector>
+
+#include "fabric/world.hpp"
+#include "sim/profiles.hpp"
+#include "xccl/msccl.hpp"
+
+using namespace mpixccl;
+
+namespace {
+
+/// Hierarchical allreduce for 2 nodes x `dpn` ranks (node-major layout):
+/// step 0: non-leaders send to their node leader (ranks 0 and dpn);
+/// step 1: leaders reduce received vectors;   (implicit in RecvReduceCopy)
+/// step 2: leaders exchange and reduce across nodes;
+/// step 3: leaders broadcast back to their node.
+xccl::MscclAlgorithm hierarchical_allreduce(int dpn, std::size_t min_b,
+                                            std::size_t max_b) {
+  const int p = 2 * dpn;
+  xccl::MscclAlgorithm a;
+  a.name = "hierarchical_2node";
+  a.coll = xccl::BuiltinColl::AllReduce;
+  a.nranks = p;
+  a.nchunks = 1;
+  a.min_bytes = min_b;
+  a.max_bytes = max_b;
+  a.programs.resize(static_cast<std::size_t>(p));
+  using Op = xccl::MscclInstr::Op;
+  for (int r = 0; r < p; ++r) {
+    auto& prog = a.programs[static_cast<std::size_t>(r)];
+    const int node = r / dpn;
+    const int leader = node * dpn;
+    if (r != leader) {
+      prog.push_back({Op::Send, leader, 0, 0, 0});
+      prog.push_back({Op::Recv, leader, 0, 0, 3});
+    } else {
+      for (int peer = leader + 1; peer < leader + dpn; ++peer) {
+        prog.push_back({Op::RecvReduceCopy, peer, 0, 0, 0});
+      }
+      const int other = (1 - node) * dpn;
+      prog.push_back({Op::Send, other, 0, 0, 1});
+      prog.push_back({Op::RecvReduceCopy, other, 0, 0, 2});
+      for (int peer = leader + 1; peer < leader + dpn; ++peer) {
+        prog.push_back({Op::Send, peer, 0, 0, 3});
+      }
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+int main() {
+  const sim::SystemProfile prof = sim::thetagpu();
+  const int dpn = prof.devices_per_node;
+  const std::size_t n = 1u << 19;  // 2 MB of floats
+  const xccl::UniqueId id = xccl::UniqueId::derive(0xe1, 1);
+
+  for (const bool custom : {false, true}) {
+    fabric::World world(fabric::WorldConfig{prof, 2, 0});
+    world.run([&](fabric::RankContext& ctx) {
+      xccl::MscclBackend backend(ctx, *prof.msccl);
+      backend.set_builtin_allpairs(false);
+      if (custom) {
+        backend.register_algorithm(
+            hierarchical_allreduce(dpn, 1u << 20, 8u << 20));
+      }
+      xccl::CclComm comm;
+      throw_if_error(backend.comm_init_rank(comm, ctx.size(), id, ctx.rank()),
+                     "example comm init");
+
+      std::vector<float> grad(n, static_cast<float>(ctx.rank() + 1));
+      std::vector<float> sum(n);
+      auto once = [&] {
+        throw_if_error(backend.all_reduce(grad.data(), sum.data(), n,
+                                          DataType::Float32, ReduceOp::Sum,
+                                          comm, ctx.stream()),
+                       "example allreduce");
+        ctx.stream().synchronize(ctx.clock());
+      };
+      once();  // warmup + comm setup
+      ctx.sync_clocks();
+      const double t0 = ctx.clock().now();
+      for (int i = 0; i < 5; ++i) once();
+      ctx.sync_clocks();
+
+      if (ctx.rank() == 0) {
+        const int p = ctx.size();
+        std::printf("%-28s %8.1f us/op   (sum[0]=%.0f, expected %d)\n",
+                    custom ? "custom hierarchical_2node:" : "builtin ring path:",
+                    (ctx.clock().now() - t0) / 5.0,
+                    static_cast<double>(sum[0]), p * (p + 1) / 2);
+        if (custom) {
+          const auto name = backend.algorithm_for(xccl::BuiltinColl::AllReduce,
+                                                  p, n * sizeof(float));
+          std::printf("algorithm selected for 2MB: %s\n",
+                      name ? name->c_str() : "(base path)");
+        }
+      }
+    });
+  }
+  std::printf("custom_msccl_algorithm finished.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Portability tour: identical application code on three accelerator vendors.
+//
+// The paper's core pitch is that users write standard MPI once and the xCCL
+// abstraction layer binds it to NCCL, RCCL or HCCL depending on what the
+// system has. This example runs the SAME workload function on all three
+// simulated systems, prints which backend served it, and dumps each system's
+// hybrid tuning table — including HCCL's float-only capability forcing
+// fallbacks that NVIDIA/AMD never see.
+//
+//   ./examples/multi_vendor_tour
+
+#include <cstdio>
+#include <vector>
+
+#include "core/xccl_mpi.hpp"
+#include "device/device.hpp"
+#include "fabric/world.hpp"
+#include "sim/profiles.hpp"
+
+using namespace mpixccl;
+
+namespace {
+
+/// The "application": a halo-exchange-flavored mix of collectives on device
+/// buffers. Note there is nothing vendor-specific in here.
+void workload(core::XcclMpi& mpi, fabric::RankContext& ctx) {
+  auto& comm = mpi.comm_world();
+  const std::size_t n = 1u << 18;  // 1 MB of floats
+  device::DeviceBuffer field(ctx.device(), n * sizeof(float));
+  device::DeviceBuffer halo(ctx.device(), n * sizeof(float));
+  for (std::size_t i = 0; i < n; ++i) {
+    field.as<float>()[i] = static_cast<float>(mpi.rank());
+  }
+
+  mpi.allreduce(field.get(), halo.get(), n, mini::kFloat, ReduceOp::Max, comm);
+  mpi.bcast(halo.get(), n, mini::kFloat, 0, comm);
+  // Double-precision residual norm: fine on NCCL/RCCL, falls back on HCCL.
+  double residual = mpi.rank() * 1.5;
+  device::DeviceBuffer res(ctx.device(), sizeof(double) * 128);
+  for (int i = 0; i < 128; ++i) res.as<double>()[i] = residual;
+  mpi.allreduce(res.get(), res.get(), 128, mini::kDouble, ReduceOp::Sum, comm);
+}
+
+}  // namespace
+
+int main() {
+  for (const sim::SystemProfile& profile :
+       {sim::thetagpu(), sim::mri(), sim::voyager()}) {
+    std::printf("== %s (%s accelerators) ==\n", profile.name.c_str(),
+                std::string(to_string(profile.vendor)).c_str());
+    fabric::run_world(profile, /*nodes=*/2, [&](fabric::RankContext& ctx) {
+      core::XcclMpiOptions opts;
+      opts.mode = core::Mode::PureXccl;  // always try the CCL: shows fallbacks
+      core::XcclMpi mpi(ctx, opts);
+      workload(mpi, ctx);
+      if (mpi.rank() == 0) {
+        std::printf("  backend: %s\n", std::string(mpi.backend().name()).c_str());
+        std::printf("  calls: %llu on xCCL, %llu on MPI (%llu fallbacks)\n",
+                    static_cast<unsigned long long>(mpi.stats().xccl_calls),
+                    static_cast<unsigned long long>(mpi.stats().mpi_calls),
+                    static_cast<unsigned long long>(mpi.stats().fallbacks));
+        std::printf("  hybrid tuning table: %s\n",
+                    core::TuningTable::default_for(ctx.profile())
+                        .serialize()
+                        .substr(0, 96)
+                        .c_str());
+        std::printf("  virtual time: %.0f us\n", ctx.clock().now());
+      }
+    });
+  }
+  std::printf("\nsame workload() ran unmodified on NVIDIA, AMD and Habana.\n");
+  return 0;
+}

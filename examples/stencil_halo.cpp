@@ -1,0 +1,119 @@
+// Structured-grid stencil with halo exchange — the classic HPC workload on
+// top of MPI-xCCL.
+//
+// A 2D Jacobi iteration is domain-decomposed over a Cartesian process grid:
+// every sweep exchanges halo rows/columns with the four neighbors
+// (MPI_Neighbor_alltoall) and reduces the global residual (MPI_Allreduce
+// through the hybrid runtime, which routes the small residual to the MPI
+// engine while bulk data would ride the CCL).
+//
+//   ./examples/stencil_halo
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/xccl_mpi.hpp"
+#include "fabric/world.hpp"
+#include "mpi/cart.hpp"
+#include "sim/profiles.hpp"
+
+using namespace mpixccl;
+
+namespace {
+
+constexpr int kLocal = 64;  // local grid is kLocal x kLocal (plus halos)
+
+struct Grid {
+  std::vector<double> cells;  // (kLocal + 2)^2 with halo ring
+  [[nodiscard]] double& at(int r, int c) {
+    return cells[static_cast<std::size_t>(r) * (kLocal + 2) +
+                 static_cast<std::size_t>(c)];
+  }
+};
+
+}  // namespace
+
+int main() {
+  fabric::run_world(sim::thetagpu(), 1, [](fabric::RankContext& ctx) {
+    core::XcclMpi rt(ctx);
+    mini::Mpi& mpi = rt.mpi();
+
+    // 8 ranks -> a 4x2 periodic process grid.
+    const std::vector<int> dims = mini::CartComm::balanced_dims(rt.size(), 2);
+    const bool periodic[] = {true, true};
+    mini::CartComm cart =
+        mini::CartComm::create(mpi, rt.comm_world(), dims, periodic);
+    const auto coords = cart.coords();
+
+    Grid u;
+    Grid next;
+    u.cells.assign((kLocal + 2) * (kLocal + 2), 0.0);
+    next = u;
+    // A bump in the subdomain of rank 0 diffuses outward over iterations.
+    if (rt.rank() == 0) u.at(kLocal / 2, kLocal / 2) = 1000.0;
+
+    std::vector<double> send(static_cast<std::size_t>(4 * kLocal));
+    std::vector<double> recv(static_cast<std::size_t>(4 * kLocal), 0.0);
+
+    double residual = 1.0;
+    int iter = 0;
+    for (; iter < 50 && residual > 1e-3; ++iter) {
+      // Pack halos in neighbor order (dim0 low/high = top/bottom rows,
+      // dim1 low/high = left/right columns).
+      for (int i = 0; i < kLocal; ++i) {
+        send[static_cast<std::size_t>(0 * kLocal + i)] = u.at(1, i + 1);
+        send[static_cast<std::size_t>(1 * kLocal + i)] = u.at(kLocal, i + 1);
+        send[static_cast<std::size_t>(2 * kLocal + i)] = u.at(i + 1, 1);
+        send[static_cast<std::size_t>(3 * kLocal + i)] = u.at(i + 1, kLocal);
+      }
+      mini::neighbor_alltoall(mpi, cart, send.data(), kLocal, mini::kDouble,
+                              recv.data(), kLocal, mini::kDouble);
+      for (int i = 0; i < kLocal; ++i) {
+        u.at(0, i + 1) = recv[static_cast<std::size_t>(0 * kLocal + i)];
+        u.at(kLocal + 1, i + 1) = recv[static_cast<std::size_t>(1 * kLocal + i)];
+        u.at(i + 1, 0) = recv[static_cast<std::size_t>(2 * kLocal + i)];
+        u.at(i + 1, kLocal + 1) = recv[static_cast<std::size_t>(3 * kLocal + i)];
+      }
+
+      // Jacobi sweep + local residual.
+      double local_res = 0.0;
+      for (int r = 1; r <= kLocal; ++r) {
+        for (int c = 1; c <= kLocal; ++c) {
+          next.at(r, c) = 0.25 * (u.at(r - 1, c) + u.at(r + 1, c) +
+                                  u.at(r, c - 1) + u.at(r, c + 1));
+          const double d = next.at(r, c) - u.at(r, c);
+          local_res += d * d;
+        }
+      }
+      std::swap(u.cells, next.cells);
+
+      // Global residual through the hybrid runtime (small -> MPI engine).
+      rt.allreduce(&local_res, &residual, 1, mini::kDouble, ReduceOp::Sum,
+                   rt.comm_world());
+      residual = std::sqrt(residual);
+    }
+
+    // Mass is conserved under the periodic Jacobi sweep: check it globally.
+    double local_mass = 0.0;
+    for (int r = 1; r <= kLocal; ++r) {
+      for (int c = 1; c <= kLocal; ++c) local_mass += u.at(r, c);
+    }
+    double mass = 0.0;
+    rt.allreduce(&local_mass, &mass, 1, mini::kDouble, ReduceOp::Sum,
+                 rt.comm_world());
+
+    if (rt.rank() == 0) {
+      std::printf("process grid %dx%d, %d Jacobi iterations\n", dims[0], dims[1],
+                  iter);
+      std::printf("final residual %.6f, conserved mass %.1f (expected 1000)\n",
+                  residual, mass);
+      std::printf("coords of rank 0: (%d, %d); virtual time %.0f us\n",
+                  coords[0], coords[1], ctx.clock().now());
+      std::printf("halo exchanges ran on the Cartesian neighborhood; the\n"
+                  "residual allreduce went through the hybrid dispatcher.\n");
+    }
+  });
+  std::printf("stencil_halo finished.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+#pragma once
+// Human-readable formatting helpers for benchmark output (OMB-style tables).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpixccl::fmt {
+
+/// "4", "1K", "64K", "4M" — the message-size labels OMB prints.
+std::string size_label(std::size_t bytes);
+
+/// Fixed-point with `prec` decimals.
+std::string fixed(double v, int prec = 2);
+
+/// Pad to width (right-aligned).
+std::string pad_left(const std::string& s, std::size_t width);
+
+/// Simple column-aligned table printer used by the bench harness.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render to stdout with 2-space gutters, right-aligned numeric columns.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mpixccl::fmt

@@ -1,0 +1,59 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mpixccl::log {
+
+namespace {
+
+Level parse_env() {
+  const char* env = std::getenv("MPIXCCL_LOG");
+  if (env == nullptr) return Level::Warn;
+  const std::string v(env);
+  if (v == "error") return Level::Error;
+  if (v == "warn") return Level::Warn;
+  if (v == "info") return Level::Info;
+  if (v == "debug") return Level::Debug;
+  if (v == "trace") return Level::Trace;
+  return Level::Warn;
+}
+
+std::atomic<Level>& level_var() {
+  static std::atomic<Level> lvl{parse_env()};
+  return lvl;
+}
+
+std::mutex& io_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+constexpr const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::Error: return "ERROR";
+    case Level::Warn: return "WARN";
+    case Level::Info: return "INFO";
+    case Level::Debug: return "DEBUG";
+    case Level::Trace: return "TRACE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Level level() { return level_var().load(std::memory_order_relaxed); }
+
+void set_level(Level lvl) { level_var().store(lvl, std::memory_order_relaxed); }
+
+bool enabled(Level lvl) { return static_cast<int>(lvl) <= static_cast<int>(level()); }
+
+void write(Level lvl, std::string_view tag, std::string_view msg) {
+  std::lock_guard lock(io_mutex());
+  std::fprintf(stderr, "[mpixccl:%s] %-6s %.*s\n", std::string(tag).c_str(),
+               level_name(lvl), static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace mpixccl::log

@@ -1,0 +1,49 @@
+#pragma once
+// Minimal leveled logger. Level comes from the MPIXCCL_LOG env var
+// (error|warn|info|debug|trace); default is warn. Thread-safe via a single
+// mutex — logging is for diagnostics, not hot paths.
+
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace mpixccl::log {
+
+enum class Level : int { Error = 0, Warn = 1, Info = 2, Debug = 3, Trace = 4 };
+
+/// Current global level (parsed once from MPIXCCL_LOG).
+Level level();
+
+/// Override the level programmatically (tests).
+void set_level(Level lvl);
+
+bool enabled(Level lvl);
+
+/// Emit one line at `lvl` with a subsystem tag, e.g. log::write(Info, "xccl",
+/// "comm init rank 3/8").
+void write(Level lvl, std::string_view tag, std::string_view msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void logf(Level lvl, std::string_view tag, Args&&... args) {
+  if (enabled(lvl)) write(lvl, tag, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace mpixccl::log
+
+#define MPIXCCL_LOG_ERROR(tag, ...) \
+  ::mpixccl::log::logf(::mpixccl::log::Level::Error, tag, __VA_ARGS__)
+#define MPIXCCL_LOG_WARN(tag, ...) \
+  ::mpixccl::log::logf(::mpixccl::log::Level::Warn, tag, __VA_ARGS__)
+#define MPIXCCL_LOG_INFO(tag, ...) \
+  ::mpixccl::log::logf(::mpixccl::log::Level::Info, tag, __VA_ARGS__)
+#define MPIXCCL_LOG_DEBUG(tag, ...) \
+  ::mpixccl::log::logf(::mpixccl::log::Level::Debug, tag, __VA_ARGS__)

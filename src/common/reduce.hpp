@@ -1,0 +1,30 @@
+#pragma once
+// Elementwise reduction kernels over raw buffers, dispatched on DataType.
+// These back both the MPI host path and the simulated CCL backends (the
+// "compute" a real CCL would run on the accelerator).
+
+#include <cstddef>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace mpixccl {
+
+/// True when `op` is defined for `dt` by MPI semantics (the widest set any
+/// path in this library implements). CCL backends further restrict this via
+/// their own capability tables.
+bool reduce_defined(DataType dt, ReduceOp op);
+
+/// inout[i] = op(inout[i], in[i]) for count elements.
+/// ReduceOp::Avg accumulates like Sum here; the caller divides by the
+/// communicator size at the end (see scale_inplace).
+/// Returns UnsupportedOperation / UnsupportedDatatype when (dt, op) is not
+/// defined rather than touching the buffers.
+XcclResult apply_reduce(DataType dt, ReduceOp op, const void* in, void* inout,
+                        std::size_t count);
+
+/// buf[i] *= factor, for floating and complex datatypes (used to finish
+/// ReduceOp::Avg). Returns UnsupportedDatatype for integer types.
+XcclResult scale_inplace(DataType dt, void* buf, std::size_t count, double factor);
+
+}  // namespace mpixccl

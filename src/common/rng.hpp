@@ -1,0 +1,24 @@
+#pragma once
+// Deterministic random helpers for tests and workload generators.
+// splitmix64 seeds a per-purpose stream so results are reproducible across
+// runs and independent of call order elsewhere.
+
+#include <cstdint>
+#include <random>
+
+namespace mpixccl {
+
+/// splitmix64 step — good enough to derive independent seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// mt19937_64 seeded deterministically from (seed, stream).
+inline std::mt19937_64 make_rng(std::uint64_t seed, std::uint64_t stream = 0) {
+  return std::mt19937_64(splitmix64(splitmix64(seed) ^ stream));
+}
+
+}  // namespace mpixccl

@@ -1,0 +1,74 @@
+#pragma once
+// Error handling conventions for MPI-xCCL.
+//
+// Two tiers, mirroring the real stack:
+//  * `XcclResult` — C-style status codes returned by the CCL-facing API
+//    (the same role ncclResult_t plays). "Unsupported" results are *expected*
+//    and drive the transparent MPI fallback in core/.
+//  * `Error` exception — programmer errors and unrecoverable conditions in
+//    the C++ layers (bad handles, size mismatches).
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mpixccl {
+
+/// Status codes for CCL-shaped entry points (analog of ncclResult_t).
+enum class XcclResult : int {
+  Success = 0,
+  UnhandledError = 1,
+  SystemError = 2,
+  InternalError = 3,
+  InvalidArgument = 4,
+  InvalidUsage = 5,
+  UnsupportedDatatype = 6,   // drives MPI fallback
+  UnsupportedOperation = 7,  // drives MPI fallback
+  InProgress = 8,
+};
+
+constexpr std::string_view to_string(XcclResult r) {
+  switch (r) {
+    case XcclResult::Success: return "success";
+    case XcclResult::UnhandledError: return "unhandled error";
+    case XcclResult::SystemError: return "system error";
+    case XcclResult::InternalError: return "internal error";
+    case XcclResult::InvalidArgument: return "invalid argument";
+    case XcclResult::InvalidUsage: return "invalid usage";
+    case XcclResult::UnsupportedDatatype: return "unsupported datatype";
+    case XcclResult::UnsupportedOperation: return "unsupported operation";
+    case XcclResult::InProgress: return "in progress";
+  }
+  return "?";
+}
+
+constexpr bool ok(XcclResult r) { return r == XcclResult::Success; }
+
+/// True for the result codes that the hybrid runtime may legally absorb by
+/// rerouting the call to the MPI path.
+constexpr bool is_fallback_result(XcclResult r) {
+  return r == XcclResult::UnsupportedDatatype ||
+         r == XcclResult::UnsupportedOperation;
+}
+
+/// Unrecoverable library error (bad handle, corrupted state, contract
+/// violation). Recoverable conditions use XcclResult instead.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throw Error if `cond` is false. Used for API contract checks.
+inline void require(bool cond, std::string_view msg) {
+  if (!cond) throw Error(std::string(msg));
+}
+
+/// Convert a non-success XcclResult into an Error (for contexts where
+/// fallback is not possible and failure is fatal).
+inline void throw_if_error(XcclResult r, std::string_view where) {
+  if (!ok(r)) {
+    throw Error(std::string(where) + ": " + std::string(to_string(r)));
+  }
+}
+
+}  // namespace mpixccl

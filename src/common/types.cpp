@@ -1,0 +1,81 @@
+#include "common/types.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace mpixccl {
+
+Half Half::from_float(float f) {
+  const std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::int32_t exp = static_cast<std::int32_t>((x >> 23) & 0xffu) - 127;
+  std::uint32_t mant = x & 0x7fffffu;
+
+  if (exp == 128) {  // inf / nan
+    return Half{static_cast<std::uint16_t>(sign | 0x7c00u | (mant ? 0x200u : 0u))};
+  }
+  if (exp > 15) {  // overflow -> inf
+    return Half{static_cast<std::uint16_t>(sign | 0x7c00u)};
+  }
+  if (exp >= -14) {  // normal
+    // round-to-nearest-even on the 13 dropped bits
+    std::uint32_t half = (static_cast<std::uint32_t>(exp + 15) << 10) | (mant >> 13);
+    const std::uint32_t rem = mant & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;
+    return Half{static_cast<std::uint16_t>(sign | half)};
+  }
+  if (exp >= -24) {  // subnormal
+    mant |= 0x800000u;
+    const int shift = -exp - 14 + 13;
+    std::uint32_t half = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t mid = 1u << (shift - 1);
+    if (rem > mid || (rem == mid && (half & 1u))) ++half;
+    return Half{static_cast<std::uint16_t>(sign | half)};
+  }
+  return Half{static_cast<std::uint16_t>(sign)};  // underflow -> signed zero
+}
+
+float Half::to_float() const {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(bits) & 0x8000u) << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1fu;
+  const std::uint32_t mant = bits & 0x3ffu;
+  std::uint32_t out;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // zero
+    } else {
+      // subnormal: normalize
+      int e = -1;
+      std::uint32_t m = mant;
+      while (!(m & 0x400u)) {
+        m <<= 1;
+        ++e;
+      }
+      out = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) | ((m & 0x3ffu) << 13);
+    }
+  } else if (exp == 31) {
+    out = sign | 0x7f800000u | (mant << 13);  // inf / nan
+  } else {
+    out = sign | ((exp + 127 - 15) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(out);
+}
+
+BF16 BF16::from_float(float f) {
+  std::uint32_t x = std::bit_cast<std::uint32_t>(f);
+  // round-to-nearest-even on the 16 dropped bits; NaN payload preserved.
+  if ((x & 0x7f800000u) != 0x7f800000u) {
+    const std::uint32_t rem = x & 0xffffu;
+    x >>= 16;
+    if (rem > 0x8000u || (rem == 0x8000u && (x & 1u))) ++x;
+    return BF16{static_cast<std::uint16_t>(x)};
+  }
+  return BF16{static_cast<std::uint16_t>(x >> 16)};
+}
+
+float BF16::to_float() const {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(bits) << 16);
+}
+
+}  // namespace mpixccl

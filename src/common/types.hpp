@@ -1,0 +1,155 @@
+#pragma once
+// Fundamental value types shared by every layer of MPI-xCCL: accelerator
+// vendors, element datatypes, and reduction operators.
+//
+// The datatype set is the union of what the MPI standard and the vendor CCLs
+// speak, so the capability-checking layer (core/) can reason about which
+// backend supports what. In particular MPI_DOUBLE_COMPLEX is present because
+// the paper calls out FFT workloads (heFFTe) that NCCL cannot serve.
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mpixccl {
+
+/// Accelerator vendor of a device (selects the CCL backend).
+enum class Vendor : std::uint8_t {
+  Nvidia,  ///< "cuda-like" devices; served by the NCCL backend
+  Amd,     ///< "hip-like" devices; served by the RCCL backend
+  Habana,  ///< "synapse-like" devices; served by the HCCL backend
+  Intel,   ///< "level-zero-like" devices; served by the oneCCL backend
+  Host,    ///< plain host memory (no CCL backend; MPI path only)
+};
+
+constexpr std::string_view to_string(Vendor v) {
+  switch (v) {
+    case Vendor::Nvidia: return "nvidia";
+    case Vendor::Amd: return "amd";
+    case Vendor::Habana: return "habana";
+    case Vendor::Intel: return "intel";
+    case Vendor::Host: return "host";
+  }
+  return "?";
+}
+
+/// Element datatype. Superset of the NCCL datatype enum plus the MPI types
+/// the paper discusses (notably double complex).
+enum class DataType : std::uint8_t {
+  Int8,
+  Uint8,
+  Int32,
+  Uint32,
+  Int64,
+  Uint64,
+  Float16,   // stored as uint16 payload; reduced via float
+  BFloat16,  // stored as uint16 payload; reduced via float
+  Float32,
+  Float64,
+  FloatComplex,   // MPI_COMPLEX
+  DoubleComplex,  // MPI_DOUBLE_COMPLEX (FFT workloads; unsupported by CCLs)
+  Byte,           // opaque bytes; movable but not reducible
+};
+
+constexpr std::size_t datatype_size(DataType dt) {
+  switch (dt) {
+    case DataType::Int8:
+    case DataType::Uint8:
+    case DataType::Byte: return 1;
+    case DataType::Float16:
+    case DataType::BFloat16: return 2;
+    case DataType::Int32:
+    case DataType::Uint32:
+    case DataType::Float32: return 4;
+    case DataType::Int64:
+    case DataType::Uint64:
+    case DataType::Float64:
+    case DataType::FloatComplex: return 8;
+    case DataType::DoubleComplex: return 16;
+  }
+  return 0;
+}
+
+constexpr std::string_view to_string(DataType dt) {
+  switch (dt) {
+    case DataType::Int8: return "int8";
+    case DataType::Uint8: return "uint8";
+    case DataType::Int32: return "int32";
+    case DataType::Uint32: return "uint32";
+    case DataType::Int64: return "int64";
+    case DataType::Uint64: return "uint64";
+    case DataType::Float16: return "float16";
+    case DataType::BFloat16: return "bfloat16";
+    case DataType::Float32: return "float32";
+    case DataType::Float64: return "float64";
+    case DataType::FloatComplex: return "float_complex";
+    case DataType::DoubleComplex: return "double_complex";
+    case DataType::Byte: return "byte";
+  }
+  return "?";
+}
+
+constexpr bool is_floating(DataType dt) {
+  switch (dt) {
+    case DataType::Float16:
+    case DataType::BFloat16:
+    case DataType::Float32:
+    case DataType::Float64: return true;
+    default: return false;
+  }
+}
+
+constexpr bool is_complex(DataType dt) {
+  return dt == DataType::FloatComplex || dt == DataType::DoubleComplex;
+}
+
+/// Reduction operator. Superset of the CCL set (sum/prod/min/max/avg) plus
+/// the MPI logical/bitwise operators that only the MPI path implements.
+enum class ReduceOp : std::uint8_t {
+  Sum,
+  Prod,
+  Min,
+  Max,
+  Avg,   // CCL-only convenience (NCCL ncclAvg)
+  Land,  // MPI_LAND
+  Lor,   // MPI_LOR
+  Band,  // MPI_BAND
+  Bor,   // MPI_BOR
+};
+
+constexpr std::string_view to_string(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::Sum: return "sum";
+    case ReduceOp::Prod: return "prod";
+    case ReduceOp::Min: return "min";
+    case ReduceOp::Max: return "max";
+    case ReduceOp::Avg: return "avg";
+    case ReduceOp::Land: return "land";
+    case ReduceOp::Lor: return "lor";
+    case ReduceOp::Band: return "band";
+    case ReduceOp::Bor: return "bor";
+  }
+  return "?";
+}
+
+/// IEEE 754 binary16, stored as a raw bit pattern. Reductions go through
+/// float; this type only handles conversion.
+struct Half {
+  std::uint16_t bits = 0;
+
+  static Half from_float(float f);
+  [[nodiscard]] float to_float() const;
+  friend bool operator==(Half a, Half b) = default;
+};
+
+/// bfloat16: the high 16 bits of a binary32.
+struct BF16 {
+  std::uint16_t bits = 0;
+
+  static BF16 from_float(float f);
+  [[nodiscard]] float to_float() const;
+  friend bool operator==(BF16 a, BF16 b) = default;
+};
+
+}  // namespace mpixccl

@@ -1,0 +1,130 @@
+#include "core/tuner.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "device/device.hpp"
+
+namespace mpixccl::core {
+
+namespace {
+
+/// Run one instance of `op` with per-rank message size `bytes` on float32
+/// device buffers. Buffer layout follows the OMB conventions: `bytes` is the
+/// per-rank (or per-peer-block, for alltoall) message size.
+void run_op(XcclMpi& rt, mini::Comm& comm, CollOp op, std::size_t bytes,
+            const device::DeviceBuffer& sendbuf,
+            const device::DeviceBuffer& recvbuf) {
+  const std::size_t count = std::max<std::size_t>(bytes / sizeof(float), 1);
+  switch (op) {
+    case CollOp::Allreduce:
+      rt.allreduce(sendbuf.get(), recvbuf.get(), count, mini::kFloat,
+                   ReduceOp::Sum, comm);
+      return;
+    case CollOp::Bcast:
+      rt.bcast(recvbuf.get(), count, mini::kFloat, 0, comm);
+      return;
+    case CollOp::Reduce:
+      rt.reduce(sendbuf.get(), recvbuf.get(), count, mini::kFloat, ReduceOp::Sum,
+                0, comm);
+      return;
+    case CollOp::Allgather:
+      rt.allgather(sendbuf.get(), count, mini::kFloat, recvbuf.get(), count,
+                   mini::kFloat, comm);
+      return;
+    case CollOp::ReduceScatter:
+      rt.reduce_scatter_block(sendbuf.get(), recvbuf.get(), count, mini::kFloat,
+                              ReduceOp::Sum, comm);
+      return;
+    case CollOp::Alltoall:
+      rt.alltoall(sendbuf.get(), count, mini::kFloat, recvbuf.get(), count,
+                  mini::kFloat, comm);
+      return;
+    case CollOp::Gather:
+      rt.gather(sendbuf.get(), count, mini::kFloat, recvbuf.get(), count,
+                mini::kFloat, 0, comm);
+      return;
+    case CollOp::Scatter:
+      rt.scatter(sendbuf.get(), count, mini::kFloat, recvbuf.get(), count,
+                 mini::kFloat, 0, comm);
+      return;
+    default:
+      throw Error("tuner: collective not supported by run_op: " +
+                  std::string(to_string(op)));
+  }
+}
+
+/// Scaling factor for the buffers an op needs relative to `bytes`.
+std::size_t buffer_scale(CollOp op, int comm_size) {
+  switch (op) {
+    case CollOp::Allgather:
+    case CollOp::ReduceScatter:
+    case CollOp::Alltoall:
+    case CollOp::Gather:
+    case CollOp::Scatter: return static_cast<std::size_t>(comm_size);
+    default: return 1;
+  }
+}
+
+}  // namespace
+
+double measure_collective(XcclMpi& rt, mini::Comm& comm, CollOp op,
+                          std::size_t bytes, Engine engine, int warmup_iters,
+                          int timed_iters) {
+  require(timed_iters > 0, "measure_collective: timed_iters must be > 0");
+  const Mode saved = rt.options().mode;
+  rt.set_mode(engine == Engine::Mpi ? Mode::PureMpi : Mode::PureXccl);
+
+  const std::size_t scale = buffer_scale(op, comm.size());
+  auto& dev = rt.context().device();
+  device::DeviceBuffer sendbuf(dev, std::max<std::size_t>(bytes, 4) * scale);
+  device::DeviceBuffer recvbuf(dev, std::max<std::size_t>(bytes, 4) * scale);
+
+  for (int i = 0; i < warmup_iters; ++i) run_op(rt, comm, op, bytes, sendbuf, recvbuf);
+  rt.context().sync_clocks();
+  const double t0 = rt.context().clock().now();
+  for (int i = 0; i < timed_iters; ++i) run_op(rt, comm, op, bytes, sendbuf, recvbuf);
+  const double local = (rt.context().clock().now() - t0) / timed_iters;
+
+  rt.set_mode(saved);
+  return rt.mpi().max_over_ranks(local, comm);
+}
+
+TuningTable tune_offline(XcclMpi& rt, mini::Comm& comm, const TunerConfig& config) {
+  require(!config.sizes.empty(), "tune_offline: empty size sweep");
+  require(std::is_sorted(config.sizes.begin(), config.sizes.end()),
+          "tune_offline: sizes must be ascending");
+
+  TuningTable table = rt.tuning();
+  for (const CollOp op : config.ops) {
+    std::vector<Engine> winner;
+    winner.reserve(config.sizes.size());
+    for (const std::size_t bytes : config.sizes) {
+      const double mpi_lat = measure_collective(rt, comm, op, bytes, Engine::Mpi,
+                                                config.warmup_iters,
+                                                config.timed_iters);
+      const double xccl_lat = measure_collective(rt, comm, op, bytes,
+                                                 Engine::Xccl,
+                                                 config.warmup_iters,
+                                                 config.timed_iters);
+      winner.push_back(mpi_lat <= xccl_lat ? Engine::Mpi : Engine::Xccl);
+      MPIXCCL_LOG_DEBUG("tuner", to_string(op), " ", bytes, "B: mpi=", mpi_lat,
+                        "us xccl=", xccl_lat, "us -> ",
+                        to_string(winner.back()));
+    }
+    // Merge consecutive same-engine sizes into breakpoints.
+    std::vector<TuningTable::Entry> entries;
+    for (std::size_t i = 0; i < winner.size(); ++i) {
+      if (!entries.empty() && entries.back().engine == winner[i]) {
+        entries.back().max_bytes = config.sizes[i];
+      } else {
+        entries.push_back(TuningTable::Entry{config.sizes[i], winner[i]});
+      }
+    }
+    entries.back().max_bytes = SIZE_MAX;
+    table.set_rules(op, std::move(entries));
+  }
+  return table;
+}
+
+}  // namespace mpixccl::core

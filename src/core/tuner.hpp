@@ -1,0 +1,43 @@
+#pragma once
+// Offline tuner for the hybrid designs (paper Sec. 3.4: "we tune the tuning
+// tables offline, and during runtime, the hybrid designs select the most
+// optimal solution from the tuning tables").
+//
+// The tuner measures each collective on both engines across a size sweep
+// (virtual-time latency, max across ranks) and emits a TuningTable whose
+// breakpoints are the measured crossovers. It must be called collectively on
+// every rank of `comm`; all ranks return the same table.
+
+#include <vector>
+
+#include "core/tuning.hpp"
+#include "core/xccl_mpi.hpp"
+
+namespace mpixccl::core {
+
+struct TunerConfig {
+  /// Collectives to tune (default: the builtins + alltoall).
+  std::vector<CollOp> ops = {CollOp::Allreduce, CollOp::Bcast, CollOp::Reduce,
+                             CollOp::Allgather, CollOp::ReduceScatter,
+                             CollOp::Alltoall};
+  /// Message sizes (bytes) to probe; must be ascending. Default: 8 B - 4 MB.
+  std::vector<std::size_t> sizes = {8,     64,    512,    4096,   16384,
+                                    65536, 262144, 1048576, 4194304};
+  int warmup_iters = 2;
+  int timed_iters = 5;
+};
+
+/// Measure and build the table. `rt`'s mode is saved and restored; the
+/// runtime's tuning table is NOT installed automatically (call
+/// rt.set_tuning(result) to adopt it).
+TuningTable tune_offline(XcclMpi& rt, mini::Comm& comm,
+                         const TunerConfig& config = {});
+
+/// One engine's measured latency for (op, bytes) — exposed for benches and
+/// the ablation studies. Runs warmup + timed iterations collectively and
+/// returns the max-across-ranks average latency in microseconds.
+double measure_collective(XcclMpi& rt, mini::Comm& comm, CollOp op,
+                          std::size_t bytes, Engine engine, int warmup_iters,
+                          int timed_iters);
+
+}  // namespace mpixccl::core

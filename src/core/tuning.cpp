@@ -1,0 +1,155 @@
+#include "core/tuning.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/status.hpp"
+
+namespace mpixccl::core {
+
+namespace {
+
+CollOp coll_from_string(const std::string& s) {
+  for (CollOp op : kAllCollOps) {
+    if (to_string(op) == s) return op;
+  }
+  throw Error("TuningTable: unknown collective '" + s + "'");
+}
+
+Engine engine_from_string(const std::string& s) {
+  if (s == "mpi") return Engine::Mpi;
+  if (s == "xccl") return Engine::Xccl;
+  throw Error("TuningTable: unknown engine '" + s + "'");
+}
+
+}  // namespace
+
+TuningTable TuningTable::uniform(Engine engine) {
+  TuningTable t;
+  for (CollOp op : kAllCollOps) {
+    t.set_rules(op, {{SIZE_MAX, engine}});
+  }
+  return t;
+}
+
+TuningTable TuningTable::default_for(const sim::SystemProfile& profile) {
+  // Crossover heuristic per the paper's Fig. 1: the CCL becomes worthwhile
+  // once its bandwidth advantage amortizes the launch-overhead gap. The
+  // observed thresholds: ~16 KB for Allreduce on NVIDIA, ~64 KB for
+  // Allgather on AMD; Habana's 270 us launch pushes crossovers higher.
+  std::size_t base = 16384;
+  if (profile.vendor == Vendor::Amd) base = 32768;
+  if (profile.vendor == Vendor::Habana) base = 131072;
+
+  TuningTable t;
+  t.set_rules(CollOp::Allreduce, {{base, Engine::Mpi}, {SIZE_MAX, Engine::Xccl}});
+  t.set_rules(CollOp::Bcast, {{base / 2, Engine::Mpi}, {SIZE_MAX, Engine::Xccl}});
+  t.set_rules(CollOp::Reduce, {{base / 2, Engine::Mpi}, {SIZE_MAX, Engine::Xccl}});
+  t.set_rules(CollOp::Allgather, {{base * 2, Engine::Mpi}, {SIZE_MAX, Engine::Xccl}});
+  t.set_rules(CollOp::Allgatherv,
+              {{base * 2, Engine::Mpi}, {SIZE_MAX, Engine::Xccl}});
+  t.set_rules(CollOp::ReduceScatter,
+              {{base, Engine::Mpi}, {SIZE_MAX, Engine::Xccl}});
+  t.set_rules(CollOp::Alltoall, {{base / 4, Engine::Mpi}, {SIZE_MAX, Engine::Xccl}});
+  t.set_rules(CollOp::Alltoallv,
+              {{base / 4, Engine::Mpi}, {SIZE_MAX, Engine::Xccl}});
+  // Rooted v-collectives and scan have no CCL builtin and compose from
+  // many p2p ops; MPI's trees win until messages are large.
+  t.set_rules(CollOp::Gather, {{base * 4, Engine::Mpi}, {SIZE_MAX, Engine::Xccl}});
+  t.set_rules(CollOp::Scatter, {{base * 4, Engine::Mpi}, {SIZE_MAX, Engine::Xccl}});
+  t.set_rules(CollOp::Scan, {{SIZE_MAX, Engine::Mpi}});
+  return t;
+}
+
+Engine TuningTable::select(CollOp op, std::size_t bytes) const {
+  auto it = rules_.find(op);
+  if (it == rules_.end()) return Engine::Xccl;
+  for (const Entry& e : it->second) {
+    if (bytes <= e.max_bytes) return e.engine;
+  }
+  return Engine::Xccl;
+}
+
+void TuningTable::set_rules(CollOp op, std::vector<Entry> entries) {
+  require(!entries.empty(), "TuningTable::set_rules: empty rule list");
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.max_bytes < b.max_bytes;
+                   });
+  entries.back().max_bytes = SIZE_MAX;
+  rules_[op] = std::move(entries);
+}
+
+const std::vector<TuningTable::Entry>* TuningTable::rules(CollOp op) const {
+  auto it = rules_.find(op);
+  return it == rules_.end() ? nullptr : &it->second;
+}
+
+std::string TuningTable::serialize() const {
+  std::ostringstream os;
+  bool first_op = true;
+  for (const auto& [op, entries] : rules_) {
+    if (!first_op) os << ';';
+    first_op = false;
+    os << to_string(op) << ':';
+    bool first = true;
+    for (const Entry& e : entries) {
+      if (!first) os << ',';
+      first = false;
+      if (e.max_bytes == SIZE_MAX) {
+        os << "max";
+      } else {
+        os << e.max_bytes;
+      }
+      os << '=' << to_string(e.engine);
+    }
+  }
+  return os.str();
+}
+
+void TuningTable::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  require(out.good(), "TuningTable::save_file: cannot open " + path);
+  out << "# mpixccl tuning table\n" << serialize() << "\n";
+  require(out.good(), "TuningTable::save_file: write failed for " + path);
+}
+
+TuningTable TuningTable::load_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "TuningTable::load_file: cannot open " + path);
+  std::string text;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    text += line;
+  }
+  return deserialize(text);
+}
+
+TuningTable TuningTable::deserialize(const std::string& text) {
+  TuningTable t;
+  std::istringstream os(text);
+  std::string section;
+  while (std::getline(os, section, ';')) {
+    if (section.empty()) continue;
+    const auto colon = section.find(':');
+    require(colon != std::string::npos, "TuningTable: missing ':' in " + section);
+    const CollOp op = coll_from_string(section.substr(0, colon));
+    std::vector<Entry> entries;
+    std::istringstream rules(section.substr(colon + 1));
+    std::string rule;
+    while (std::getline(rules, rule, ',')) {
+      const auto eq = rule.find('=');
+      require(eq != std::string::npos, "TuningTable: missing '=' in " + rule);
+      const std::string size_text = rule.substr(0, eq);
+      const std::size_t max_bytes =
+          (size_text == "max") ? SIZE_MAX : std::stoull(size_text);
+      entries.push_back(Entry{max_bytes, engine_from_string(rule.substr(eq + 1))});
+    }
+    t.set_rules(op, std::move(entries));
+  }
+  return t;
+}
+
+}  // namespace mpixccl::core

@@ -1,0 +1,106 @@
+#pragma once
+// Hybrid-design tuning tables (paper Sec. 3.4).
+//
+// A TuningTable answers, per (collective, message size), whether the MPI
+// algorithms or the xCCL backend should serve the call. Tables are tuned
+// offline (see tuner.hpp) and consulted at runtime by XcclMpi in Hybrid
+// mode; the defaults encode the crossovers the paper reports (MPI wins small
+// messages because CCL launch overheads dominate; xCCL wins large messages
+// on bandwidth).
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/profiles.hpp"
+
+namespace mpixccl::core {
+
+/// Collective operations the hybrid dispatcher distinguishes.
+enum class CollOp : std::uint8_t {
+  Allreduce,
+  Bcast,
+  Reduce,
+  Allgather,
+  Allgatherv,
+  ReduceScatter,
+  Alltoall,
+  Alltoallv,
+  Gather,
+  Scatter,
+  Scan,
+};
+
+constexpr std::string_view to_string(CollOp op) {
+  switch (op) {
+    case CollOp::Allreduce: return "allreduce";
+    case CollOp::Bcast: return "bcast";
+    case CollOp::Reduce: return "reduce";
+    case CollOp::Allgather: return "allgather";
+    case CollOp::Allgatherv: return "allgatherv";
+    case CollOp::ReduceScatter: return "reduce_scatter";
+    case CollOp::Alltoall: return "alltoall";
+    case CollOp::Alltoallv: return "alltoallv";
+    case CollOp::Gather: return "gather";
+    case CollOp::Scatter: return "scatter";
+    case CollOp::Scan: return "scan";
+  }
+  return "?";
+}
+
+/// All CollOp values (iteration helper for tuners and benches).
+inline constexpr CollOp kAllCollOps[] = {
+    CollOp::Allreduce,  CollOp::Bcast,    CollOp::Reduce,   CollOp::Allgather,
+    CollOp::Allgatherv, CollOp::ReduceScatter, CollOp::Alltoall,
+    CollOp::Alltoallv,  CollOp::Gather,   CollOp::Scatter,  CollOp::Scan,
+};
+
+/// Which engine serves a call.
+enum class Engine : std::uint8_t { Mpi, Xccl };
+
+constexpr std::string_view to_string(Engine e) {
+  return e == Engine::Mpi ? "mpi" : "xccl";
+}
+
+/// Per-collective sorted breakpoints: a message of `bytes` is served by the
+/// engine of the first entry with bytes <= max_bytes (entries sorted by
+/// max_bytes ascending; the last entry has max_bytes == SIZE_MAX).
+class TuningTable {
+ public:
+  struct Entry {
+    std::size_t max_bytes;
+    Engine engine;
+  };
+
+  /// Everything on one engine (pure modes).
+  static TuningTable uniform(Engine engine);
+
+  /// The offline-tuned defaults for a system profile: MPI below the
+  /// per-collective crossover, xCCL above.
+  static TuningTable default_for(const sim::SystemProfile& profile);
+
+  /// Engine for (op, message bytes). Ops without rules default to Xccl.
+  [[nodiscard]] Engine select(CollOp op, std::size_t bytes) const;
+
+  /// Replace the rule list for one collective (entries will be sorted; the
+  /// final entry is extended to SIZE_MAX).
+  void set_rules(CollOp op, std::vector<Entry> entries);
+
+  [[nodiscard]] const std::vector<Entry>* rules(CollOp op) const;
+
+  /// Human/machine-readable round trip, e.g.
+  ///   "allreduce:16384=mpi,max=xccl;bcast:8192=mpi,max=xccl"
+  [[nodiscard]] std::string serialize() const;
+  static TuningTable deserialize(const std::string& text);
+
+  /// File round trip (the offline-tuned tables the paper ships with the
+  /// runtime). Format: the serialize() text, '#' comment lines allowed.
+  void save_file(const std::string& path) const;
+  static TuningTable load_file(const std::string& path);
+
+ private:
+  std::map<CollOp, std::vector<Entry>> rules_;
+};
+
+}  // namespace mpixccl::core

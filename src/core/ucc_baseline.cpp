@@ -1,0 +1,200 @@
+#include "core/ucc_baseline.hpp"
+
+#include <cstring>
+
+#include "device/buffer_registry.hpp"
+
+namespace mpixccl::core {
+
+namespace {
+const std::byte* cat(const void* p, std::size_t off) {
+  return static_cast<const std::byte*>(p) + off;
+}
+std::byte* mat(void* p, std::size_t off) { return static_cast<std::byte*>(p) + off; }
+}  // namespace
+
+UccBaseline::UccBaseline(fabric::RankContext& ctx)
+    : ctx_(&ctx),
+      mpi_(ctx, ctx.profile().ompi_ucx, /*instance_salt=*/0x0ccull),
+      ucc_(ctx.profile().ucc) {
+  const xccl::CclKind kind = xccl::native_ccl(ctx.profile().vendor);
+  coll_backend_ = xccl::make_backend(kind, ctx, ctx.profile().ccl);
+  // Composed phases skip the full kernel-launch path but pay a per-phase
+  // cost; model with a profile whose launch is the compose alpha.
+  sim::CclProfile compose_profile = ctx.profile().ccl;
+  compose_profile.launch_us = ucc_.compose_alpha_us;
+  compose_backend_ = xccl::make_backend(kind, ctx, compose_profile);
+}
+
+bool UccBaseline::spans_nodes() const {
+  const auto& topo = ctx_->topology();
+  return !topo.same_node(0, ctx_->size() - 1);
+}
+
+bool UccBaseline::use_ccl_move(const void* a, const void* b, DataType dt,
+                               std::size_t bytes) const {
+  // UCC's transport selection: UCX/UCP below the small-message threshold,
+  // the vendor CCL above it (and only for device buffers it can handle).
+  // Multi-node jobs stay on UCP — reproducing the paper's observation that
+  // UCC underperforms plain OMPI+UCX by ~10% beyond one node (Sec. 4.4).
+  if (bytes <= ucc_.ucp_max_bytes || spans_nodes()) return false;
+  const auto& reg = device::BufferRegistry::instance();
+  const bool device = (a != nullptr && reg.lookup(a).has_value()) ||
+                      (b != nullptr && reg.lookup(b).has_value());
+  return device && coll_backend_->capabilities().can_move(dt);
+}
+
+bool UccBaseline::use_ccl(const void* a, const void* b, DataType dt, ReduceOp op,
+                          std::size_t bytes) const {
+  if (bytes <= ucc_.ucp_max_bytes || spans_nodes()) return false;
+  const auto& reg = device::BufferRegistry::instance();
+  const bool device = (a != nullptr && reg.lookup(a).has_value()) ||
+                      (b != nullptr && reg.lookup(b).has_value());
+  return device && coll_backend_->capabilities().can_reduce(dt, op);
+}
+
+void UccBaseline::run_on_ucp(const std::function<void()>& op) {
+  // TL/UCP path: the collective-layer bookkeeping plus, on multi-node jobs,
+  // the ~10% algorithmic overhead of UCC's UCP collectives the paper
+  // observes ("UCC underperforms Open MPI + UCX by 10%", Sec. 4.4).
+  ctx_->clock().advance(ucc_.per_op_us);
+  const double t0 = ctx_->clock().now();
+  op();
+  if (spans_nodes()) {
+    ctx_->clock().advance((ctx_->clock().now() - t0) * ucc_.ucp_sra_overhead);
+  }
+}
+
+xccl::CclComm& UccBaseline::ccl_comm(
+    mini::Comm& comm, xccl::CclBackend& backend,
+    std::map<fabric::ChannelId, xccl::CclComm>& cache) {
+  const fabric::ChannelId key = comm.p2p_channel();
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  xccl::UniqueId id{};
+  if (comm.rank() == 0) {
+    id = xccl::UniqueId::derive(key ^ (&cache == &compose_comms_ ? 0x77 : 0),
+                                ++seq_);
+  }
+  mpi_.bcast(&id, sizeof(id), mini::kByte, 0, comm);
+  std::vector<int> world_ranks(static_cast<std::size_t>(comm.size()));
+  for (int r = 0; r < comm.size(); ++r) {
+    world_ranks[static_cast<std::size_t>(r)] = comm.world_rank(r);
+  }
+  xccl::CclComm cc;
+  throw_if_error(backend.comm_init_rank(cc, comm.size(), id, comm.rank(),
+                                        world_ranks),
+                 "UccBaseline comm init");
+  return cache.emplace(key, std::move(cc)).first->second;
+}
+
+void UccBaseline::allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                            mini::Datatype dt, ReduceOp op, mini::Comm& comm) {
+  if (use_ccl(sendbuf, recvbuf, dt.base, op, count * dt.size())) {
+    ctx_->clock().advance(ucc_.per_op_us);
+    throw_if_error(coll_backend_->all_reduce(
+                       sendbuf, recvbuf, count * dt.count, dt.base, op,
+                       ccl_comm(comm, *coll_backend_, coll_comms_),
+                       ctx_->stream()),
+                   "ucc allreduce");
+    ctx_->stream().synchronize(ctx_->clock());
+    return;
+  }
+  run_on_ucp([&] { mpi_.allreduce(sendbuf, recvbuf, count, dt, op, comm); });
+}
+
+void UccBaseline::bcast(void* buf, std::size_t count, mini::Datatype dt, int root,
+                        mini::Comm& comm) {
+  if (use_ccl_move(buf, nullptr, dt.base, count * dt.size())) {
+    ctx_->clock().advance(ucc_.per_op_us);
+    throw_if_error(
+        coll_backend_->broadcast(buf, count * dt.count, dt.base, root,
+                                 ccl_comm(comm, *coll_backend_, coll_comms_),
+                                 ctx_->stream()),
+        "ucc bcast");
+    ctx_->stream().synchronize(ctx_->clock());
+    return;
+  }
+  run_on_ucp([&] { mpi_.bcast(buf, count, dt, root, comm); });
+}
+
+void UccBaseline::reduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                         mini::Datatype dt, ReduceOp op, int root,
+                         mini::Comm& comm) {
+  if (use_ccl(sendbuf, recvbuf, dt.base, op, count * dt.size())) {
+    ctx_->clock().advance(ucc_.per_op_us);
+    throw_if_error(
+        coll_backend_->reduce(sendbuf, recvbuf, count * dt.count, dt.base, op,
+                              root, ccl_comm(comm, *coll_backend_, coll_comms_),
+                              ctx_->stream()),
+        "ucc reduce");
+    ctx_->stream().synchronize(ctx_->clock());
+    return;
+  }
+  run_on_ucp([&] { mpi_.reduce(sendbuf, recvbuf, count, dt, op, root, comm); });
+}
+
+void UccBaseline::allgather(const void* sendbuf, std::size_t sendcount,
+                            mini::Datatype st, void* recvbuf,
+                            std::size_t recvcount, mini::Datatype rt,
+                            mini::Comm& comm) {
+  if (use_ccl_move(sendbuf, recvbuf, st.base, sendcount * st.size()) &&
+      st.size() == rt.size()) {
+    ctx_->clock().advance(ucc_.per_op_us);
+    throw_if_error(coll_backend_->all_gather(
+                       sendbuf, recvbuf, sendcount * st.count, st.base,
+                       ccl_comm(comm, *coll_backend_, coll_comms_),
+                       ctx_->stream()),
+                   "ucc allgather");
+    ctx_->stream().synchronize(ctx_->clock());
+    return;
+  }
+  run_on_ucp(
+      [&] { mpi_.allgather(sendbuf, sendcount, st, recvbuf, recvcount, rt, comm); });
+}
+
+void UccBaseline::alltoall(const void* sendbuf, std::size_t sendcount,
+                           mini::Datatype st, void* recvbuf,
+                           std::size_t recvcount, mini::Datatype rt,
+                           mini::Comm& comm) {
+  const auto& reg = device::BufferRegistry::instance();
+  const bool device_bufs = reg.lookup(sendbuf).has_value() ||
+                           reg.lookup(recvbuf).has_value();
+  // UCC alltoall has no fused-group path on any transport: it issues
+  // per-peer phases whatever the size (the paper's 2.8x weakness at 4 KB).
+  if (device_bufs && coll_backend_->capabilities().can_move(st.base) &&
+      st.size() == rt.size()) {
+    ctx_->clock().advance(ucc_.per_op_us);
+    xccl::CclComm& cc = ccl_comm(comm, *compose_backend_, compose_comms_);
+    const int p = comm.size();
+    const int me = comm.rank();
+    const std::size_t sblock = sendcount * st.size();
+    const std::size_t rblock = recvcount * rt.size();
+    // Per-peer phases (no cross-peer batching): p-1 sequential exchange
+    // groups, each paying the compose alpha — the UCC Alltoall weakness the
+    // paper measures.
+    std::memcpy(mat(recvbuf, static_cast<std::size_t>(me) * rblock),
+                cat(sendbuf, static_cast<std::size_t>(me) * sblock), sblock);
+    for (int s = 1; s < p; ++s) {
+      const int dst = (me + s) % p;
+      const int src = (me - s + p) % p;
+      throw_if_error(compose_backend_->group_start(), "ucc alltoall");
+      throw_if_error(
+          compose_backend_->send(cat(sendbuf, static_cast<std::size_t>(dst) * sblock),
+                                 sendcount * st.count, st.base, dst, cc,
+                                 ctx_->stream()),
+          "ucc alltoall send");
+      throw_if_error(
+          compose_backend_->recv(mat(recvbuf, static_cast<std::size_t>(src) * rblock),
+                                 recvcount * rt.count, rt.base, src, cc,
+                                 ctx_->stream()),
+          "ucc alltoall recv");
+      throw_if_error(compose_backend_->group_end(), "ucc alltoall");
+    }
+    ctx_->stream().synchronize(ctx_->clock());
+    return;
+  }
+  mpi_.alltoall(sendbuf, sendcount, st, recvbuf, recvcount, rt, comm);
+}
+
+}  // namespace mpixccl::core

@@ -1,0 +1,635 @@
+#include "core/xccl_mpi.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "device/buffer_registry.hpp"
+#include "sim/trace.hpp"
+
+namespace mpixccl::core {
+
+namespace {
+const std::byte* cat(const void* p, std::size_t off) {
+  return static_cast<const std::byte*>(p) + off;
+}
+std::byte* mat(void* p, std::size_t off) { return static_cast<std::byte*>(p) + off; }
+}  // namespace
+
+namespace {
+TuningTable resolve_tuning(const XcclMpiOptions& options,
+                           const sim::SystemProfile& profile) {
+  if (options.tuning) return *options.tuning;
+  if (options.tuning_file) return TuningTable::load_file(*options.tuning_file);
+  if (const char* env = std::getenv("MPIXCCL_TUNING_FILE"); env != nullptr) {
+    return TuningTable::load_file(env);
+  }
+  return TuningTable::default_for(profile);
+}
+}  // namespace
+
+XcclMpi::XcclMpi(fabric::RankContext& ctx, XcclMpiOptions options)
+    : mpi_(ctx, ctx.profile().mpi),
+      options_(std::move(options)),
+      tuning_(resolve_tuning(options_, ctx.profile())) {
+  const xccl::CclKind kind =
+      options_.backend.value_or(xccl::native_ccl(ctx.profile().vendor));
+  const sim::CclProfile& cp =
+      (kind == xccl::CclKind::Msccl && ctx.profile().msccl.has_value())
+          ? *ctx.profile().msccl
+          : ctx.profile().ccl;
+  backend_ = xccl::make_backend(kind, ctx, cp);
+  MPIXCCL_LOG_INFO("core", "rank ", ctx.rank(), ": MPI-xCCL over ",
+                   backend_->name(), " (", ctx.profile().name, ")");
+}
+
+bool XcclMpi::any_device_buffer(const void* a, const void* b) const {
+  const auto& reg = device::BufferRegistry::instance();
+  return (a != nullptr && reg.lookup(a).has_value()) ||
+         (b != nullptr && reg.lookup(b).has_value());
+}
+
+Engine XcclMpi::pick_engine(CollOp op, std::size_t bytes, const void* a,
+                            const void* b) {
+  if (options_.mode == Mode::PureMpi) return Engine::Mpi;
+  // Device Buffer Identify: CCLs only accept device memory; host buffers
+  // always take the MPI path regardless of mode.
+  if (!any_device_buffer(a, b)) return Engine::Mpi;
+  if (options_.mode == Mode::PureXccl) return Engine::Xccl;
+  return tuning_.select(op, bytes);
+}
+
+Engine XcclMpi::pick_engine_agreed(CollOp op, std::size_t local_bytes,
+                                   const void* a, const void* b,
+                                   mini::Comm& comm) {
+  if (options_.mode == Mode::PureMpi) return Engine::Mpi;
+  if (!any_device_buffer(a, b)) return Engine::Mpi;
+  if (options_.mode == Mode::PureXccl) return Engine::Xccl;
+  const double agreed =
+      mpi_.max_over_ranks(static_cast<double>(local_bytes), comm);
+  return tuning_.select(op, static_cast<std::size_t>(agreed));
+}
+
+xccl::CclComm& XcclMpi::ccl_comm(mini::Comm& comm) {
+  const fabric::ChannelId key = comm.p2p_channel();
+  auto it = ccl_comms_.find(key);
+  if (it != ccl_comms_.end()) return it->second;
+
+  // Collective creation, mirroring the real bootstrap: the root generates a
+  // unique id and broadcasts it over MPI; everyone joins.
+  xccl::UniqueId id{};
+  if (comm.rank() == 0) id = xccl::UniqueId::derive(key, ++ccl_comm_seq_);
+  mpi_.bcast(&id, sizeof(id), mini::kByte, 0, comm);
+
+  std::vector<int> world_ranks(static_cast<std::size_t>(comm.size()));
+  for (int r = 0; r < comm.size(); ++r) {
+    world_ranks[static_cast<std::size_t>(r)] = comm.world_rank(r);
+  }
+  xccl::CclComm cc;
+  throw_if_error(
+      backend_->comm_init_rank(cc, comm.size(), id, comm.rank(), world_ranks),
+      "XcclMpi: CCL communicator bootstrap");
+  return ccl_comms_.emplace(key, std::move(cc)).first->second;
+}
+
+XcclMpi::ScopedOpTimer::ScopedOpTimer(XcclMpi& rt, CollOp op)
+    : rt_(&rt), op_(op), t0_(rt.context().clock().now()) {}
+
+XcclMpi::ScopedOpTimer::~ScopedOpTimer() {
+  const double now = rt_->context().clock().now();
+  const double elapsed = now - t0_;
+  OpProfile& prof = rt_->op_profiles_[op_];
+  if (rt_->last_.engine == Engine::Xccl) {
+    ++prof.xccl_calls;
+    prof.xccl_us += elapsed;
+  } else {
+    ++prof.mpi_calls;
+    prof.mpi_us += elapsed;
+  }
+  sim::Trace::instance().record(rt_->rank(), to_string(op_),
+                                to_string(rt_->last_.engine), t0_, now);
+}
+
+std::string XcclMpi::profile_report() const {
+  std::ostringstream os;
+  os << "collective        mpi-calls   mpi-us   xccl-calls  xccl-us\n";
+  for (const auto& [op, prof] : op_profiles_) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-16s %10llu %10.1f %10llu %10.1f\n",
+                  std::string(to_string(op)).c_str(),
+                  static_cast<unsigned long long>(prof.mpi_calls), prof.mpi_us,
+                  static_cast<unsigned long long>(prof.xccl_calls),
+                  prof.xccl_us);
+    os << line;
+  }
+  return os.str();
+}
+
+void XcclMpi::note(Engine engine, bool fell_back, bool composed) {
+  last_ = Dispatch{engine, fell_back, composed};
+  if (engine == Engine::Xccl) {
+    ++stats_.xccl_calls;
+  } else {
+    ++stats_.mpi_calls;
+  }
+  if (fell_back) ++stats_.fallbacks;
+}
+
+// Shared tail for builtin-backed collectives: run the xccl op; on success
+// synchronize (blocking MPI semantics); on a capability error fall back.
+// Returns true when the xccl path handled the call.
+#define MPIXCCL_TRY_XCCL(op_expr, composed_flag)                          \
+  do {                                                                    \
+    device::Stream& stream_ = context().stream();                        \
+    const XcclResult r_ = (op_expr);                                      \
+    if (ok(r_)) {                                                         \
+      stream_.synchronize(context().clock());                            \
+      note(Engine::Xccl, false, composed_flag);                          \
+      return true;                                                        \
+    }                                                                     \
+    if (options_.allow_fallback && is_fallback_result(r_)) {              \
+      MPIXCCL_LOG_DEBUG("core", "fallback to MPI: ", to_string(r_));      \
+      note(Engine::Mpi, true, false);                                     \
+      return false;                                                       \
+    }                                                                     \
+    throw_if_error(r_, "XcclMpi xccl path"); /* always throws here */     \
+    return false;                                                         \
+  } while (false)
+
+void XcclMpi::barrier(mini::Comm& comm) {
+  // Barriers carry no data: the MPI dissemination barrier is strictly
+  // cheaper than a CCL launch, so the hybrid always routes it to MPI.
+  note(Engine::Mpi, false, false);
+  mpi_.barrier(comm);
+}
+
+void XcclMpi::allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                        mini::Datatype dt, ReduceOp op, mini::Comm& comm) {
+  ScopedOpTimer op_timer_(*this, CollOp::Allreduce);
+  if (sendbuf == mini::kInPlace) sendbuf = recvbuf;
+  const std::size_t bytes = count * dt.size();
+  if (pick_engine(CollOp::Allreduce, bytes, sendbuf, recvbuf) == Engine::Xccl) {
+    auto run = [&]() -> bool {
+      MPIXCCL_TRY_XCCL(backend_->all_reduce(sendbuf, recvbuf, count * dt.count,
+                                            dt.base, op, ccl_comm(comm),
+                                            context().stream()),
+                       false);
+    };
+    if (run()) return;
+  } else {
+    note(Engine::Mpi, false, false);
+  }
+  mpi_.allreduce(sendbuf, recvbuf, count, dt, op, comm);
+}
+
+void XcclMpi::bcast(void* buf, std::size_t count, mini::Datatype dt, int root,
+                    mini::Comm& comm) {
+  ScopedOpTimer op_timer_(*this, CollOp::Bcast);
+  const std::size_t bytes = count * dt.size();
+  if (pick_engine(CollOp::Bcast, bytes, buf, nullptr) == Engine::Xccl) {
+    auto run = [&]() -> bool {
+      MPIXCCL_TRY_XCCL(backend_->broadcast(buf, count * dt.count, dt.base, root,
+                                           ccl_comm(comm), context().stream()),
+                       false);
+    };
+    if (run()) return;
+  } else {
+    note(Engine::Mpi, false, false);
+  }
+  mpi_.bcast(buf, count, dt, root, comm);
+}
+
+void XcclMpi::reduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                     mini::Datatype dt, ReduceOp op, int root, mini::Comm& comm) {
+  ScopedOpTimer op_timer_(*this, CollOp::Reduce);
+  if (sendbuf == mini::kInPlace && comm.rank() == root) sendbuf = recvbuf;
+  const std::size_t bytes = count * dt.size();
+  if (pick_engine(CollOp::Reduce, bytes, sendbuf, recvbuf) == Engine::Xccl) {
+    auto run = [&]() -> bool {
+      MPIXCCL_TRY_XCCL(backend_->reduce(sendbuf, recvbuf, count * dt.count,
+                                        dt.base, op, root, ccl_comm(comm),
+                                        context().stream()),
+                       false);
+    };
+    if (run()) return;
+  } else {
+    note(Engine::Mpi, false, false);
+  }
+  mpi_.reduce(sendbuf, recvbuf, count, dt, op, root, comm);
+}
+
+void XcclMpi::allgather(const void* sendbuf, std::size_t sendcount,
+                        mini::Datatype st, void* recvbuf, std::size_t recvcount,
+                        mini::Datatype rt, mini::Comm& comm) {
+  ScopedOpTimer op_timer_(*this, CollOp::Allgather);
+  if (sendbuf == mini::kInPlace) {
+    sendbuf = cat(recvbuf, static_cast<std::size_t>(comm.rank()) * recvcount *
+                               rt.size());
+    sendcount = recvcount;
+    st = rt;
+  }
+  const std::size_t bytes = sendcount * st.size();
+  if (pick_engine(CollOp::Allgather, bytes, sendbuf, recvbuf) == Engine::Xccl &&
+      st.size() == rt.size()) {
+    auto run = [&]() -> bool {
+      MPIXCCL_TRY_XCCL(backend_->all_gather(sendbuf, recvbuf,
+                                            sendcount * st.count, st.base,
+                                            ccl_comm(comm), context().stream()),
+                       false);
+    };
+    if (run()) return;
+  } else {
+    note(Engine::Mpi, false, false);
+  }
+  mpi_.allgather(sendbuf, sendcount, st, recvbuf, recvcount, rt, comm);
+}
+
+void XcclMpi::reduce_scatter_block(const void* sendbuf, void* recvbuf,
+                                   std::size_t recvcount, mini::Datatype dt,
+                                   ReduceOp op, mini::Comm& comm) {
+  ScopedOpTimer op_timer_(*this, CollOp::ReduceScatter);
+  const std::size_t bytes = recvcount * dt.size();
+  if (pick_engine(CollOp::ReduceScatter, bytes, sendbuf, recvbuf) ==
+      Engine::Xccl) {
+    auto run = [&]() -> bool {
+      MPIXCCL_TRY_XCCL(backend_->reduce_scatter(sendbuf, recvbuf,
+                                                recvcount * dt.count, dt.base, op,
+                                                ccl_comm(comm),
+                                                context().stream()),
+                       false);
+    };
+    if (run()) return;
+  } else {
+    note(Engine::Mpi, false, false);
+  }
+  mpi_.reduce_scatter_block(sendbuf, recvbuf, recvcount, dt, op, comm);
+}
+
+// ---- Composed send/recv collectives (paper Sec. 3.3, Listing 1) -----------
+
+XcclResult XcclMpi::x_alltoallv(const void* sendbuf,
+                                std::span<const std::size_t> sendcounts,
+                                std::span<const std::size_t> sdispls,
+                                mini::Datatype st, void* recvbuf,
+                                std::span<const std::size_t> recvcounts,
+                                std::span<const std::size_t> rdispls,
+                                mini::Datatype rt, mini::Comm& comm) {
+  const auto& caps = backend_->capabilities();
+  if (!caps.can_move(st.base) || !caps.can_move(rt.base)) {
+    return XcclResult::UnsupportedDatatype;
+  }
+  xccl::CclComm& cc = ccl_comm(comm);
+  device::Stream& stream = context().stream();
+  const std::size_t ssz = st.size();
+  const std::size_t rsz = rt.size();
+
+  // Listing 1: one group enclosing a send and a recv per peer.
+  throw_if_error(backend_->group_start(), "x_alltoallv group_start");
+  for (int r = 0; r < comm.size(); ++r) {
+    const auto ur = static_cast<std::size_t>(r);
+    throw_if_error(backend_->send(cat(sendbuf, sdispls[ur] * ssz),
+                                  sendcounts[ur] * st.count, st.base, r, cc,
+                                  stream),
+                   "x_alltoallv send");
+    throw_if_error(backend_->recv(mat(recvbuf, rdispls[ur] * rsz),
+                                  recvcounts[ur] * rt.count, rt.base, r, cc,
+                                  stream),
+                   "x_alltoallv recv");
+  }
+  throw_if_error(backend_->group_end(), "x_alltoallv group_end");
+  return XcclResult::Success;
+}
+
+void XcclMpi::alltoall(const void* sendbuf, std::size_t sendcount,
+                       mini::Datatype st, void* recvbuf, std::size_t recvcount,
+                       mini::Datatype rt, mini::Comm& comm) {
+  ScopedOpTimer op_timer_(*this, CollOp::Alltoall);
+  if (sendbuf == mini::kInPlace) {
+    // In-place alltoall reads and writes the same blocks; the MPI engine
+    // snapshots the buffer, the grouped xCCL composition cannot.
+    note(Engine::Mpi, false, false);
+    mpi_.alltoall(sendbuf, sendcount, st, recvbuf, recvcount, rt, comm);
+    return;
+  }
+  const std::size_t bytes = sendcount * st.size();
+  if (pick_engine(CollOp::Alltoall, bytes, sendbuf, recvbuf) == Engine::Xccl) {
+    const auto up = static_cast<std::size_t>(comm.size());
+    std::vector<std::size_t> counts(up, sendcount);
+    std::vector<std::size_t> sdispls(up);
+    std::vector<std::size_t> rdispls(up);
+    for (std::size_t r = 0; r < up; ++r) {
+      sdispls[r] = r * sendcount;
+      rdispls[r] = r * recvcount;
+    }
+    const XcclResult r = x_alltoallv(sendbuf, counts, sdispls, st, recvbuf,
+                                     counts, rdispls, rt, comm);
+    if (ok(r)) {
+      context().stream().synchronize(context().clock());
+      note(Engine::Xccl, false, true);
+      return;
+    }
+    require(options_.allow_fallback && is_fallback_result(r),
+            "XcclMpi::alltoall: xccl path failed");
+    note(Engine::Mpi, true, false);
+  } else {
+    note(Engine::Mpi, false, false);
+  }
+  mpi_.alltoall(sendbuf, sendcount, st, recvbuf, recvcount, rt, comm);
+}
+
+void XcclMpi::alltoallv(const void* sendbuf,
+                        std::span<const std::size_t> sendcounts,
+                        std::span<const std::size_t> sdispls, mini::Datatype st,
+                        void* recvbuf, std::span<const std::size_t> recvcounts,
+                        std::span<const std::size_t> rdispls, mini::Datatype rt,
+                        mini::Comm& comm) {
+  ScopedOpTimer op_timer_(*this, CollOp::Alltoallv);
+  std::size_t max_block = 0;
+  for (std::size_t c : sendcounts) max_block = std::max(max_block, c * st.size());
+  if (pick_engine_agreed(CollOp::Alltoallv, max_block, sendbuf, recvbuf, comm) ==
+      Engine::Xccl) {
+    const XcclResult r = x_alltoallv(sendbuf, sendcounts, sdispls, st, recvbuf,
+                                     recvcounts, rdispls, rt, comm);
+    if (ok(r)) {
+      context().stream().synchronize(context().clock());
+      note(Engine::Xccl, false, true);
+      return;
+    }
+    require(options_.allow_fallback && is_fallback_result(r),
+            "XcclMpi::alltoallv: xccl path failed");
+    note(Engine::Mpi, true, false);
+  } else {
+    note(Engine::Mpi, false, false);
+  }
+  mpi_.alltoallv(sendbuf, sendcounts, sdispls, st, recvbuf, recvcounts, rdispls,
+                 rt, comm);
+}
+
+XcclResult XcclMpi::x_gatherv(const void* sendbuf, std::size_t sendcount,
+                              mini::Datatype st, void* recvbuf,
+                              std::span<const std::size_t> recvcounts,
+                              std::span<const std::size_t> displs,
+                              mini::Datatype rt, int root, mini::Comm& comm) {
+  const auto& caps = backend_->capabilities();
+  if (!caps.can_move(st.base) || !caps.can_move(rt.base)) {
+    return XcclResult::UnsupportedDatatype;
+  }
+  xccl::CclComm& cc = ccl_comm(comm);
+  device::Stream& stream = context().stream();
+
+  throw_if_error(backend_->group_start(), "x_gatherv group_start");
+  throw_if_error(backend_->send(sendbuf, sendcount * st.count, st.base, root, cc,
+                                stream),
+                 "x_gatherv send");
+  if (comm.rank() == root) {
+    const std::size_t rsz = rt.size();
+    for (int r = 0; r < comm.size(); ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      throw_if_error(backend_->recv(mat(recvbuf, displs[ur] * rsz),
+                                    recvcounts[ur] * rt.count, rt.base, r, cc,
+                                    stream),
+                     "x_gatherv recv");
+    }
+  }
+  throw_if_error(backend_->group_end(), "x_gatherv group_end");
+  return XcclResult::Success;
+}
+
+void XcclMpi::gather(const void* sendbuf, std::size_t sendcount, mini::Datatype st,
+                     void* recvbuf, std::size_t recvcount, mini::Datatype rt,
+                     int root, mini::Comm& comm) {
+  ScopedOpTimer op_timer_(*this, CollOp::Gather);
+  const std::size_t bytes = sendcount * st.size();
+  if (pick_engine(CollOp::Gather, bytes, sendbuf, recvbuf) == Engine::Xccl) {
+    const auto up = static_cast<std::size_t>(comm.size());
+    std::vector<std::size_t> counts(up, recvcount);
+    std::vector<std::size_t> displs(up);
+    for (std::size_t r = 0; r < up; ++r) displs[r] = r * recvcount;
+    const XcclResult r =
+        x_gatherv(sendbuf, sendcount, st, recvbuf, counts, displs, rt, root, comm);
+    if (ok(r)) {
+      context().stream().synchronize(context().clock());
+      note(Engine::Xccl, false, true);
+      return;
+    }
+    require(options_.allow_fallback && is_fallback_result(r),
+            "XcclMpi::gather: xccl path failed");
+    note(Engine::Mpi, true, false);
+  } else {
+    note(Engine::Mpi, false, false);
+  }
+  mpi_.gather(sendbuf, sendcount, st, recvbuf, recvcount, rt, root, comm);
+}
+
+void XcclMpi::gatherv(const void* sendbuf, std::size_t sendcount,
+                      mini::Datatype st, void* recvbuf,
+                      std::span<const std::size_t> recvcounts,
+                      std::span<const std::size_t> displs, mini::Datatype rt,
+                      int root, mini::Comm& comm) {
+  ScopedOpTimer op_timer_(*this, CollOp::Gather);
+  const std::size_t bytes = sendcount * st.size();
+  if (pick_engine_agreed(CollOp::Gather, bytes, sendbuf, recvbuf, comm) ==
+      Engine::Xccl) {
+    const XcclResult r =
+        x_gatherv(sendbuf, sendcount, st, recvbuf, recvcounts, displs, rt, root,
+                  comm);
+    if (ok(r)) {
+      context().stream().synchronize(context().clock());
+      note(Engine::Xccl, false, true);
+      return;
+    }
+    require(options_.allow_fallback && is_fallback_result(r),
+            "XcclMpi::gatherv: xccl path failed");
+    note(Engine::Mpi, true, false);
+  } else {
+    note(Engine::Mpi, false, false);
+  }
+  mpi_.gatherv(sendbuf, sendcount, st, recvbuf, recvcounts, displs, rt, root,
+               comm);
+}
+
+XcclResult XcclMpi::x_scatterv(const void* sendbuf,
+                               std::span<const std::size_t> sendcounts,
+                               std::span<const std::size_t> displs,
+                               mini::Datatype st, void* recvbuf,
+                               std::size_t recvcount, mini::Datatype rt, int root,
+                               mini::Comm& comm) {
+  const auto& caps = backend_->capabilities();
+  if (!caps.can_move(st.base) || !caps.can_move(rt.base)) {
+    return XcclResult::UnsupportedDatatype;
+  }
+  xccl::CclComm& cc = ccl_comm(comm);
+  device::Stream& stream = context().stream();
+
+  throw_if_error(backend_->group_start(), "x_scatterv group_start");
+  if (comm.rank() == root) {
+    const std::size_t ssz = st.size();
+    for (int r = 0; r < comm.size(); ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      throw_if_error(backend_->send(cat(sendbuf, displs[ur] * ssz),
+                                    sendcounts[ur] * st.count, st.base, r, cc,
+                                    stream),
+                     "x_scatterv send");
+    }
+  }
+  throw_if_error(backend_->recv(recvbuf, recvcount * rt.count, rt.base, root, cc,
+                                stream),
+                 "x_scatterv recv");
+  throw_if_error(backend_->group_end(), "x_scatterv group_end");
+  return XcclResult::Success;
+}
+
+void XcclMpi::scatter(const void* sendbuf, std::size_t sendcount,
+                      mini::Datatype st, void* recvbuf, std::size_t recvcount,
+                      mini::Datatype rt, int root, mini::Comm& comm) {
+  ScopedOpTimer op_timer_(*this, CollOp::Scatter);
+  const std::size_t bytes = recvcount * rt.size();
+  if (pick_engine(CollOp::Scatter, bytes, sendbuf, recvbuf) == Engine::Xccl) {
+    const auto up = static_cast<std::size_t>(comm.size());
+    std::vector<std::size_t> counts(up, sendcount);
+    std::vector<std::size_t> displs(up);
+    for (std::size_t r = 0; r < up; ++r) displs[r] = r * sendcount;
+    const XcclResult r =
+        x_scatterv(sendbuf, counts, displs, st, recvbuf, recvcount, rt, root,
+                   comm);
+    if (ok(r)) {
+      context().stream().synchronize(context().clock());
+      note(Engine::Xccl, false, true);
+      return;
+    }
+    require(options_.allow_fallback && is_fallback_result(r),
+            "XcclMpi::scatter: xccl path failed");
+    note(Engine::Mpi, true, false);
+  } else {
+    note(Engine::Mpi, false, false);
+  }
+  mpi_.scatter(sendbuf, sendcount, st, recvbuf, recvcount, rt, root, comm);
+}
+
+void XcclMpi::scatterv(const void* sendbuf,
+                       std::span<const std::size_t> sendcounts,
+                       std::span<const std::size_t> displs, mini::Datatype st,
+                       void* recvbuf, std::size_t recvcount, mini::Datatype rt,
+                       int root, mini::Comm& comm) {
+  ScopedOpTimer op_timer_(*this, CollOp::Scatter);
+  const std::size_t bytes = recvcount * rt.size();
+  if (pick_engine_agreed(CollOp::Scatter, bytes, sendbuf, recvbuf, comm) ==
+      Engine::Xccl) {
+    const XcclResult r = x_scatterv(sendbuf, sendcounts, displs, st, recvbuf,
+                                    recvcount, rt, root, comm);
+    if (ok(r)) {
+      context().stream().synchronize(context().clock());
+      note(Engine::Xccl, false, true);
+      return;
+    }
+    require(options_.allow_fallback && is_fallback_result(r),
+            "XcclMpi::scatterv: xccl path failed");
+    note(Engine::Mpi, true, false);
+  } else {
+    note(Engine::Mpi, false, false);
+  }
+  mpi_.scatterv(sendbuf, sendcounts, displs, st, recvbuf, recvcount, rt, root,
+                comm);
+}
+
+void XcclMpi::allgatherv(const void* sendbuf, std::size_t sendcount,
+                         mini::Datatype st, void* recvbuf,
+                         std::span<const std::size_t> recvcounts,
+                         std::span<const std::size_t> displs, mini::Datatype rt,
+                         mini::Comm& comm) {
+  ScopedOpTimer op_timer_(*this, CollOp::Allgatherv);
+  const std::size_t bytes = sendcount * st.size();
+  if (pick_engine_agreed(CollOp::Allgatherv, bytes, sendbuf, recvbuf, comm) ==
+      Engine::Xccl) {
+    // Composed: every rank sends its block to everyone and receives all
+    // blocks (no CCL builtin handles ragged blocks).
+    const auto& caps = backend_->capabilities();
+    if (caps.can_move(st.base) && caps.can_move(rt.base)) {
+      xccl::CclComm& cc = ccl_comm(comm);
+      device::Stream& stream = context().stream();
+      const std::size_t rsz = rt.size();
+      throw_if_error(backend_->group_start(), "allgatherv group_start");
+      for (int r = 0; r < comm.size(); ++r) {
+        const auto ur = static_cast<std::size_t>(r);
+        throw_if_error(backend_->send(sendbuf, sendcount * st.count, st.base, r,
+                                      cc, stream),
+                       "allgatherv send");
+        throw_if_error(backend_->recv(mat(recvbuf, displs[ur] * rsz),
+                                      recvcounts[ur] * rt.count, rt.base, r, cc,
+                                      stream),
+                       "allgatherv recv");
+      }
+      throw_if_error(backend_->group_end(), "allgatherv group_end");
+      stream.synchronize(context().clock());
+      note(Engine::Xccl, false, true);
+      return;
+    }
+    note(Engine::Mpi, true, false);
+  } else {
+    note(Engine::Mpi, false, false);
+  }
+  mpi_.allgatherv(sendbuf, sendcount, st, recvbuf, recvcounts, displs, rt, comm);
+}
+
+void XcclMpi::scan(const void* sendbuf, void* recvbuf, std::size_t count,
+                   mini::Datatype dt, ReduceOp op, mini::Comm& comm) {
+  ScopedOpTimer op_timer_(*this, CollOp::Scan);
+  // No CCL builtin and a serial dependency chain: always MPI.
+  note(Engine::Mpi, false, false);
+  mpi_.scan(sendbuf, recvbuf, count, dt, op, comm);
+}
+
+void XcclMpi::exscan(const void* sendbuf, void* recvbuf, std::size_t count,
+                     mini::Datatype dt, ReduceOp op, mini::Comm& comm) {
+  ScopedOpTimer op_timer_(*this, CollOp::Scan);
+  note(Engine::Mpi, false, false);
+  mpi_.exscan(sendbuf, recvbuf, count, dt, op, comm);
+}
+
+// ---- Nonblocking collectives -------------------------------------------------
+
+mini::Request XcclMpi::iallreduce(const void* sendbuf, void* recvbuf,
+                                  std::size_t count, mini::Datatype dt,
+                                  ReduceOp op, mini::Comm& comm) {
+  const std::size_t bytes = count * dt.size();
+  if (pick_engine(CollOp::Allreduce, bytes, sendbuf, recvbuf) == Engine::Xccl) {
+    device::Stream& stream = context().stream();
+    const XcclResult r = backend_->all_reduce(
+        sendbuf, recvbuf, count * dt.count, dt.base, op, ccl_comm(comm), stream);
+    if (ok(r)) {
+      note(Engine::Xccl, false, false);
+      // No stream sync: the request completes at the stream tail, so the
+      // caller can overlap compute until wait().
+      return mini::Request::completed(stream.tail());
+    }
+    require(options_.allow_fallback && is_fallback_result(r),
+            "XcclMpi::iallreduce: xccl path failed");
+    note(Engine::Mpi, true, false);
+  } else {
+    note(Engine::Mpi, false, false);
+  }
+  return mpi_.iallreduce(sendbuf, recvbuf, count, dt, op, comm);
+}
+
+mini::Request XcclMpi::ibcast(void* buf, std::size_t count, mini::Datatype dt,
+                              int root, mini::Comm& comm) {
+  const std::size_t bytes = count * dt.size();
+  if (pick_engine(CollOp::Bcast, bytes, buf, nullptr) == Engine::Xccl) {
+    device::Stream& stream = context().stream();
+    const XcclResult r = backend_->broadcast(buf, count * dt.count, dt.base, root,
+                                             ccl_comm(comm), stream);
+    if (ok(r)) {
+      note(Engine::Xccl, false, false);
+      return mini::Request::completed(stream.tail());
+    }
+    require(options_.allow_fallback && is_fallback_result(r),
+            "XcclMpi::ibcast: xccl path failed");
+    note(Engine::Mpi, true, false);
+  } else {
+    note(Engine::Mpi, false, false);
+  }
+  return mpi_.ibcast(buf, count, dt, root, comm);
+}
+
+}  // namespace mpixccl::core

@@ -1,0 +1,262 @@
+#pragma once
+// MPI-xCCL: the paper's contribution. An MPI-standard-shaped runtime whose
+// collectives dispatch, per call, to either the GPU-aware MPI algorithms or
+// a vendor CCL backend through the xCCL abstraction layer (paper Fig. 2).
+//
+// What the layer does per collective call:
+//   1. Device Buffer Identify — classify the buffers via the registry; host
+//      buffers always ride the MPI path (CCLs require device memory).
+//   2. Datatype / reduce-op support check against the backend Capabilities;
+//      unsupported combinations transparently fall back to MPI (the paper's
+//      automatic error handling, e.g. MPI_DOUBLE_COMPLEX for FFT codes on
+//      NCCL, or anything non-float on HCCL).
+//   3. Hybrid selection — consult the tuning table (offline-tuned message
+//      size thresholds) to pick MPI vs xCCL in Hybrid mode.
+//   4. Communicator maintenance — lazily create and cache one CCL
+//      communicator per MPI communicator (unique id generated at the root
+//      and broadcast over MPI, like the real bootstrap).
+//   5. Execute: built-in CCL collectives map 1:1 (xcclAllReduce & friends);
+//      everything else (Alltoall(v), Gather(v), Scatter(v), ...) is composed
+//      from xcclSend/xcclRecv inside xcclGroupStart/End (paper Listing 1).
+//   6. Blocking MPI semantics come from synchronizing the stream; the
+//      nonblocking variants (MPI_Iallreduce, ...) return requests that
+//      complete at the stream's tail, preserving communication/compute
+//      overlap in virtual time.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "core/tuning.hpp"
+#include "mpi/mpi.hpp"
+#include "xccl/backend.hpp"
+
+namespace mpixccl::core {
+
+/// Runtime dispatch mode.
+enum class Mode : std::uint8_t {
+  Hybrid,    ///< tuning-table selection (the paper's "Proposed Hybrid xCCL")
+  PureXccl,  ///< always CCL when legal (the paper's "Proposed xCCL w/ Pure ...")
+  PureMpi,   ///< never CCL (a traditional GPU-aware MPI)
+};
+
+/// What actually served the last collective (introspection for tests and
+/// benches).
+struct Dispatch {
+  Engine engine = Engine::Mpi;
+  bool fell_back = false;   ///< chose xccl, bounced off capabilities to MPI
+  bool composed = false;    ///< served by group send/recv composition
+};
+
+/// Per-engine call counters.
+struct PathStats {
+  std::uint64_t mpi_calls = 0;
+  std::uint64_t xccl_calls = 0;
+  std::uint64_t fallbacks = 0;
+};
+
+/// Per-collective profile: call counts and *virtual* microseconds spent, per
+/// engine (the analog of MV2/NCCL debug summaries).
+struct OpProfile {
+  std::uint64_t mpi_calls = 0;
+  std::uint64_t xccl_calls = 0;
+  double mpi_us = 0.0;
+  double xccl_us = 0.0;
+};
+
+struct XcclMpiOptions {
+  Mode mode = Mode::Hybrid;
+  /// Backend override (e.g. force MSCCL on an NVIDIA system); default is
+  /// the vendor-native CCL.
+  std::optional<xccl::CclKind> backend;
+  /// Tuning table override; default is TuningTable::default_for(profile).
+  std::optional<TuningTable> tuning;
+  /// Load the tuning table from this file (lower precedence than `tuning`;
+  /// higher than the built-in defaults). The MPIXCCL_TUNING_FILE environment
+  /// variable has the lowest file precedence.
+  std::optional<std::string> tuning_file;
+  /// Disable the automatic MPI fallback (capability errors then surface as
+  /// exceptions) — only for testing the fallback machinery itself.
+  bool allow_fallback = true;
+};
+
+class XcclMpi {
+ public:
+  explicit XcclMpi(fabric::RankContext& ctx, XcclMpiOptions options = {});
+
+  [[nodiscard]] mini::Comm& comm_world() { return mpi_.comm_world(); }
+  [[nodiscard]] int rank() const { return mpi_.rank(); }
+  [[nodiscard]] int size() const { return mpi_.size(); }
+  [[nodiscard]] fabric::RankContext& context() { return mpi_.context(); }
+  [[nodiscard]] mini::Mpi& mpi() { return mpi_; }
+  [[nodiscard]] xccl::CclBackend& backend() { return *backend_; }
+  [[nodiscard]] const XcclMpiOptions& options() const { return options_; }
+  [[nodiscard]] const TuningTable& tuning() const { return tuning_; }
+  void set_tuning(TuningTable t) { tuning_ = std::move(t); }
+  void set_mode(Mode m) { options_.mode = m; }
+
+  // ---- Communicators (delegate to MiniMPI) --------------------------------
+  mini::Comm dup(mini::Comm& comm) { return mpi_.dup(comm); }
+  mini::Comm split(mini::Comm& comm, int color, int key) {
+    return mpi_.split(comm, color, key);
+  }
+
+  // ---- Point-to-point (always the MPI engine) ------------------------------
+  void send(const void* buf, std::size_t count, mini::Datatype dt, int dst,
+            int tag, mini::Comm& comm) {
+    mpi_.send(buf, count, dt, dst, tag, comm);
+  }
+  mini::RecvStatus recv(void* buf, std::size_t count, mini::Datatype dt, int src,
+                        int tag, mini::Comm& comm) {
+    return mpi_.recv(buf, count, dt, src, tag, comm);
+  }
+  mini::Request isend(const void* buf, std::size_t count, mini::Datatype dt,
+                      int dst, int tag, mini::Comm& comm) {
+    return mpi_.isend(buf, count, dt, dst, tag, comm);
+  }
+  mini::Request irecv(void* buf, std::size_t count, mini::Datatype dt, int src,
+                      int tag, mini::Comm& comm) {
+    return mpi_.irecv(buf, count, dt, src, tag, comm);
+  }
+  mini::RecvStatus wait(mini::Request& req) { return mpi_.wait(req); }
+  void waitall(std::span<mini::Request> reqs) { mpi_.waitall(reqs); }
+
+  // ---- Collectives (hybrid dispatch) ---------------------------------------
+  void barrier(mini::Comm& comm);
+  void bcast(void* buf, std::size_t count, mini::Datatype dt, int root,
+             mini::Comm& comm);
+  void reduce(const void* sendbuf, void* recvbuf, std::size_t count,
+              mini::Datatype dt, ReduceOp op, int root, mini::Comm& comm);
+  void allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                 mini::Datatype dt, ReduceOp op, mini::Comm& comm);
+  void allgather(const void* sendbuf, std::size_t sendcount, mini::Datatype st,
+                 void* recvbuf, std::size_t recvcount, mini::Datatype rt,
+                 mini::Comm& comm);
+  void allgatherv(const void* sendbuf, std::size_t sendcount, mini::Datatype st,
+                  void* recvbuf, std::span<const std::size_t> recvcounts,
+                  std::span<const std::size_t> displs, mini::Datatype rt,
+                  mini::Comm& comm);
+  void alltoall(const void* sendbuf, std::size_t sendcount, mini::Datatype st,
+                void* recvbuf, std::size_t recvcount, mini::Datatype rt,
+                mini::Comm& comm);
+  void alltoallv(const void* sendbuf, std::span<const std::size_t> sendcounts,
+                 std::span<const std::size_t> sdispls, mini::Datatype st,
+                 void* recvbuf, std::span<const std::size_t> recvcounts,
+                 std::span<const std::size_t> rdispls, mini::Datatype rt,
+                 mini::Comm& comm);
+  void gather(const void* sendbuf, std::size_t sendcount, mini::Datatype st,
+              void* recvbuf, std::size_t recvcount, mini::Datatype rt, int root,
+              mini::Comm& comm);
+  void gatherv(const void* sendbuf, std::size_t sendcount, mini::Datatype st,
+               void* recvbuf, std::span<const std::size_t> recvcounts,
+               std::span<const std::size_t> displs, mini::Datatype rt, int root,
+               mini::Comm& comm);
+  void scatter(const void* sendbuf, std::size_t sendcount, mini::Datatype st,
+               void* recvbuf, std::size_t recvcount, mini::Datatype rt, int root,
+               mini::Comm& comm);
+  void scatterv(const void* sendbuf, std::span<const std::size_t> sendcounts,
+                std::span<const std::size_t> displs, mini::Datatype st,
+                void* recvbuf, std::size_t recvcount, mini::Datatype rt, int root,
+                mini::Comm& comm);
+  void reduce_scatter_block(const void* sendbuf, void* recvbuf,
+                            std::size_t recvcount, mini::Datatype dt, ReduceOp op,
+                            mini::Comm& comm);
+  void scan(const void* sendbuf, void* recvbuf, std::size_t count,
+            mini::Datatype dt, ReduceOp op, mini::Comm& comm);
+  void exscan(const void* sendbuf, void* recvbuf, std::size_t count,
+              mini::Datatype dt, ReduceOp op, mini::Comm& comm);
+
+  // ---- Nonblocking collectives (paper advantage #4) -------------------------
+  // The xCCL engine launches on the stream without synchronizing, so the
+  // request overlaps with subsequent compute; the MPI engine completes
+  // immediately (see mini::Mpi).
+  mini::Request iallreduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                           mini::Datatype dt, ReduceOp op, mini::Comm& comm);
+  mini::Request ibcast(void* buf, std::size_t count, mini::Datatype dt, int root,
+                       mini::Comm& comm);
+
+  // ---- Introspection ---------------------------------------------------------
+  [[nodiscard]] Dispatch last_dispatch() const { return last_; }
+  [[nodiscard]] const PathStats& stats() const { return stats_; }
+  void reset_stats() {
+    stats_ = {};
+    op_profiles_.clear();
+  }
+
+  /// Per-collective virtual-time profile accumulated since construction (or
+  /// the last reset_stats()).
+  [[nodiscard]] const std::map<CollOp, OpProfile>& profile_stats() const {
+    return op_profiles_;
+  }
+  /// Human-readable profile table (one line per collective).
+  [[nodiscard]] std::string profile_report() const;
+
+  /// The CCL communicator cache size (tests).
+  [[nodiscard]] std::size_t ccl_comm_cache_size() const { return ccl_comms_.size(); }
+
+ private:
+  /// Decide the engine for a collective touching `bytes` bytes with the
+  /// given buffers (nullptr buffers are ignored for classification). `bytes`
+  /// must be identical on every rank (true for the uniform collectives).
+  Engine pick_engine(CollOp op, std::size_t bytes, const void* a, const void* b);
+
+  /// Engine selection for ragged (v-) collectives, whose per-rank byte
+  /// counts differ: in Hybrid mode the ranks agree on max(bytes) via a tiny
+  /// MPI allreduce so every member picks the same engine (a divergent pick
+  /// would deadlock across engine channels).
+  Engine pick_engine_agreed(CollOp op, std::size_t local_bytes, const void* a,
+                            const void* b, mini::Comm& comm);
+  [[nodiscard]] bool any_device_buffer(const void* a, const void* b) const;
+
+  /// Get or create (collectively!) the CCL communicator for `comm`.
+  xccl::CclComm& ccl_comm(mini::Comm& comm);
+
+  /// Record dispatch result and bump counters.
+  void note(Engine engine, bool fell_back, bool composed);
+
+  /// Scope guard timing one public collective call in virtual time.
+  class ScopedOpTimer {
+   public:
+    ScopedOpTimer(XcclMpi& rt, CollOp op);
+    ~ScopedOpTimer();
+    ScopedOpTimer(const ScopedOpTimer&) = delete;
+    ScopedOpTimer& operator=(const ScopedOpTimer&) = delete;
+
+   private:
+    XcclMpi* rt_;
+    CollOp op_;
+    double t0_;
+  };
+
+  // Composed (send/recv-based) xCCL collectives; return a fallback-able
+  // XcclResult (paper Sec. 3.3, Listing 1).
+  XcclResult x_alltoallv(const void* sendbuf,
+                         std::span<const std::size_t> sendcounts,
+                         std::span<const std::size_t> sdispls, mini::Datatype st,
+                         void* recvbuf, std::span<const std::size_t> recvcounts,
+                         std::span<const std::size_t> rdispls, mini::Datatype rt,
+                         mini::Comm& comm);
+  XcclResult x_gatherv(const void* sendbuf, std::size_t sendcount,
+                       mini::Datatype st, void* recvbuf,
+                       std::span<const std::size_t> recvcounts,
+                       std::span<const std::size_t> displs, mini::Datatype rt,
+                       int root, mini::Comm& comm);
+  XcclResult x_scatterv(const void* sendbuf,
+                        std::span<const std::size_t> sendcounts,
+                        std::span<const std::size_t> displs, mini::Datatype st,
+                        void* recvbuf, std::size_t recvcount, mini::Datatype rt,
+                        int root, mini::Comm& comm);
+
+  mini::Mpi mpi_;
+  XcclMpiOptions options_;
+  TuningTable tuning_;
+  std::unique_ptr<xccl::CclBackend> backend_;
+  std::map<fabric::ChannelId, xccl::CclComm> ccl_comms_;
+  std::uint64_t ccl_comm_seq_ = 0;
+  Dispatch last_;
+  PathStats stats_;
+  std::map<CollOp, OpProfile> op_profiles_;
+};
+
+}  // namespace mpixccl::core

@@ -1,0 +1,47 @@
+#include "device/buffer_registry.hpp"
+
+#include "common/status.hpp"
+
+namespace mpixccl::device {
+
+BufferRegistry& BufferRegistry::instance() {
+  static BufferRegistry reg;
+  return reg;
+}
+
+void BufferRegistry::add(const void* ptr, std::size_t size, Vendor vendor,
+                         int device_id) {
+  require(ptr != nullptr && size > 0, "BufferRegistry::add: empty allocation");
+  std::lock_guard lock(mu_);
+  const auto base = reinterpret_cast<std::uintptr_t>(ptr);
+  by_base_[base] = BufferInfo{vendor, device_id, size, ptr};
+}
+
+void BufferRegistry::remove(const void* ptr) {
+  std::lock_guard lock(mu_);
+  by_base_.erase(reinterpret_cast<std::uintptr_t>(ptr));
+}
+
+std::optional<BufferInfo> BufferRegistry::lookup(const void* ptr) const {
+  if (ptr == nullptr) return std::nullopt;
+  std::lock_guard lock(mu_);
+  const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
+  auto it = by_base_.upper_bound(addr);
+  if (it == by_base_.begin()) return std::nullopt;
+  --it;
+  const BufferInfo& info = it->second;
+  if (addr < it->first + info.size) return info;
+  return std::nullopt;
+}
+
+Vendor BufferRegistry::vendor_of(const void* ptr) const {
+  const auto info = lookup(ptr);
+  return info ? info->vendor : Vendor::Host;
+}
+
+std::size_t BufferRegistry::live_count() const {
+  std::lock_guard lock(mu_);
+  return by_base_.size();
+}
+
+}  // namespace mpixccl::device

@@ -1,0 +1,56 @@
+#pragma once
+// Global registry of device allocations.
+//
+// This is the simulation's equivalent of cuPointerGetAttribute /
+// hipPointerGetAttributes / synDeviceGetMemoryInfo: given an arbitrary
+// pointer, the MPI middleware must decide whether it is a device buffer and,
+// if so, which device and vendor own it ("Device Buffer Identify" box in the
+// paper's Fig. 2). Device allocations are plain host memory registered here;
+// unregistered pointers classify as host memory.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace mpixccl::device {
+
+struct BufferInfo {
+  Vendor vendor = Vendor::Host;
+  int device_id = -1;     ///< global device id (== rank in our worlds)
+  std::size_t size = 0;   ///< size of the containing allocation
+  const void* base = nullptr;  ///< start of the containing allocation
+};
+
+/// Thread-safe pointer->allocation map. Process-wide singleton.
+class BufferRegistry {
+ public:
+  static BufferRegistry& instance();
+
+  /// Record an allocation [ptr, ptr+size) owned by (vendor, device_id).
+  void add(const void* ptr, std::size_t size, Vendor vendor, int device_id);
+
+  /// Remove a previously added allocation (exact base pointer).
+  void remove(const void* ptr);
+
+  /// Classify any pointer, including interior pointers into a registered
+  /// allocation. Returns nullopt for host (unregistered) memory.
+  [[nodiscard]] std::optional<BufferInfo> lookup(const void* ptr) const;
+
+  /// Convenience: Vendor::Host when unregistered.
+  [[nodiscard]] Vendor vendor_of(const void* ptr) const;
+
+  /// Number of live registered allocations (tests / leak checks).
+  [[nodiscard]] std::size_t live_count() const;
+
+ private:
+  BufferRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::uintptr_t, BufferInfo> by_base_;
+};
+
+}  // namespace mpixccl::device

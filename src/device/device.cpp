@@ -1,0 +1,101 @@
+#include "device/device.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace mpixccl::device {
+
+Device::~Device() {
+  // Free anything the user leaked so the registry stays clean across tests.
+  for (void* p : allocations_) {
+    if (p != nullptr) {
+      BufferRegistry::instance().remove(p);
+      std::free(p);
+    }
+  }
+  if (live_allocs_ != 0) {
+    MPIXCCL_LOG_WARN("device", "device ", id_, " destroyed with ", live_allocs_,
+                     " live allocations");
+  }
+}
+
+void* Device::alloc(std::size_t bytes, sim::VirtualClock* clock) {
+  require(bytes > 0, "Device::alloc: zero-byte allocation");
+  void* p = std::malloc(bytes);
+  require(p != nullptr, "Device::alloc: out of memory");
+  BufferRegistry::instance().add(p, bytes, vendor_, id_);
+  allocations_.push_back(p);
+  ++live_allocs_;
+  if (clock != nullptr) clock->advance(params_.alloc_us);
+  return p;
+}
+
+void Device::free(void* ptr) {
+  if (ptr == nullptr) return;
+  auto it = std::find(allocations_.begin(), allocations_.end(), ptr);
+  require(it != allocations_.end(), "Device::free: pointer not allocated here");
+  *it = allocations_.back();
+  allocations_.pop_back();
+  BufferRegistry::instance().remove(ptr);
+  std::free(ptr);
+  --live_allocs_;
+}
+
+CopyKind Device::classify(const void* dst, const void* src) const {
+  const auto& reg = BufferRegistry::instance();
+  const bool dst_dev = reg.lookup(dst).has_value();
+  const bool src_dev = reg.lookup(src).has_value();
+  if (dst_dev && src_dev) return CopyKind::DeviceToDevice;
+  if (dst_dev) return CopyKind::HostToDevice;
+  if (src_dev) return CopyKind::DeviceToHost;
+  return CopyKind::DeviceToDevice;  // host<->host through the device engine
+}
+
+double Device::copy_cost_us(std::size_t bytes, CopyKind kind) const {
+  double bw = params_.d2d_bw_MBps;
+  switch (kind) {
+    case CopyKind::HostToDevice: bw = params_.h2d_bw_MBps; break;
+    case CopyKind::DeviceToHost: bw = params_.d2h_bw_MBps; break;
+    case CopyKind::DeviceToDevice:
+    case CopyKind::Auto: break;
+  }
+  return static_cast<double>(bytes) / bw;
+}
+
+void Device::memcpy_async(void* dst, const void* src, std::size_t bytes,
+                          CopyKind kind, Stream& stream, sim::VirtualClock& clock) {
+  if (bytes == 0) return;
+  require(dst != nullptr && src != nullptr, "Device::memcpy_async: null pointer");
+  if (kind == CopyKind::Auto) kind = classify(dst, src);
+  std::memcpy(dst, src, bytes);
+  clock.advance(params_.memcpy_launch_us);
+  stream.push_work(clock.now(), copy_cost_us(bytes, kind));
+}
+
+void Device::memcpy_sync(void* dst, const void* src, std::size_t bytes,
+                         CopyKind kind, Stream& stream, sim::VirtualClock& clock) {
+  memcpy_async(dst, src, bytes, kind, stream, clock);
+  stream.synchronize(clock);
+}
+
+void Device::launch_kernel(double cost_us, Stream& stream, sim::VirtualClock& clock,
+                           const std::function<void()>& body) {
+  require(cost_us >= 0.0, "Device::launch_kernel: negative cost");
+  if (body) body();
+  clock.advance(params_.kernel_launch_us);
+  stream.push_work(clock.now(), cost_us);
+}
+
+DeviceManager::DeviceManager(const sim::SystemProfile& profile, int world_size)
+    : vendor_(profile.vendor) {
+  require(world_size >= 1, "DeviceManager: world_size must be >= 1");
+  devices_.reserve(static_cast<std::size_t>(world_size));
+  for (int i = 0; i < world_size; ++i) {
+    devices_.push_back(std::make_unique<Device>(i, vendor_, profile.device));
+  }
+}
+
+}  // namespace mpixccl::device

@@ -1,0 +1,147 @@
+#pragma once
+// Simulated accelerator devices.
+//
+// A Device hands out "device memory" (host allocations registered with the
+// BufferRegistry so the middleware can identify them), executes async
+// memcpys and opaque kernels on Streams, and charges virtual-time costs from
+// its DeviceParams. One flavor class covers all three vendors; the vendor
+// tag plus the parameter set express the differences (a cuda-like A100, a
+// hip-like MI100, a synapse-like Gaudi).
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "device/buffer_registry.hpp"
+#include "device/stream.hpp"
+#include "sim/profiles.hpp"
+#include "sim/time.hpp"
+
+namespace mpixccl::device {
+
+enum class CopyKind { HostToDevice, DeviceToHost, DeviceToDevice, Auto };
+
+class Device {
+ public:
+  Device(int id, Vendor vendor, const sim::DeviceParams& params)
+      : id_(id), vendor_(vendor), params_(params) {}
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] Vendor vendor() const { return vendor_; }
+  [[nodiscard]] const sim::DeviceParams& params() const { return params_; }
+
+  /// Allocate device memory; registered so BufferRegistry can classify it.
+  /// Charges alloc cost to `clock` when one is supplied (benchmarks exclude
+  /// allocation from timed sections, so most callers pass nullptr).
+  void* alloc(std::size_t bytes, sim::VirtualClock* clock = nullptr);
+  void free(void* ptr);
+
+  /// Async memcpy on `stream`: the launch cost hits the caller's clock, the
+  /// transfer cost lands on the stream timeline. Auto kind classifies both
+  /// pointers via the registry.
+  void memcpy_async(void* dst, const void* src, std::size_t bytes, CopyKind kind,
+                    Stream& stream, sim::VirtualClock& clock);
+
+  /// Blocking memcpy: async + stream sync.
+  void memcpy_sync(void* dst, const void* src, std::size_t bytes, CopyKind kind,
+                   Stream& stream, sim::VirtualClock& clock);
+
+  /// Launch an opaque kernel costing `cost_us` of device time; `body` runs
+  /// immediately (it is the real computation behind the simulated kernel).
+  void launch_kernel(double cost_us, Stream& stream, sim::VirtualClock& clock,
+                     const std::function<void()>& body);
+
+  /// Live allocations on this device (leak detection in tests).
+  [[nodiscard]] std::size_t live_allocations() const { return live_allocs_; }
+
+  /// Transfer cost in microseconds for `bytes` of the given copy kind
+  /// (exposed so backends can price staging pipelines).
+  [[nodiscard]] double copy_cost_us(std::size_t bytes, CopyKind kind) const;
+
+ private:
+  [[nodiscard]] CopyKind classify(const void* dst, const void* src) const;
+
+  int id_;
+  Vendor vendor_;
+  sim::DeviceParams params_;
+  std::size_t live_allocs_ = 0;
+  std::vector<void*> allocations_;
+};
+
+/// RAII device allocation.
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(Device& dev, std::size_t bytes)
+      : dev_(&dev), ptr_(dev.alloc(bytes)), size_(bytes) {}
+  ~DeviceBuffer() { reset(); }
+
+  DeviceBuffer(DeviceBuffer&& o) noexcept
+      : dev_(o.dev_), ptr_(o.ptr_), size_(o.size_) {
+    o.dev_ = nullptr;
+    o.ptr_ = nullptr;
+    o.size_ = 0;
+  }
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    if (this != &o) {
+      reset();
+      dev_ = o.dev_;
+      ptr_ = o.ptr_;
+      size_ = o.size_;
+      o.dev_ = nullptr;
+      o.ptr_ = nullptr;
+      o.size_ = 0;
+    }
+    return *this;
+  }
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  void reset() {
+    if (dev_ != nullptr && ptr_ != nullptr) dev_->free(ptr_);
+    dev_ = nullptr;
+    ptr_ = nullptr;
+    size_ = 0;
+  }
+
+  [[nodiscard]] void* get() const { return ptr_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool valid() const { return ptr_ != nullptr; }
+
+  template <typename T>
+  [[nodiscard]] T* as() const {
+    return static_cast<T*>(ptr_);
+  }
+
+ private:
+  Device* dev_ = nullptr;
+  void* ptr_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Owns one Device per global rank of a simulated world.
+class DeviceManager {
+ public:
+  DeviceManager(const sim::SystemProfile& profile, int world_size);
+
+  [[nodiscard]] Device& device(int id) {
+    require(id >= 0 && id < static_cast<int>(devices_.size()),
+            "DeviceManager: bad device id");
+    return *devices_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] int count() const { return static_cast<int>(devices_.size()); }
+  [[nodiscard]] Vendor vendor() const { return vendor_; }
+
+ private:
+  Vendor vendor_;
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace mpixccl::device

@@ -1,0 +1,70 @@
+#pragma once
+// Streams and events with virtual-time semantics.
+//
+// A Stream is an ordered work timeline owned by one rank thread. Enqueued
+// work executes immediately in real time (the data movement is a memcpy) but
+// its *cost* lands on the stream's virtual timeline: an operation enqueued
+// while the stream is busy starts when the previous one finishes, exactly
+// like hardware streams. synchronize() pulls the rank's clock forward to the
+// stream's completion time (plus the runtime's sync overhead), which is how
+// "async launch + later sync" shows up in measured latencies.
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mpixccl::device {
+
+class Stream {
+ public:
+  explicit Stream(double sync_overhead_us = 0.0)
+      : sync_overhead_us_(sync_overhead_us) {}
+
+  /// Record `cost_us` of work issued at `issue_time` (the caller's clock).
+  /// Returns the virtual completion time of that work.
+  sim::TimeUs push_work(sim::TimeUs issue_time, double cost_us) {
+    const sim::TimeUs start = (tail_us_ > issue_time) ? tail_us_ : issue_time;
+    tail_us_ = start + cost_us;
+    return tail_us_;
+  }
+
+  /// Force the timeline to at least `t` (used when a collective's completion
+  /// is dictated by remote peers).
+  void advance_tail_to(sim::TimeUs t) {
+    if (t > tail_us_) tail_us_ = t;
+  }
+
+  /// Completion time of everything enqueued so far.
+  [[nodiscard]] sim::TimeUs tail() const { return tail_us_; }
+
+  /// Block the caller until the stream drains: advances `clock` to the
+  /// stream tail plus the sync-call overhead.
+  void synchronize(sim::VirtualClock& clock) const {
+    clock.advance_to(tail_us_);
+    clock.advance(sync_overhead_us_);
+  }
+
+  /// True when nothing enqueued would still be running at `t`.
+  [[nodiscard]] bool idle_at(sim::TimeUs t) const { return tail_us_ <= t; }
+
+ private:
+  sim::TimeUs tail_us_ = 0.0;
+  double sync_overhead_us_ = 0.0;
+};
+
+/// CUDA-event-like marker: captures the stream tail at record time.
+class Event {
+ public:
+  void record(const Stream& stream) { time_us_ = stream.tail(); }
+  [[nodiscard]] sim::TimeUs time() const { return time_us_; }
+
+  /// Elapsed virtual microseconds between two recorded events.
+  static double elapsed_us(const Event& start, const Event& stop) {
+    return stop.time_us_ - start.time_us_;
+  }
+
+ private:
+  sim::TimeUs time_us_ = 0.0;
+};
+
+}  // namespace mpixccl::device

@@ -1,0 +1,231 @@
+#include "dl/horovod.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "core/ucc_baseline.hpp"
+#include "core/xccl_mpi.hpp"
+#include "device/device.hpp"
+#include "fabric/world.hpp"
+#include "mpi/mpi.hpp"
+#include "xccl/backend.hpp"
+
+namespace mpixccl::dl {
+
+namespace {
+
+/// Gradient fusion buckets: contiguous runs of reversed layers capped at the
+/// fusion threshold.
+struct Bucket {
+  std::size_t params = 0;
+};
+
+std::vector<Bucket> build_buckets(const Model& model, std::size_t fusion_bytes) {
+  std::vector<Bucket> buckets;
+  Bucket current;
+  for (auto it = model.layers.rbegin(); it != model.layers.rend(); ++it) {
+    current.params += it->params;
+    if (current.params * sizeof(float) >= fusion_bytes) {
+      buckets.push_back(current);
+      current = {};
+    }
+  }
+  if (current.params > 0) buckets.push_back(current);
+  return buckets;
+}
+
+/// Flavor-specific communication runtime for the trainer: launch an
+/// allreduce of `count` floats, possibly asynchronously, and later wait for
+/// everything launched this step.
+class CommRuntime {
+ public:
+  virtual ~CommRuntime() = default;
+  virtual void allreduce(float* sendbuf, float* recvbuf, std::size_t count,
+                         bool async) = 0;
+  virtual void wait_all() = 0;
+};
+
+class XcclMpiComm final : public CommRuntime {
+ public:
+  XcclMpiComm(fabric::RankContext& ctx, core::Mode mode,
+              std::optional<xccl::CclKind> backend) {
+    core::XcclMpiOptions opts;
+    opts.mode = mode;
+    opts.backend = backend;
+    rt_ = std::make_unique<core::XcclMpi>(ctx, std::move(opts));
+  }
+  void allreduce(float* sendbuf, float* recvbuf, std::size_t count,
+                 bool async) override {
+    if (async) {
+      pending_.push_back(rt_->iallreduce(sendbuf, recvbuf, count, mini::kFloat,
+                                         ReduceOp::Sum, rt_->comm_world()));
+    } else {
+      rt_->allreduce(sendbuf, recvbuf, count, mini::kFloat, ReduceOp::Sum,
+                     rt_->comm_world());
+    }
+  }
+  void wait_all() override {
+    rt_->waitall(pending_);
+    pending_.clear();
+  }
+
+ private:
+  std::unique_ptr<core::XcclMpi> rt_;
+  std::vector<mini::Request> pending_;
+};
+
+class OmpiComm final : public CommRuntime {
+ public:
+  explicit OmpiComm(fabric::RankContext& ctx)
+      : mpi_(ctx, ctx.profile().ompi_ucx, 0xd1) {}
+  void allreduce(float* sendbuf, float* recvbuf, std::size_t count,
+                 bool /*async*/) override {
+    // Open MPI + UCX: Horovod's MPI path completes collectives inline (no
+    // stream-level overlap in this baseline).
+    mpi_.allreduce(sendbuf, recvbuf, count, mini::kFloat, ReduceOp::Sum,
+                   mpi_.comm_world());
+  }
+  void wait_all() override {}
+
+ private:
+  mini::Mpi mpi_;
+};
+
+class UccComm final : public CommRuntime {
+ public:
+  explicit UccComm(fabric::RankContext& ctx) : ucc_(ctx) {}
+  void allreduce(float* sendbuf, float* recvbuf, std::size_t count,
+                 bool /*async*/) override {
+    ucc_.allreduce(sendbuf, recvbuf, count, mini::kFloat, ReduceOp::Sum,
+                   ucc_.comm_world());
+  }
+  void wait_all() override {}
+
+ private:
+  core::UccBaseline ucc_;
+};
+
+class PureCclComm final : public CommRuntime {
+ public:
+  PureCclComm(fabric::RankContext& ctx, std::optional<xccl::CclKind> backend)
+      : ctx_(&ctx) {
+    const xccl::CclKind kind =
+        backend.value_or(xccl::native_ccl(ctx.profile().vendor));
+    const sim::CclProfile& cp =
+        (kind == xccl::CclKind::Msccl && ctx.profile().msccl.has_value())
+            ? *ctx.profile().msccl
+            : ctx.profile().ccl;
+    backend_ = xccl::make_backend(kind, ctx, cp);
+    throw_if_error(backend_->comm_init_rank(comm_, ctx.size(),
+                                            xccl::UniqueId::derive(0xd7, 3),
+                                            ctx.rank()),
+                   "trainer ccl init");
+  }
+  void allreduce(float* sendbuf, float* recvbuf, std::size_t count,
+                 bool async) override {
+    throw_if_error(backend_->all_reduce(sendbuf, recvbuf, count,
+                                        DataType::Float32, ReduceOp::Sum, comm_,
+                                        ctx_->stream()),
+                   "trainer ccl allreduce");
+    if (!async) ctx_->stream().synchronize(ctx_->clock());
+  }
+  void wait_all() override { ctx_->stream().synchronize(ctx_->clock()); }
+
+ private:
+  fabric::RankContext* ctx_;
+  std::unique_ptr<xccl::CclBackend> backend_;
+  xccl::CclComm comm_;
+};
+
+std::unique_ptr<CommRuntime> make_comm(fabric::RankContext& ctx,
+                                       const TrainerConfig& config) {
+  switch (config.flavor) {
+    case omb::Flavor::HybridXccl:
+      return std::make_unique<XcclMpiComm>(ctx, core::Mode::Hybrid,
+                                           config.backend);
+    case omb::Flavor::PureXcclInMpi:
+      return std::make_unique<XcclMpiComm>(ctx, core::Mode::PureXccl,
+                                           config.backend);
+    case omb::Flavor::GpuAwareMpi:
+      return std::make_unique<XcclMpiComm>(ctx, core::Mode::PureMpi,
+                                           std::nullopt);
+    case omb::Flavor::OmpiUcx: return std::make_unique<OmpiComm>(ctx);
+    case omb::Flavor::OmpiUcxUcc: return std::make_unique<UccComm>(ctx);
+    case omb::Flavor::PureCcl:
+      return std::make_unique<PureCclComm>(ctx, config.backend);
+  }
+  throw Error("make_comm: unknown flavor");
+}
+
+}  // namespace
+
+TrainerResult run_training(const sim::SystemProfile& profile, int nodes,
+                           const TrainerConfig& config) {
+  fabric::World world(fabric::WorldConfig{profile, nodes, 0});
+  TrainerResult result;
+
+  world.run([&](fabric::RankContext& ctx) {
+    auto comm = make_comm(ctx, config);
+    const std::vector<Bucket> buckets =
+        build_buckets(config.model, config.fusion_bytes);
+    const std::size_t total_params = config.model.total_params();
+    const double bwd_us_per_param =
+        config.model.bwd_us_per_image * config.batch_size /
+        static_cast<double>(total_params);
+
+    // One reusable bucket-sized buffer pair: gradient *values* are not under
+    // test here (they alias across overlapped reductions); timing is.
+    std::size_t max_bucket = 0;
+    for (const auto& b : buckets) max_bucket = std::max(max_bucket, b.params);
+    device::DeviceBuffer grads(ctx.device(), max_bucket * sizeof(float));
+    device::DeviceBuffer reduced(ctx.device(), max_bucket * sizeof(float));
+
+    // The compute timeline is a second stream: kernels run concurrently with
+    // the communication launched on the default stream.
+    device::Stream compute(profile.device.stream_sync_us);
+
+    double comm_wait_total = 0.0;
+    auto train_step = [&] {
+      auto& clock = ctx.clock();
+      // Forward pass (one fused kernel).
+      ctx.device().launch_kernel(
+          config.model.fwd_us_per_image * config.batch_size, compute, clock,
+          {});
+      // Backward pass: per bucket, compute then reduce.
+      for (const Bucket& b : buckets) {
+        ctx.device().launch_kernel(bwd_us_per_param * static_cast<double>(b.params),
+                                   compute, clock, {});
+        // The gradients of this bucket are ready when its backward kernel
+        // completes; Horovod's cycle thread picks them up then.
+        clock.advance_to(compute.tail());
+        comm->allreduce(grads.as<float>(), reduced.as<float>(), b.params,
+                        config.overlap);
+      }
+      const double before_wait = clock.now();
+      comm->wait_all();
+      comm_wait_total += clock.now() - before_wait;
+      // Optimizer update.
+      ctx.device().launch_kernel(config.model.optimizer_us, compute, clock, {});
+      compute.synchronize(clock);
+    };
+
+    for (int s = 0; s < config.warmup_steps; ++s) train_step();
+    ctx.sync_clocks();
+    const double t0 = ctx.clock().now();
+    for (int s = 0; s < config.steps; ++s) train_step();
+    ctx.sync_clocks();
+    const double step_us = (ctx.clock().now() - t0) / config.steps;
+
+    if (ctx.rank() == 0) {
+      result.step_time_us = step_us;
+      result.images_per_sec =
+          static_cast<double>(config.batch_size) * ctx.size() / (step_us * 1e-6);
+      result.comm_wait_us =
+          comm_wait_total / (config.warmup_steps + config.steps);
+      result.buckets_per_step = static_cast<int>(buckets.size());
+    }
+  });
+  return result;
+}
+
+}  // namespace mpixccl::dl

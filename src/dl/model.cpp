@@ -1,0 +1,86 @@
+#include "dl/model.hpp"
+
+namespace mpixccl::dl {
+
+std::size_t Model::total_params() const {
+  std::size_t total = 0;
+  for (const auto& l : layers) total += l.params;
+  return total;
+}
+
+Model Model::resnet50() {
+  Model m;
+  m.name = "resnet50";
+  m.fwd_us_per_image = 450.0;
+  m.bwd_us_per_image = 900.0;
+  m.optimizer_us = 40.0;
+  // Stem.
+  m.layers.push_back({"conv1", 64u * 3 * 7 * 7});
+  m.layers.push_back({"bn1", 128});
+  // Four stages of bottleneck blocks: (3, 4, 6, 3) blocks with widths
+  // (256, 512, 1024, 2048). Each block: 1x1 down, 3x3, 1x1 up (+bn).
+  const int blocks[4] = {3, 4, 6, 3};
+  const std::size_t widths[4] = {256, 512, 1024, 2048};
+  std::size_t in_ch = 64;
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::size_t w = widths[stage];
+    const std::size_t mid = w / 4;
+    for (int b = 0; b < blocks[stage]; ++b) {
+      const std::string tag =
+          "stage" + std::to_string(stage + 1) + "_block" + std::to_string(b + 1);
+      m.layers.push_back({tag + "_conv1", in_ch * mid});
+      m.layers.push_back({tag + "_conv2", mid * mid * 9});
+      m.layers.push_back({tag + "_conv3", mid * w});
+      m.layers.push_back({tag + "_bn", w / 4});
+      if (b == 0) m.layers.push_back({tag + "_down", in_ch * w});
+      in_ch = w;
+    }
+  }
+  m.layers.push_back({"fc", 2048u * 1000 + 1000});
+  return m;
+}
+
+Model Model::vgg16() {
+  Model m;
+  m.name = "vgg16";
+  m.fwd_us_per_image = 700.0;
+  m.bwd_us_per_image = 1400.0;
+  m.optimizer_us = 120.0;
+  const std::size_t convs[][2] = {{3, 64},    {64, 64},   {64, 128},  {128, 128},
+                                  {128, 256}, {256, 256}, {256, 256}, {256, 512},
+                                  {512, 512}, {512, 512}, {512, 512}, {512, 512},
+                                  {512, 512}};
+  int i = 0;
+  for (const auto& c : convs) {
+    m.layers.push_back({"conv" + std::to_string(++i), c[0] * c[1] * 9 + c[1]});
+  }
+  m.layers.push_back({"fc6", 25088u * 4096 + 4096});
+  m.layers.push_back({"fc7", 4096u * 4096 + 4096});
+  m.layers.push_back({"fc8", 4096u * 1000 + 1000});
+  return m;
+}
+
+Model Model::bert_base() {
+  Model m;
+  m.name = "bert_base";
+  m.fwd_us_per_image = 1200.0;  // "image" = sequence here
+  m.bwd_us_per_image = 2400.0;
+  m.optimizer_us = 200.0;
+  const std::size_t h = 768;
+  m.layers.push_back({"embeddings", 30522u * h + 512u * h + 2u * h});
+  for (int l = 0; l < 12; ++l) {
+    const std::string tag = "layer" + std::to_string(l);
+    m.layers.push_back({tag + "_q", h * h + h});
+    m.layers.push_back({tag + "_k", h * h + h});
+    m.layers.push_back({tag + "_v", h * h + h});
+    m.layers.push_back({tag + "_attn_out", h * h + h});
+    m.layers.push_back({tag + "_attn_ln", 2 * h});
+    m.layers.push_back({tag + "_ffn_in", h * 4 * h + 4 * h});
+    m.layers.push_back({tag + "_ffn_out", 4 * h * h + h});
+    m.layers.push_back({tag + "_ffn_ln", 2 * h});
+  }
+  m.layers.push_back({"pooler", h * h + h});
+  return m;
+}
+
+}  // namespace mpixccl::dl

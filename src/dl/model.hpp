@@ -1,0 +1,41 @@
+#pragma once
+// Synthetic deep-learning models for the application-level evaluation
+// (TensorFlow + Horovod in the paper). A model is a list of gradient tensors
+// (sizes approximating the real network's parameter distribution) plus a
+// per-image device compute cost, calibrated so simulated throughput lands in
+// the ballpark of the paper's img/sec numbers.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mpixccl::dl {
+
+struct LayerSpec {
+  std::string name;
+  std::size_t params = 0;  ///< gradient tensor elements (float32)
+};
+
+struct Model {
+  std::string name;
+  std::vector<LayerSpec> layers;  ///< forward order; backward walks reversed
+  double fwd_us_per_image = 450.0;
+  double bwd_us_per_image = 900.0;
+  double optimizer_us = 40.0;  ///< per-step parameter update
+
+  [[nodiscard]] std::size_t total_params() const;
+  [[nodiscard]] std::size_t gradient_bytes() const {
+    return total_params() * sizeof(float);
+  }
+
+  /// ResNet-50-like: ~25.6M parameters over 54 tensors, from small
+  /// batch-norm vectors to the 2M-element fc layer. The workload of the
+  /// paper's Figs. 7-10.
+  static Model resnet50();
+  /// VGG-16-like: ~138M parameters in 16 fat tensors; communication-heavy.
+  static Model vgg16();
+  /// BERT-base-like: ~110M parameters over 199 tensors; many medium tensors.
+  static Model bert_base();
+};
+
+}  // namespace mpixccl::dl

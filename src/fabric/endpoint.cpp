@@ -1,0 +1,119 @@
+#include "fabric/endpoint.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/status.hpp"
+
+namespace mpixccl::fabric {
+
+sim::TimeUs PendingSend::wait(sim::VirtualClock& clock) {
+  require(fut_.valid(), "PendingSend::wait: empty handle");
+  const sim::TimeUs t = fut_.get();
+  clock.advance_to(t);
+  return t;
+}
+
+RecvResult PendingRecv::wait(sim::VirtualClock& clock) {
+  require(fut_.valid(), "PendingRecv::wait: empty handle");
+  RecvResult r = fut_.get();
+  clock.advance_to(r.completion);
+  return r;
+}
+
+void Endpoint::complete(PostedRecv& r, PostedSend& s) {
+  const std::size_t bytes = s.payload.size();
+  if (bytes > r.capacity) {
+    auto err = std::make_exception_ptr(
+        Error("fabric: message truncation (got " + std::to_string(bytes) +
+              " bytes, capacity " + std::to_string(r.capacity) + ")"));
+    r.done->set_exception(err);
+    // Eager senders already resolved their promise at post time.
+    if (s.policy.rendezvous) s.done->set_exception(err);
+    return;
+  }
+  if (bytes > 0) std::memcpy(r.buf, s.payload.data(), bytes);
+
+  const sim::TimeUs base =
+      (s.sender_ready > r.recv_ready) ? s.sender_ready : r.recv_ready;
+  const double transfer_us = r.cost ? r.cost(s.src, bytes) : 0.0;
+  const sim::TimeUs completion = base + transfer_us;
+
+  r.done->set_value(RecvResult{bytes, s.src, s.tag, completion});
+  if (s.policy.rendezvous) {
+    s.done->set_value(completion);
+  }
+  // Eager sends resolved their future at post time.
+}
+
+PendingSend Endpoint::deliver(int src, int tag, ChannelId channel, const void* data,
+                              std::size_t bytes, sim::TimeUs sender_ready,
+                              const SendPolicy& policy) {
+  require(bytes == 0 || data != nullptr, "Endpoint::deliver: null payload");
+
+  PostedSend s;
+  s.src = src;
+  s.tag = tag;
+  s.channel = channel;
+  s.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(s.payload.data(), data, bytes);
+  s.sender_ready = sender_ready;
+  s.policy = policy;
+  s.done = std::make_shared<std::promise<sim::TimeUs>>();
+  PendingSend handle(s.done->get_future());
+
+  if (!policy.rendezvous) {
+    s.done->set_value(sender_ready + policy.eager_complete_us);
+  }
+
+  std::lock_guard lock(mu_);
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (matches(*it, s)) {
+      complete(*it, s);
+      pending_.erase(it);
+      return handle;
+    }
+  }
+  unexpected_.push_back(std::move(s));
+  return handle;
+}
+
+PendingRecv Endpoint::post_recv(int src, int tag, ChannelId channel, void* buf,
+                                std::size_t capacity, sim::TimeUs recv_ready,
+                                CostFn cost) {
+  require(capacity == 0 || buf != nullptr, "Endpoint::post_recv: null buffer");
+
+  PostedRecv r;
+  r.src = src;
+  r.tag = tag;
+  r.channel = channel;
+  r.buf = buf;
+  r.capacity = capacity;
+  r.recv_ready = recv_ready;
+  r.cost = std::move(cost);
+  r.done = std::make_shared<std::promise<RecvResult>>();
+  PendingRecv handle(r.done->get_future());
+
+  std::lock_guard lock(mu_);
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (matches(r, *it)) {
+      complete(r, *it);
+      unexpected_.erase(it);
+      return handle;
+    }
+  }
+  pending_.push_back(std::move(r));
+  return handle;
+}
+
+std::size_t Endpoint::unexpected_count() const {
+  std::lock_guard lock(mu_);
+  return unexpected_.size();
+}
+
+std::size_t Endpoint::pending_recv_count() const {
+  std::lock_guard lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace mpixccl::fabric

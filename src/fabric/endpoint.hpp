@@ -1,0 +1,112 @@
+#pragma once
+// Per-rank fabric endpoint: posted-send / posted-recv matching with MPI
+// ordering semantics (FIFO, non-overtaking per (src, tag, channel)).
+//
+// Real data always moves by memcpy at match time; virtual completion times
+// synchronize the two ranks' clocks through the returned futures. Matching
+// runs under the receiving endpoint's mutex and is performed by whichever
+// thread closes the match (sender if a recv was pending, receiver if the
+// send was unexpected).
+
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "fabric/message.hpp"
+#include "sim/time.hpp"
+
+namespace mpixccl::fabric {
+
+class Endpoint;
+
+/// Handle for an in-flight send. wait() yields the sender-side virtual
+/// completion time and advances the clock to it.
+class PendingSend {
+ public:
+  PendingSend() = default;
+  explicit PendingSend(std::future<sim::TimeUs> f) : fut_(std::move(f)) {}
+
+  /// Blocks (real time) until resolved; advances `clock` to the completion.
+  sim::TimeUs wait(sim::VirtualClock& clock);
+  [[nodiscard]] bool valid() const { return fut_.valid(); }
+
+ private:
+  std::future<sim::TimeUs> fut_;
+};
+
+/// Handle for an in-flight receive.
+class PendingRecv {
+ public:
+  PendingRecv() = default;
+  explicit PendingRecv(std::future<RecvResult> f) : fut_(std::move(f)) {}
+
+  /// Blocks until a matching send arrives; advances `clock`.
+  RecvResult wait(sim::VirtualClock& clock);
+  [[nodiscard]] bool valid() const { return fut_.valid(); }
+
+ private:
+  std::future<RecvResult> fut_;
+};
+
+class Endpoint {
+ public:
+  explicit Endpoint(int rank) : rank_(rank) {}
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  [[nodiscard]] int rank() const { return rank_; }
+
+  /// Post a send to this endpoint (the *destination's* endpoint). Called via
+  /// Fabric::post_send; payload is copied. Returns the sender's future.
+  PendingSend deliver(int src, int tag, ChannelId channel, const void* data,
+                      std::size_t bytes, sim::TimeUs sender_ready,
+                      const SendPolicy& policy);
+
+  /// Post a receive on this endpoint (the receiver's own endpoint).
+  PendingRecv post_recv(int src, int tag, ChannelId channel, void* buf,
+                        std::size_t capacity, sim::TimeUs recv_ready, CostFn cost);
+
+  /// Unmatched message count (tests).
+  [[nodiscard]] std::size_t unexpected_count() const;
+  [[nodiscard]] std::size_t pending_recv_count() const;
+
+ private:
+  struct PostedSend {
+    int src;
+    int tag;
+    ChannelId channel;
+    std::vector<std::byte> payload;
+    sim::TimeUs sender_ready;
+    SendPolicy policy;
+    std::shared_ptr<std::promise<sim::TimeUs>> done;
+  };
+  struct PostedRecv {
+    int src;  // kAnySource allowed
+    int tag;  // kAnyTag allowed
+    ChannelId channel;
+    void* buf;
+    std::size_t capacity;
+    sim::TimeUs recv_ready;
+    CostFn cost;
+    std::shared_ptr<std::promise<RecvResult>> done;
+  };
+
+  static bool matches(const PostedRecv& r, const PostedSend& s) {
+    return r.channel == s.channel && (r.src == kAnySource || r.src == s.src) &&
+           (r.tag == kAnyTag || r.tag == s.tag);
+  }
+
+  /// Complete a matched pair: copy payload, price the transfer, resolve both
+  /// futures. Caller holds mu_.
+  static void complete(PostedRecv& r, PostedSend& s);
+
+  int rank_;
+  mutable std::mutex mu_;
+  std::deque<PostedSend> unexpected_;
+  std::deque<PostedRecv> pending_;
+};
+
+}  // namespace mpixccl::fabric

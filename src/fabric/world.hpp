@@ -1,0 +1,107 @@
+#pragma once
+// The simulated cluster: one OS thread per global rank, each owning a
+// virtual clock, a device, a default stream, and a fabric endpoint.
+//
+// World::run(body) launches the rank threads, runs `body(ctx)` on each, and
+// joins. State (clocks, endpoints, devices) persists across run() calls so a
+// harness can alternate setup and measurement phases.
+
+#include <barrier>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "device/device.hpp"
+#include "device/stream.hpp"
+#include "fabric/endpoint.hpp"
+#include "sim/profiles.hpp"
+#include "sim/time.hpp"
+#include "sim/topology.hpp"
+
+namespace mpixccl::fabric {
+
+struct WorldConfig {
+  sim::SystemProfile profile;
+  int nodes = 1;
+  int devices_per_node = 0;  ///< 0 -> profile.devices_per_node
+};
+
+class World;
+
+/// Per-rank view handed to the body function.
+class RankContext {
+ public:
+  RankContext(World& world, int rank) : world_(&world), rank_(rank) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  [[nodiscard]] sim::VirtualClock& clock();
+  [[nodiscard]] device::Device& device();          ///< this rank's device
+  [[nodiscard]] device::Stream& stream();          ///< this rank's default stream
+  [[nodiscard]] Endpoint& endpoint();              ///< this rank's endpoint
+  [[nodiscard]] Endpoint& endpoint_of(int rank);   ///< any rank's endpoint
+  [[nodiscard]] const sim::Topology& topology() const;
+  [[nodiscard]] const sim::SystemProfile& profile() const;
+  [[nodiscard]] World& world() { return *world_; }
+
+  /// Real-time barrier across all ranks.
+  void barrier();
+
+  /// Real-time barrier that also aligns all virtual clocks to the maximum
+  /// (benchmark iteration boundaries).
+  void sync_clocks();
+
+ private:
+  World* world_;
+  int rank_;
+};
+
+class World {
+ public:
+  explicit World(WorldConfig config);
+
+  /// Run `body` on every rank thread; joins before returning. Rethrows the
+  /// first rank's exception if any rank threw.
+  void run(const std::function<void(RankContext&)>& body);
+
+  [[nodiscard]] int size() const { return topo_.world_size(); }
+  [[nodiscard]] const sim::Topology& topology() const { return topo_; }
+  [[nodiscard]] const sim::SystemProfile& profile() const { return config_.profile; }
+
+  [[nodiscard]] sim::VirtualClock& clock(int rank) {
+    return clocks_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] device::Device& device(int rank) { return devices_.device(rank); }
+  [[nodiscard]] device::Stream& stream(int rank) {
+    return streams_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] Endpoint& endpoint(int rank) {
+    return *endpoints_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Reset all clocks and streams to t=0 (between benchmark configurations).
+  void reset_time();
+
+ private:
+  friend class RankContext;
+  void do_barrier();
+  void do_sync_clocks(int rank);
+
+  WorldConfig config_;
+  sim::Topology topo_;
+  device::DeviceManager devices_;
+  std::vector<sim::VirtualClock> clocks_;
+  std::vector<device::Stream> streams_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::barrier<> barrier_;
+};
+
+/// One-shot convenience: build a world over `nodes` nodes of `profile` and
+/// run `body` on every rank.
+void run_world(const sim::SystemProfile& profile, int nodes,
+               const std::function<void(RankContext&)>& body);
+
+}  // namespace mpixccl::fabric

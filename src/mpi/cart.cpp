@@ -1,0 +1,142 @@
+#include "mpi/cart.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mpixccl::mini {
+
+CartComm CartComm::create(Mpi& mpi, Comm& base, std::span<const int> dims,
+                          std::span<const bool> periodic) {
+  require(!dims.empty() && dims.size() == periodic.size(),
+          "CartComm::create: dims/periodic size mismatch");
+  int total = 1;
+  for (const int d : dims) {
+    require(d >= 1, "CartComm::create: dimension must be >= 1");
+    total *= d;
+  }
+  require(total == base.size(),
+          "CartComm::create: grid size must equal communicator size");
+  // Row-major embedding over the existing rank order; dup gives the grid its
+  // own channel space (and keeps creation collective like the real call).
+  Comm grid = mpi.dup(base);
+  return CartComm(std::move(grid), std::vector<int>(dims.begin(), dims.end()),
+                  std::vector<bool>(periodic.begin(), periodic.end()));
+}
+
+std::vector<int> CartComm::balanced_dims(int nranks, int ndims) {
+  require(nranks >= 1 && ndims >= 1, "balanced_dims: bad arguments");
+  std::vector<int> dims(static_cast<std::size_t>(ndims), 1);
+  // Greedy: repeatedly assign the largest prime factor to the smallest dim.
+  int n = nranks;
+  std::vector<int> factors;
+  for (int f = 2; f * f <= n; ++f) {
+    while (n % f == 0) {
+      factors.push_back(f);
+      n /= f;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  std::sort(factors.rbegin(), factors.rend());
+  for (const int f : factors) {
+    auto it = std::min_element(dims.begin(), dims.end());
+    *it *= f;
+  }
+  std::sort(dims.rbegin(), dims.rend());
+  return dims;
+}
+
+std::vector<int> CartComm::coords_of(int rank) const {
+  require(rank >= 0 && rank < comm_.size(), "CartComm::coords_of: bad rank");
+  std::vector<int> coords(dims_.size());
+  int rest = rank;
+  for (std::size_t d = dims_.size(); d-- > 0;) {
+    coords[d] = rest % dims_[d];
+    rest /= dims_[d];
+  }
+  return coords;
+}
+
+int CartComm::rank_of(std::span<const int> coords) const {
+  require(coords.size() == dims_.size(), "CartComm::rank_of: bad coords");
+  int rank = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    int c = coords[d];
+    if (periodic_[d]) {
+      c = ((c % dims_[d]) + dims_[d]) % dims_[d];
+    } else if (c < 0 || c >= dims_[d]) {
+      return kProcNull;
+    }
+    rank = rank * dims_[d] + c;
+  }
+  return rank;
+}
+
+CartComm::Shift CartComm::shift(int dim, int displacement) const {
+  require(dim >= 0 && dim < ndims(), "CartComm::shift: bad dimension");
+  std::vector<int> c = coords();
+  Shift s;
+  c[static_cast<std::size_t>(dim)] += displacement;
+  s.dest = rank_of(c);
+  c[static_cast<std::size_t>(dim)] -= 2 * displacement;
+  s.source = rank_of(c);
+  return s;
+}
+
+std::vector<int> CartComm::neighbors() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(2 * ndims()));
+  for (int d = 0; d < ndims(); ++d) {
+    const Shift s = shift(d, 1);
+    out.push_back(s.source);  // low side (where +1 traffic comes from)
+    out.push_back(s.dest);    // high side
+  }
+  return out;
+}
+
+namespace {
+
+void neighbor_exchange(Mpi& mpi, CartComm& cart, const void* sendbuf,
+                       std::size_t sendcount, Datatype sendtype, void* recvbuf,
+                       std::size_t recvcount, Datatype recvtype,
+                       bool same_block_to_all) {
+  const std::vector<int> nbrs = cart.neighbors();
+  const std::size_t sblock = sendcount * sendtype.size();
+  const std::size_t rblock = recvcount * recvtype.size();
+  // One tag per neighbor index avoids ambiguity when the same rank appears
+  // as multiple neighbors (e.g. 2-wide periodic dimensions). The peer's slot
+  // for us mirrors ours: low<->high within the same dimension.
+  std::vector<Request> reqs;
+  Comm& comm = cart.comm();
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] == kProcNull) continue;
+    const int mirror = static_cast<int>(i ^ 1u);  // low<->high slot
+    reqs.push_back(mpi.irecv(static_cast<std::byte*>(recvbuf) + i * rblock,
+                             recvcount, recvtype, nbrs[i], mirror, comm));
+  }
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] == kProcNull) continue;
+    const std::size_t off = same_block_to_all ? 0 : i * sblock;
+    reqs.push_back(mpi.isend(static_cast<const std::byte*>(sendbuf) + off,
+                             sendcount, sendtype, nbrs[i],
+                             static_cast<int>(i), comm));
+  }
+  mpi.waitall(reqs);
+}
+
+}  // namespace
+
+void neighbor_alltoall(Mpi& mpi, CartComm& cart, const void* sendbuf,
+                       std::size_t sendcount, Datatype sendtype, void* recvbuf,
+                       std::size_t recvcount, Datatype recvtype) {
+  neighbor_exchange(mpi, cart, sendbuf, sendcount, sendtype, recvbuf, recvcount,
+                    recvtype, /*same_block_to_all=*/false);
+}
+
+void neighbor_allgather(Mpi& mpi, CartComm& cart, const void* sendbuf,
+                        std::size_t sendcount, Datatype sendtype, void* recvbuf,
+                        std::size_t recvcount, Datatype recvtype) {
+  neighbor_exchange(mpi, cart, sendbuf, sendcount, sendtype, recvbuf, recvcount,
+                    recvtype, /*same_block_to_all=*/true);
+}
+
+}  // namespace mpixccl::mini

@@ -1,0 +1,77 @@
+#pragma once
+// Cartesian process topologies and neighborhood collectives
+// (MPI_Cart_create / MPI_Cart_shift / MPI_Neighbor_alltoall) — the
+// structured-grid machinery stencil applications drive MPI with.
+
+#include <span>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+
+namespace mpixccl::mini {
+
+/// MPI_PROC_NULL: a shift off a non-periodic edge. Sends to it are dropped
+/// and receives from it leave the buffer untouched.
+inline constexpr int kProcNull = -2;
+
+class CartComm {
+ public:
+  /// MPI_Cart_create (collective over `base`): embed a dims[0] x dims[1] x
+  /// ... grid into the communicator, row-major rank order. The product of
+  /// dims must equal base.size().
+  static CartComm create(Mpi& mpi, Comm& base, std::span<const int> dims,
+                         std::span<const bool> periodic);
+
+  /// MPI_Dims_create: factor `nranks` into `ndims` balanced dimensions.
+  static std::vector<int> balanced_dims(int nranks, int ndims);
+
+  [[nodiscard]] Comm& comm() { return comm_; }
+  [[nodiscard]] int ndims() const { return static_cast<int>(dims_.size()); }
+  [[nodiscard]] const std::vector<int>& dims() const { return dims_; }
+  [[nodiscard]] int rank() const { return comm_.rank(); }
+
+  /// MPI_Cart_coords: this rank's grid coordinates.
+  [[nodiscard]] std::vector<int> coords() const { return coords_of(comm_.rank()); }
+  [[nodiscard]] std::vector<int> coords_of(int rank) const;
+  /// MPI_Cart_rank; coordinates wrap in periodic dimensions, and
+  /// out-of-range coordinates in non-periodic dimensions yield kProcNull.
+  [[nodiscard]] int rank_of(std::span<const int> coords) const;
+
+  /// MPI_Cart_shift: the (source, destination) pair for a displacement along
+  /// one dimension. Either may be kProcNull at a non-periodic edge.
+  struct Shift {
+    int source = kProcNull;
+    int dest = kProcNull;
+  };
+  [[nodiscard]] Shift shift(int dim, int displacement) const;
+
+  /// The 2*ndims neighbors in MPI neighborhood-collective order:
+  /// (dim0 low, dim0 high, dim1 low, dim1 high, ...). Entries may be
+  /// kProcNull.
+  [[nodiscard]] std::vector<int> neighbors() const;
+
+ private:
+  CartComm(Comm comm, std::vector<int> dims, std::vector<bool> periodic)
+      : comm_(std::move(comm)), dims_(std::move(dims)),
+        periodic_(std::move(periodic)) {}
+
+  Comm comm_;
+  std::vector<int> dims_;
+  std::vector<bool> periodic_;
+};
+
+/// MPI_Neighbor_alltoall over a Cartesian communicator: exchange one block
+/// with each of the 2*ndims neighbors. sendbuf/recvbuf hold one block per
+/// neighbor in neighbor order; kProcNull slots are skipped (recv block left
+/// untouched).
+void neighbor_alltoall(Mpi& mpi, CartComm& cart, const void* sendbuf,
+                       std::size_t sendcount, Datatype sendtype, void* recvbuf,
+                       std::size_t recvcount, Datatype recvtype);
+
+/// MPI_Neighbor_allgather: send one block to every neighbor, collect one
+/// block from each (same block to all, unlike alltoall).
+void neighbor_allgather(Mpi& mpi, CartComm& cart, const void* sendbuf,
+                        std::size_t sendcount, Datatype sendtype, void* recvbuf,
+                        std::size_t recvcount, Datatype recvtype);
+
+}  // namespace mpixccl::mini

@@ -1,0 +1,762 @@
+// MiniMPI collective algorithms.
+//
+// Algorithm selection mirrors production MPI tuning defaults:
+//   bcast           binomial tree
+//   reduce          binomial tree
+//   allreduce       recursive doubling (small) / Rabenseifner (large)
+//   allgather       Bruck (small) / ring (large)
+//   alltoall        pairwise exchange
+//   reduce_scatter  ring
+//   barrier         dissemination
+//   gather/scatter  linear (root-posted)
+//   scan            linear chain
+//
+// Every collective call allocates its own fabric channel
+// (Comm::next_collective_channel), so steps of consecutive collectives can
+// never cross-match even when ranks race ahead.
+
+#include <cstring>
+#include <vector>
+
+#include "common/reduce.hpp"
+#include "mpi/mpi.hpp"
+
+namespace mpixccl::mini {
+
+namespace {
+
+/// Below/at this payload size allreduce uses recursive doubling; above it,
+/// Rabenseifner (MPICH-like default).
+constexpr std::size_t kAllreduceRdMaxBytes = 32768;
+/// Below/at this *total* gathered size allgather uses Bruck.
+constexpr std::size_t kAllgatherBruckMaxBytes = 32768;
+
+int floor_pow2(int n) {
+  int p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+std::byte* at(void* base, std::size_t offset) {
+  return static_cast<std::byte*>(base) + offset;
+}
+const std::byte* at(const void* base, std::size_t offset) {
+  return static_cast<const std::byte*>(base) + offset;
+}
+
+/// memcpy that tolerates dst == src (MPI_IN_PLACE resolutions).
+void copy_if_distinct(void* dst, const void* src, std::size_t n) {
+  if (dst != src && n > 0) std::memcpy(dst, src, n);
+}
+
+}  // namespace
+
+void Mpi::barrier(Comm& comm) {
+  const fabric::ChannelId ch = comm.next_collective_channel();
+  const int p = comm.size();
+  if (p == 1) return;
+  const int me = comm.rank();
+  for (int k = 1; k < p; k <<= 1) {
+    const int dst = (me + k) % p;
+    const int src = (me - k % p + p) % p;
+    Request rr = irecv_bytes(nullptr, 0, src, k, ch, comm, false);
+    Request sr = isend_bytes(nullptr, 0, dst, k, ch, comm);
+    wait(sr);
+    wait(rr);
+  }
+}
+
+void Mpi::bcast(void* buf, std::size_t count, Datatype dt, int root, Comm& comm) {
+  const fabric::ChannelId ch = comm.next_collective_channel();
+  const int p = comm.size();
+  if (p == 1) return;
+  const std::size_t bytes = count * dt.size();
+  const bool dev = is_device(buf);
+  const int me = comm.rank();
+  const int vrank = (me - root + p) % p;  // virtual rank: root is 0
+
+  // Receive from parent, then forward down the binomial tree.
+  int recv_mask = 1;
+  while (recv_mask < p) {
+    if (vrank & recv_mask) {
+      const int parent = (((vrank ^ recv_mask) + root) % p);
+      Request rr = irecv_bytes(buf, bytes, parent, 0, ch, comm, dev);
+      wait(rr);
+      break;
+    }
+    recv_mask <<= 1;
+  }
+  // `recv_mask` is now this rank's lowest set bit (or >= p for the root).
+  int send_mask = (vrank == 0) ? floor_pow2(p) : (recv_mask >> 1);
+  for (; send_mask > 0; send_mask >>= 1) {
+    const int vchild = vrank | send_mask;
+    if (vchild < p && vchild != vrank) {
+      Request sr = isend_bytes(buf, bytes, (vchild + root) % p, 0, ch, comm);
+      wait(sr);
+    }
+  }
+}
+
+void Mpi::reduce(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt,
+                 ReduceOp op, int root, Comm& comm) {
+  const fabric::ChannelId ch = comm.next_collective_channel();
+  const int p = comm.size();
+  const std::size_t bytes = count * dt.size();
+  const int me = comm.rank();
+  if (sendbuf == kInPlace) {
+    require(me == root, "Mpi::reduce: MPI_IN_PLACE only valid at the root");
+    sendbuf = recvbuf;
+  }
+  const bool dev = is_device(sendbuf) || is_device(recvbuf);
+  require(reduce_defined(dt.base, op), "Mpi::reduce: op not defined for datatype");
+
+  // Accumulator: recvbuf at root, scratch elsewhere.
+  std::vector<std::byte> scratch;
+  void* acc = nullptr;
+  if (me == root) {
+    acc = recvbuf;
+  } else {
+    scratch.resize(bytes);
+    acc = scratch.data();
+  }
+  copy_if_distinct(acc, sendbuf, bytes);
+
+  std::vector<std::byte> inbox(bytes);
+  const int vrank = (me - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if ((vrank & mask) == 0) {
+      const int vsrc = vrank | mask;
+      if (vsrc < p) {
+        Request rr = irecv_bytes(inbox.data(), bytes, (vsrc + root) % p, 0, ch,
+                                 comm, dev);
+        wait(rr);
+        throw_if_error(apply_reduce(dt.base, op, inbox.data(), acc, count * dt.count),
+                       "Mpi::reduce");
+      }
+    } else {
+      const int vdst = vrank ^ mask;
+      Request sr = isend_bytes(acc, bytes, (vdst + root) % p, 0, ch, comm);
+      wait(sr);
+      break;
+    }
+    mask <<= 1;
+  }
+  if (me == root && op == ReduceOp::Avg) {
+    throw_if_error(scale_inplace(dt.base, recvbuf, count * dt.count, 1.0 / p),
+                   "Mpi::reduce avg");
+  }
+}
+
+void Mpi::allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                    Datatype dt, ReduceOp op, Comm& comm) {
+  const fabric::ChannelId ch = comm.next_collective_channel();
+  const int p = comm.size();
+  const std::size_t elem = dt.size();
+  const std::size_t bytes = count * elem;
+  const std::size_t n_elems = count * dt.count;
+  const int me = comm.rank();
+  if (sendbuf == kInPlace) sendbuf = recvbuf;
+  const bool dev = is_device(sendbuf) || is_device(recvbuf);
+  require(reduce_defined(dt.base, op), "Mpi::allreduce: op not defined for datatype");
+
+  copy_if_distinct(recvbuf, sendbuf, bytes);
+  if (p == 1) {
+    if (op == ReduceOp::Avg) return;  // avg of one contribution is itself
+    return;
+  }
+
+  const int pof2 = floor_pow2(p);
+  const int rem = p - pof2;
+
+  // Fold phase for non-power-of-two sizes (MPICH scheme): the first 2*rem
+  // ranks pair up; even ranks push their vector to the odd partner and sit
+  // out; odd partners act with effective rank (me/2), ranks >= 2*rem act
+  // with effective rank (me - rem).
+  std::vector<std::byte> inbox(bytes);
+  int eff_rank;  // -1 when sitting out
+  if (me < 2 * rem) {
+    if (me % 2 == 0) {
+      Request sr = isend_bytes(recvbuf, bytes, me + 1, 1, ch, comm);
+      wait(sr);
+      eff_rank = -1;
+    } else {
+      Request rr = irecv_bytes(inbox.data(), bytes, me - 1, 1, ch, comm, dev);
+      wait(rr);
+      throw_if_error(apply_reduce(dt.base, op, inbox.data(), recvbuf, n_elems),
+                     "Mpi::allreduce fold");
+      eff_rank = me / 2;
+    }
+  } else {
+    eff_rank = me - rem;
+  }
+
+  auto real_rank = [&](int eff) { return eff < rem ? eff * 2 + 1 : eff + rem; };
+
+  if (eff_rank >= 0) {
+    if (bytes <= kAllreduceRdMaxBytes || n_elems < static_cast<std::size_t>(pof2) ||
+        pof2 == 1) {
+      // Recursive doubling over the pof2 effective ranks.
+      for (int mask = 1; mask < pof2; mask <<= 1) {
+        const int partner = real_rank(eff_rank ^ mask);
+        Request rr = irecv_bytes(inbox.data(), bytes, partner, 2, ch, comm, dev);
+        Request sr = isend_bytes(recvbuf, bytes, partner, 2, ch, comm);
+        wait(sr);
+        wait(rr);
+        throw_if_error(apply_reduce(dt.base, op, inbox.data(), recvbuf, n_elems),
+                       "Mpi::allreduce rd");
+      }
+    } else {
+      // Rabenseifner: reduce-scatter via recursive halving, then allgather
+      // via recursive doubling. Block layout: pof2 blocks over the element
+      // count, remainder spread over the leading blocks.
+      const std::size_t base_elems = n_elems / static_cast<std::size_t>(pof2);
+      const std::size_t extra = n_elems % static_cast<std::size_t>(pof2);
+      auto block_off_elems = [&](int b) {
+        const auto ub = static_cast<std::size_t>(b);
+        return base_elems * ub + (ub < extra ? ub : extra);
+      };
+      const std::size_t esz = datatype_size(dt.base);
+
+      // Active block range [lo, hi) in block units; halves every step.
+      int lo = 0;
+      int hi = pof2;
+      for (int mask = pof2 >> 1; mask > 0; mask >>= 1) {
+        const int partner_eff = eff_rank ^ mask;
+        const int partner = real_rank(partner_eff);
+        const int mid = lo + (hi - lo) / 2;
+        int send_lo;
+        int send_hi;
+        int keep_lo;
+        int keep_hi;
+        if ((eff_rank & mask) == 0) {  // keep lower half, send upper
+          send_lo = mid;
+          send_hi = hi;
+          keep_lo = lo;
+          keep_hi = mid;
+        } else {  // keep upper half, send lower
+          send_lo = lo;
+          send_hi = mid;
+          keep_lo = mid;
+          keep_hi = hi;
+        }
+        const std::size_t send_off = block_off_elems(send_lo) * esz;
+        const std::size_t send_b =
+            (block_off_elems(send_hi) - block_off_elems(send_lo)) * esz;
+        const std::size_t keep_off = block_off_elems(keep_lo) * esz;
+        const std::size_t keep_elems =
+            block_off_elems(keep_hi) - block_off_elems(keep_lo);
+
+        Request rr = irecv_bytes(inbox.data(), keep_elems * esz, partner, 3, ch,
+                                 comm, dev);
+        Request sr = isend_bytes(at(recvbuf, send_off), send_b, partner, 3, ch, comm);
+        wait(sr);
+        wait(rr);
+        throw_if_error(apply_reduce(dt.base, op, inbox.data(),
+                                    at(recvbuf, keep_off), keep_elems),
+                       "Mpi::allreduce rs");
+        lo = keep_lo;
+        hi = keep_hi;
+      }
+
+      // Allgather by recursive doubling: grow the owned range back to full.
+      for (int mask = 1; mask < pof2; mask <<= 1) {
+        const int partner_eff = eff_rank ^ mask;
+        const int partner = real_rank(partner_eff);
+        // Partner owns the mirrored range of the same size.
+        const int span = hi - lo;
+        int plo;
+        int phi;
+        if ((eff_rank & mask) == 0) {
+          plo = lo + span;
+          phi = hi + span;
+        } else {
+          plo = lo - span;
+          phi = hi - span;
+        }
+        const std::size_t my_off = block_off_elems(lo) * esz;
+        const std::size_t my_b = (block_off_elems(hi) - block_off_elems(lo)) * esz;
+        const std::size_t p_off = block_off_elems(plo) * esz;
+        const std::size_t p_b = (block_off_elems(phi) - block_off_elems(plo)) * esz;
+
+        Request rr = irecv_bytes(at(recvbuf, p_off), p_b, partner, 4, ch, comm, dev);
+        Request sr = isend_bytes(at(recvbuf, my_off), my_b, partner, 4, ch, comm);
+        wait(sr);
+        wait(rr);
+        lo = std::min(lo, plo);
+        hi = std::max(hi, phi);
+      }
+    }
+  }
+
+  // Unfold: effective ranks push the final vector back to folded partners.
+  if (me < 2 * rem) {
+    if (me % 2 == 1) {
+      Request sr = isend_bytes(recvbuf, bytes, me - 1, 5, ch, comm);
+      wait(sr);
+    } else {
+      Request rr = irecv_bytes(recvbuf, bytes, me + 1, 5, ch, comm, dev);
+      wait(rr);
+    }
+  }
+
+  if (op == ReduceOp::Avg) {
+    throw_if_error(scale_inplace(dt.base, recvbuf, n_elems, 1.0 / p),
+                   "Mpi::allreduce avg");
+  }
+}
+
+void Mpi::allgather(const void* sendbuf, std::size_t sendcount, Datatype sendtype,
+                    void* recvbuf, std::size_t recvcount, Datatype recvtype,
+                    Comm& comm) {
+  const fabric::ChannelId ch = comm.next_collective_channel();
+  const int p = comm.size();
+  const int me = comm.rank();
+  const std::size_t block = recvcount * recvtype.size();
+  if (sendbuf == kInPlace) {
+    sendbuf = at(recvbuf, static_cast<std::size_t>(me) * block);
+    sendcount = recvcount;
+    sendtype = recvtype;
+  }
+  require(sendcount * sendtype.size() == block,
+          "Mpi::allgather: send/recv size mismatch");
+  const bool dev = is_device(sendbuf) || is_device(recvbuf);
+
+  copy_if_distinct(at(recvbuf, static_cast<std::size_t>(me) * block), sendbuf,
+                   block);
+  if (p == 1) return;
+
+  const std::size_t total = block * static_cast<std::size_t>(p);
+  if (total <= kAllgatherBruckMaxBytes) {
+    // Bruck: log2(p) rounds over a rotated scratch copy.
+    std::vector<std::byte> tmp(total);
+    // Rotate so my block is first.
+    std::memcpy(tmp.data(), at(recvbuf, static_cast<std::size_t>(me) * block), block);
+    std::size_t have = 1;  // blocks held, contiguous from tmp[0]
+    int step = 1;
+    while (have < static_cast<std::size_t>(p)) {
+      const int dst = (me - step + p) % p;
+      const int src = (me + step) % p;
+      const std::size_t want =
+          std::min(have, static_cast<std::size_t>(p) - have);
+      Request rr = irecv_bytes(tmp.data() + have * block, want * block, src, step,
+                               ch, comm, dev);
+      Request sr = isend_bytes(tmp.data(), want * block, dst, step, ch, comm);
+      wait(sr);
+      wait(rr);
+      have += want;
+      step <<= 1;
+    }
+    // Un-rotate into recvbuf.
+    for (int b = 0; b < p; ++b) {
+      const int owner = (me + b) % p;
+      std::memcpy(at(recvbuf, static_cast<std::size_t>(owner) * block),
+                  tmp.data() + static_cast<std::size_t>(b) * block, block);
+    }
+  } else {
+    // Ring: p-1 steps, forwarding the newest block.
+    const int right = (me + 1) % p;
+    const int left = (me - 1 + p) % p;
+    for (int s = 0; s < p - 1; ++s) {
+      const int send_block = (me - s + p) % p;
+      const int recv_block = (me - s - 1 + p) % p;
+      Request rr = irecv_bytes(
+          at(recvbuf, static_cast<std::size_t>(recv_block) * block), block, left,
+          s, ch, comm, dev);
+      Request sr = isend_bytes(
+          at(recvbuf, static_cast<std::size_t>(send_block) * block), block, right,
+          s, ch, comm);
+      wait(sr);
+      wait(rr);
+    }
+  }
+}
+
+void Mpi::allgatherv(const void* sendbuf, std::size_t sendcount, Datatype sendtype,
+                     void* recvbuf, std::span<const std::size_t> recvcounts,
+                     std::span<const std::size_t> displs, Datatype recvtype,
+                     Comm& comm) {
+  const fabric::ChannelId ch = comm.next_collective_channel();
+  const int p = comm.size();
+  const int me = comm.rank();
+  require(recvcounts.size() == static_cast<std::size_t>(p) &&
+              displs.size() == static_cast<std::size_t>(p),
+          "Mpi::allgatherv: bad counts");
+  const std::size_t esz = recvtype.size();
+  if (sendbuf == kInPlace) {
+    sendbuf = at(recvbuf, displs[static_cast<std::size_t>(me)] * esz);
+    sendcount = recvcounts[static_cast<std::size_t>(me)];
+    sendtype = recvtype;
+  }
+  const bool dev = is_device(sendbuf) || is_device(recvbuf);
+  require(sendcount * sendtype.size() ==
+              recvcounts[static_cast<std::size_t>(me)] * esz,
+          "Mpi::allgatherv: my block size mismatch");
+
+  copy_if_distinct(at(recvbuf, displs[static_cast<std::size_t>(me)] * esz),
+                   sendbuf, sendcount * sendtype.size());
+  if (p == 1) return;
+
+  // Ring with per-owner block sizes.
+  const int right = (me + 1) % p;
+  const int left = (me - 1 + p) % p;
+  for (int s = 0; s < p - 1; ++s) {
+    const auto send_block = static_cast<std::size_t>((me - s + p) % p);
+    const auto recv_block = static_cast<std::size_t>((me - s - 1 + p) % p);
+    Request rr = irecv_bytes(at(recvbuf, displs[recv_block] * esz),
+                             recvcounts[recv_block] * esz, left, s, ch, comm, dev);
+    Request sr = isend_bytes(at(recvbuf, displs[send_block] * esz),
+                             recvcounts[send_block] * esz, right, s, ch, comm);
+    wait(sr);
+    wait(rr);
+  }
+}
+
+void Mpi::gather(const void* sendbuf, std::size_t sendcount, Datatype sendtype,
+                 void* recvbuf, std::size_t recvcount, Datatype recvtype, int root,
+                 Comm& comm) {
+  const fabric::ChannelId ch = comm.next_collective_channel();
+  const int p = comm.size();
+  const int me = comm.rank();
+  if (me == root) {
+    const std::size_t block = recvcount * recvtype.size();
+    if (sendbuf == kInPlace) {
+      sendbuf = at(recvbuf, static_cast<std::size_t>(me) * block);
+      sendcount = recvcount;
+      sendtype = recvtype;
+    }
+    require(block == sendcount * sendtype.size(), "Mpi::gather: size mismatch");
+    const bool dev = is_device(sendbuf) || is_device(recvbuf);
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      if (r == me) {
+        copy_if_distinct(at(recvbuf, static_cast<std::size_t>(r) * block),
+                         sendbuf, block);
+        continue;
+      }
+      reqs.push_back(irecv_bytes(at(recvbuf, static_cast<std::size_t>(r) * block),
+                                 block, r, 0, ch, comm, dev));
+    }
+    waitall(reqs);
+  } else {
+    Request sr = isend_bytes(sendbuf, sendcount * sendtype.size(), root, 0, ch,
+                             comm);
+    wait(sr);
+  }
+}
+
+void Mpi::gatherv(const void* sendbuf, std::size_t sendcount, Datatype sendtype,
+                  void* recvbuf, std::span<const std::size_t> recvcounts,
+                  std::span<const std::size_t> displs, Datatype recvtype, int root,
+                  Comm& comm) {
+  const fabric::ChannelId ch = comm.next_collective_channel();
+  const int p = comm.size();
+  const int me = comm.rank();
+  const std::size_t sbytes = sendcount * sendtype.size();
+  if (me == root) {
+    require(recvcounts.size() == static_cast<std::size_t>(p) &&
+                displs.size() == static_cast<std::size_t>(p),
+            "Mpi::gatherv: bad counts");
+    const std::size_t esz = recvtype.size();
+    const bool dev = is_device(sendbuf) || is_device(recvbuf);
+    std::vector<Request> reqs;
+    for (int r = 0; r < p; ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      if (r == me) {
+        std::memcpy(at(recvbuf, displs[ur] * esz), sendbuf, sbytes);
+        continue;
+      }
+      reqs.push_back(irecv_bytes(at(recvbuf, displs[ur] * esz),
+                                 recvcounts[ur] * esz, r, 0, ch, comm, dev));
+    }
+    waitall(reqs);
+  } else {
+    Request sr = isend_bytes(sendbuf, sbytes, root, 0, ch, comm);
+    wait(sr);
+  }
+}
+
+void Mpi::scatter(const void* sendbuf, std::size_t sendcount, Datatype sendtype,
+                  void* recvbuf, std::size_t recvcount, Datatype recvtype, int root,
+                  Comm& comm) {
+  const fabric::ChannelId ch = comm.next_collective_channel();
+  const int p = comm.size();
+  const int me = comm.rank();
+  const std::size_t rbytes = recvcount * recvtype.size();
+  if (me == root) {
+    const std::size_t block = sendcount * sendtype.size();
+    require(block == rbytes, "Mpi::scatter: size mismatch");
+    std::vector<Request> reqs;
+    for (int r = 0; r < p; ++r) {
+      if (r == me) {
+        std::memcpy(recvbuf, at(sendbuf, static_cast<std::size_t>(r) * block),
+                    block);
+        continue;
+      }
+      reqs.push_back(isend_bytes(at(sendbuf, static_cast<std::size_t>(r) * block),
+                                 block, r, 0, ch, comm));
+    }
+    waitall(reqs);
+  } else {
+    const bool dev = is_device(recvbuf);
+    Request rr = irecv_bytes(recvbuf, rbytes, root, 0, ch, comm, dev);
+    wait(rr);
+  }
+}
+
+void Mpi::scatterv(const void* sendbuf, std::span<const std::size_t> sendcounts,
+                   std::span<const std::size_t> displs, Datatype sendtype,
+                   void* recvbuf, std::size_t recvcount, Datatype recvtype,
+                   int root, Comm& comm) {
+  const fabric::ChannelId ch = comm.next_collective_channel();
+  const int p = comm.size();
+  const int me = comm.rank();
+  const std::size_t rbytes = recvcount * recvtype.size();
+  if (me == root) {
+    require(sendcounts.size() == static_cast<std::size_t>(p) &&
+                displs.size() == static_cast<std::size_t>(p),
+            "Mpi::scatterv: bad counts");
+    const std::size_t esz = sendtype.size();
+    std::vector<Request> reqs;
+    for (int r = 0; r < p; ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      if (r == me) {
+        std::memcpy(recvbuf, at(sendbuf, displs[ur] * esz), sendcounts[ur] * esz);
+        continue;
+      }
+      reqs.push_back(isend_bytes(at(sendbuf, displs[ur] * esz),
+                                 sendcounts[ur] * esz, r, 0, ch, comm));
+    }
+    waitall(reqs);
+  } else {
+    const bool dev = is_device(recvbuf);
+    Request rr = irecv_bytes(recvbuf, rbytes, root, 0, ch, comm, dev);
+    wait(rr);
+  }
+}
+
+void Mpi::alltoall(const void* sendbuf, std::size_t sendcount, Datatype sendtype,
+                   void* recvbuf, std::size_t recvcount, Datatype recvtype,
+                   Comm& comm) {
+  const fabric::ChannelId ch = comm.next_collective_channel();
+  const int p = comm.size();
+  const int me = comm.rank();
+  const std::size_t rblock = recvcount * recvtype.size();
+  std::vector<std::byte> inplace_copy;
+  if (sendbuf == kInPlace) {
+    // In-place alltoall: snapshot the receive buffer as the send data.
+    inplace_copy.assign(static_cast<const std::byte*>(recvbuf),
+                        static_cast<const std::byte*>(recvbuf) +
+                            rblock * static_cast<std::size_t>(p));
+    sendbuf = inplace_copy.data();
+    sendcount = recvcount;
+    sendtype = recvtype;
+  }
+  const std::size_t sblock = sendcount * sendtype.size();
+  require(sblock == rblock, "Mpi::alltoall: size mismatch");
+  const bool dev = is_device(sendbuf) || is_device(recvbuf);
+
+  copy_if_distinct(at(recvbuf, static_cast<std::size_t>(me) * rblock),
+                   at(sendbuf, static_cast<std::size_t>(me) * sblock), sblock);
+  if (sblock <= prof_.eager_threshold) {
+    // Small blocks: post everything at once (MVAPICH-style scattered
+    // isend/irecv); completion is dominated by one alpha, not p-1 of them.
+    std::vector<Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(2 * (p - 1)));
+    for (int s = 1; s < p; ++s) {
+      const int src = (me - s + p) % p;
+      reqs.push_back(irecv_bytes(at(recvbuf, static_cast<std::size_t>(src) * rblock),
+                                 rblock, src, 0, ch, comm, dev));
+    }
+    for (int s = 1; s < p; ++s) {
+      const int dst = (me + s) % p;
+      reqs.push_back(isend_bytes(at(sendbuf, static_cast<std::size_t>(dst) * sblock),
+                                 sblock, dst, 0, ch, comm));
+    }
+    waitall(reqs);
+    return;
+  }
+  // Large blocks: pairwise exchange, p-1 rounds; in round s talk to (me +/- s).
+  for (int s = 1; s < p; ++s) {
+    const int dst = (me + s) % p;
+    const int src = (me - s + p) % p;
+    Request rr = irecv_bytes(at(recvbuf, static_cast<std::size_t>(src) * rblock),
+                             rblock, src, s, ch, comm, dev);
+    Request sr = isend_bytes(at(sendbuf, static_cast<std::size_t>(dst) * sblock),
+                             sblock, dst, s, ch, comm);
+    wait(sr);
+    wait(rr);
+  }
+}
+
+void Mpi::alltoallv(const void* sendbuf, std::span<const std::size_t> sendcounts,
+                    std::span<const std::size_t> sdispls, Datatype sendtype,
+                    void* recvbuf, std::span<const std::size_t> recvcounts,
+                    std::span<const std::size_t> rdispls, Datatype recvtype,
+                    Comm& comm) {
+  const fabric::ChannelId ch = comm.next_collective_channel();
+  const int p = comm.size();
+  const int me = comm.rank();
+  require(sendcounts.size() == static_cast<std::size_t>(p) &&
+              recvcounts.size() == static_cast<std::size_t>(p),
+          "Mpi::alltoallv: bad counts");
+  const std::size_t ssz = sendtype.size();
+  const std::size_t rsz = recvtype.size();
+  const bool dev = is_device(sendbuf) || is_device(recvbuf);
+
+  const auto ume = static_cast<std::size_t>(me);
+  std::memcpy(at(recvbuf, rdispls[ume] * rsz), at(sendbuf, sdispls[ume] * ssz),
+              sendcounts[ume] * ssz);
+
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(2 * (p - 1)));
+  for (int r = 0; r < p; ++r) {
+    if (r == me) continue;
+    const auto ur = static_cast<std::size_t>(r);
+    reqs.push_back(irecv_bytes(at(recvbuf, rdispls[ur] * rsz),
+                               recvcounts[ur] * rsz, r, 0, ch, comm, dev));
+  }
+  for (int r = 0; r < p; ++r) {
+    if (r == me) continue;
+    const auto ur = static_cast<std::size_t>(r);
+    reqs.push_back(isend_bytes(at(sendbuf, sdispls[ur] * ssz),
+                               sendcounts[ur] * ssz, r, 0, ch, comm));
+  }
+  waitall(reqs);
+}
+
+void Mpi::reduce_scatter_block(const void* sendbuf, void* recvbuf,
+                               std::size_t recvcount, Datatype dt, ReduceOp op,
+                               Comm& comm) {
+  const fabric::ChannelId ch = comm.next_collective_channel();
+  const int p = comm.size();
+  const int me = comm.rank();
+  const std::size_t block = recvcount * dt.size();
+  const std::size_t block_elems = recvcount * dt.count;
+  require(sendbuf != kInPlace,
+          "Mpi::reduce_scatter_block: MPI_IN_PLACE not supported");
+  const bool dev = is_device(sendbuf) || is_device(recvbuf);
+  require(reduce_defined(dt.base, op),
+          "Mpi::reduce_scatter_block: op not defined for datatype");
+
+  if (p == 1) {
+    std::memcpy(recvbuf, sendbuf, block);
+    return;
+  }
+
+  // Ring reduce-scatter: accumulate into a scratch copy; after p-1 steps the
+  // block for rank me is fully reduced.
+  std::vector<std::byte> acc(block * static_cast<std::size_t>(p));
+  std::memcpy(acc.data(), sendbuf, acc.size());
+  std::vector<std::byte> inbox(block);
+
+  const int right = (me + 1) % p;
+  const int left = (me - 1 + p) % p;
+  for (int s = 0; s < p - 1; ++s) {
+    const auto send_block = static_cast<std::size_t>((me - s - 1 + p) % p);
+    const auto recv_block = static_cast<std::size_t>((me - s - 2 + 2 * p) % p);
+    Request rr = irecv_bytes(inbox.data(), block, left, s, ch, comm, dev);
+    Request sr =
+        isend_bytes(acc.data() + send_block * block, block, right, s, ch, comm);
+    wait(sr);
+    wait(rr);
+    throw_if_error(apply_reduce(dt.base, op, inbox.data(),
+                                acc.data() + recv_block * block, block_elems),
+                   "Mpi::reduce_scatter_block");
+  }
+  std::memcpy(recvbuf, acc.data() + static_cast<std::size_t>(me) * block, block);
+  if (op == ReduceOp::Avg) {
+    throw_if_error(scale_inplace(dt.base, recvbuf, block_elems, 1.0 / p),
+                   "Mpi::reduce_scatter_block avg");
+  }
+}
+
+void Mpi::scan(const void* sendbuf, void* recvbuf, std::size_t count, Datatype dt,
+               ReduceOp op, Comm& comm) {
+  const fabric::ChannelId ch = comm.next_collective_channel();
+  const int p = comm.size();
+  const int me = comm.rank();
+  const std::size_t bytes = count * dt.size();
+  const bool dev = is_device(sendbuf) || is_device(recvbuf);
+  require(op != ReduceOp::Avg, "Mpi::scan: MPI defines no Avg scan");
+  require(reduce_defined(dt.base, op), "Mpi::scan: op not defined for datatype");
+  if (sendbuf == kInPlace) sendbuf = recvbuf;
+
+  copy_if_distinct(recvbuf, sendbuf, bytes);
+  if (me > 0) {
+    std::vector<std::byte> inbox(bytes);
+    Request rr = irecv_bytes(inbox.data(), bytes, me - 1, 0, ch, comm, dev);
+    wait(rr);
+    // recvbuf = inbox (prefix of ranks < me) op my contribution.
+    throw_if_error(apply_reduce(dt.base, op, inbox.data(), recvbuf,
+                                count * dt.count),
+                   "Mpi::scan");
+  }
+  if (me < p - 1) {
+    Request sr = isend_bytes(recvbuf, bytes, me + 1, 0, ch, comm);
+    wait(sr);
+  }
+}
+
+void Mpi::exscan(const void* sendbuf, void* recvbuf, std::size_t count,
+                 Datatype dt, ReduceOp op, Comm& comm) {
+  const fabric::ChannelId ch = comm.next_collective_channel();
+  const int p = comm.size();
+  const int me = comm.rank();
+  const std::size_t bytes = count * dt.size();
+  const bool dev = is_device(sendbuf) || is_device(recvbuf);
+  require(op != ReduceOp::Avg, "Mpi::exscan: MPI defines no Avg scan");
+  require(reduce_defined(dt.base, op),
+          "Mpi::exscan: op not defined for datatype");
+  if (sendbuf == kInPlace) sendbuf = recvbuf;
+
+  // Linear chain: the value forwarded to rank r+1 is op(prefix, mine); the
+  // value *received* is the exclusive prefix.
+  std::vector<std::byte> mine(bytes);
+  std::memcpy(mine.data(), sendbuf, bytes);
+  if (me > 0) {
+    Request rr = irecv_bytes(recvbuf, bytes, me - 1, 0, ch, comm, dev);
+    wait(rr);
+    // forward = recvbuf (prefix) op mine.
+    throw_if_error(apply_reduce(dt.base, op, recvbuf, mine.data(),
+                                count * dt.count),
+                   "Mpi::exscan");
+  }
+  if (me < p - 1) {
+    Request sr = isend_bytes(mine.data(), bytes, me + 1, 0, ch, comm);
+    wait(sr);
+  }
+  // Rank 0's recvbuf stays untouched (undefined per MPI).
+}
+
+RecvStatus Mpi::sendrecv_replace(void* buf, std::size_t count, Datatype dt,
+                                 int dst, int sendtag, int src, int recvtag,
+                                 Comm& comm) {
+  const std::size_t bytes = count * dt.size();
+  std::vector<std::byte> tmp(bytes);
+  std::memcpy(tmp.data(), buf, bytes);
+  Request rr = irecv(buf, count, dt, src, recvtag, comm);
+  Request sr = isend(tmp.data(), count, dt, dst, sendtag, comm);
+  wait(sr);
+  return wait(rr);
+}
+
+Request Mpi::ibcast(void* buf, std::size_t count, Datatype dt, int root,
+                    Comm& comm) {
+  bcast(buf, count, dt, root, comm);
+  return Request::completed(clock().now());
+}
+
+Request Mpi::iallreduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                        Datatype dt, ReduceOp op, Comm& comm) {
+  allreduce(sendbuf, recvbuf, count, dt, op, comm);
+  return Request::completed(clock().now());
+}
+
+Request Mpi::ibarrier(Comm& comm) {
+  barrier(comm);
+  return Request::completed(clock().now());
+}
+
+}  // namespace mpixccl::mini

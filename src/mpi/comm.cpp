@@ -1,0 +1,38 @@
+#include "mpi/comm.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mpixccl::mini {
+
+Comm Comm::world(int my_world_rank, int world_size, fabric::ChannelId base) {
+  require(my_world_rank >= 0 && my_world_rank < world_size, "Comm::world: bad rank");
+  Comm c;
+  c.rank_ = my_world_rank;
+  c.world_ranks_.resize(static_cast<std::size_t>(world_size));
+  std::iota(c.world_ranks_.begin(), c.world_ranks_.end(), 0);
+  c.p2p_channel_ = fabric::derive_channel(base, 1);
+  c.coll_base_ = fabric::derive_channel(base, 2);
+  return c;
+}
+
+Comm Comm::create(int my_world_rank, std::vector<int> world_ranks,
+                  fabric::ChannelId channel) {
+  auto it = std::find(world_ranks.begin(), world_ranks.end(), my_world_rank);
+  require(it != world_ranks.end(), "Comm::create: caller not in group");
+  Comm c;
+  c.rank_ = static_cast<int>(it - world_ranks.begin());
+  c.world_ranks_ = std::move(world_ranks);
+  c.p2p_channel_ = fabric::derive_channel(channel, 1);
+  c.coll_base_ = fabric::derive_channel(channel, 2);
+  return c;
+}
+
+int Comm::comm_rank_of_world(int world_rank) const {
+  for (std::size_t i = 0; i < world_ranks_.size(); ++i) {
+    if (world_ranks_[i] == world_rank) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace mpixccl::mini

@@ -1,0 +1,69 @@
+#pragma once
+// MiniMPI communicators.
+//
+// A Comm is a per-rank object describing this rank's view of a process
+// group: its rank within the group, the group size, and the mapping from
+// group ranks to world (fabric) ranks. Traffic isolation between
+// communicators — MPI's context id — is a fabric channel derived
+// deterministically at creation, so all members compute the same channel
+// without extra communication.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "fabric/world.hpp"
+
+namespace mpixccl::mini {
+
+class Comm {
+ public:
+  /// World communicator over `world_size` ranks for the Mpi instance with
+  /// the given base channel.
+  static Comm world(int my_world_rank, int world_size, fabric::ChannelId base);
+
+  /// Sub-communicator over `world_ranks` (group-rank order). `my_world_rank`
+  /// must appear in the list.
+  static Comm create(int my_world_rank, std::vector<int> world_ranks,
+                     fabric::ChannelId channel);
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return static_cast<int>(world_ranks_.size()); }
+
+  /// Group rank -> world rank.
+  [[nodiscard]] int world_rank(int comm_rank) const {
+    require(comm_rank >= 0 && comm_rank < size(), "Comm: bad rank");
+    return world_ranks_[static_cast<std::size_t>(comm_rank)];
+  }
+
+  /// World rank -> group rank, or -1 when not a member.
+  [[nodiscard]] int comm_rank_of_world(int world_rank) const;
+
+  /// Channel for point-to-point traffic on this communicator.
+  [[nodiscard]] fabric::ChannelId p2p_channel() const { return p2p_channel_; }
+
+  /// Allocate the channel for the next collective operation. Collective
+  /// calls occur in the same order on every member (MPI semantics), so every
+  /// rank derives the same channel.
+  [[nodiscard]] fabric::ChannelId next_collective_channel() {
+    return fabric::derive_channel(coll_base_, ++coll_seq_);
+  }
+
+  /// Channel for the next derived communicator (dup/split); same
+  /// deterministic-order argument as collectives.
+  [[nodiscard]] fabric::ChannelId next_derived_channel() {
+    return fabric::derive_channel(coll_base_, 0x9000000000000000ull + (++create_seq_));
+  }
+
+ private:
+  Comm() = default;
+
+  int rank_ = 0;
+  std::vector<int> world_ranks_;
+  fabric::ChannelId p2p_channel_ = 0;
+  fabric::ChannelId coll_base_ = 0;
+  std::uint64_t coll_seq_ = 0;
+  std::uint64_t create_seq_ = 0;
+};
+
+}  // namespace mpixccl::mini

@@ -1,0 +1,44 @@
+#pragma once
+// MPI datatype handles for MiniMPI.
+//
+// MiniMPI datatypes map 1:1 onto the element DataType set plus an element
+// count for contiguous derived types (MPI_Type_contiguous equivalent), which
+// is all the paper's workloads exercise. MPI_DOUBLE_COMPLEX is a first-class
+// member because the capability-fallback experiments depend on it.
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace mpixccl::mini {
+
+/// An MPI datatype: `count` contiguous elements of `base`.
+struct Datatype {
+  DataType base = DataType::Byte;
+  std::size_t count = 1;  ///< elements per datatype instance (contiguous)
+
+  [[nodiscard]] std::size_t size() const { return datatype_size(base) * count; }
+  friend bool operator==(const Datatype&, const Datatype&) = default;
+};
+
+/// MPI_Type_contiguous: a datatype of `n` copies of `base`.
+constexpr Datatype contiguous(std::size_t n, Datatype base) {
+  return Datatype{base.base, base.count * n};
+}
+
+// Predefined handles, named after their MPI counterparts.
+inline constexpr Datatype kChar{DataType::Int8, 1};
+inline constexpr Datatype kUnsignedChar{DataType::Uint8, 1};
+inline constexpr Datatype kInt{DataType::Int32, 1};
+inline constexpr Datatype kUnsigned{DataType::Uint32, 1};
+inline constexpr Datatype kLongLong{DataType::Int64, 1};
+inline constexpr Datatype kUnsignedLongLong{DataType::Uint64, 1};
+inline constexpr Datatype kFloat16{DataType::Float16, 1};
+inline constexpr Datatype kBFloat16{DataType::BFloat16, 1};
+inline constexpr Datatype kFloat{DataType::Float32, 1};
+inline constexpr Datatype kDouble{DataType::Float64, 1};
+inline constexpr Datatype kComplex{DataType::FloatComplex, 1};
+inline constexpr Datatype kDoubleComplex{DataType::DoubleComplex, 1};
+inline constexpr Datatype kByte{DataType::Byte, 1};
+
+}  // namespace mpixccl::mini

@@ -1,0 +1,51 @@
+#pragma once
+// Nonblocking-operation handles for MiniMPI.
+
+#include <variant>
+
+#include "fabric/endpoint.hpp"
+#include "fabric/message.hpp"
+#include "sim/time.hpp"
+
+namespace mpixccl::mini {
+
+/// Information about a completed receive (MPI_Status equivalent).
+struct RecvStatus {
+  int source = fabric::kAnySource;  ///< group rank of the sender
+  int tag = fabric::kAnyTag;
+  std::size_t bytes = 0;
+};
+
+/// A nonblocking operation handle. Obtained from isend/irecv (or the
+/// nonblocking collectives, which complete immediately in virtual time).
+class Request {
+ public:
+  Request() = default;
+
+  static Request from_send(fabric::PendingSend s) { return Request(State{std::move(s)}); }
+  static Request from_recv(fabric::PendingRecv r, const class Comm* comm) {
+    Request req{State{std::move(r)}};
+    req.comm_ = comm;
+    return req;
+  }
+  static Request completed(sim::TimeUs t) { return Request(State{Done{t}}); }
+
+  [[nodiscard]] bool valid() const {
+    return !std::holds_alternative<std::monostate>(state_);
+  }
+
+ private:
+  struct Done {
+    sim::TimeUs time;
+  };
+  using State = std::variant<std::monostate, fabric::PendingSend,
+                             fabric::PendingRecv, Done>;
+
+  explicit Request(State s) : state_(std::move(s)) {}
+
+  friend class Mpi;
+  State state_;
+  const class Comm* comm_ = nullptr;  ///< for world->group source translation
+};
+
+}  // namespace mpixccl::mini

@@ -1,0 +1,31 @@
+#pragma once
+// Umbrella header: everything a user of the MPI-xCCL library needs.
+//
+//   #include "mpixccl.hpp"
+//
+//   fabric::run_world(sim::thetagpu(), 1, [](fabric::RankContext& ctx) {
+//     core::XcclMpi mpi(ctx);
+//     ...
+//   });
+//
+// Individual module headers remain includable on their own; this header is
+// convenience for applications and examples.
+
+#include "common/log.hpp"       // IWYU pragma: export
+#include "common/reduce.hpp"    // IWYU pragma: export
+#include "common/status.hpp"    // IWYU pragma: export
+#include "common/types.hpp"     // IWYU pragma: export
+#include "core/tuner.hpp"       // IWYU pragma: export
+#include "core/tuning.hpp"      // IWYU pragma: export
+#include "core/ucc_baseline.hpp"  // IWYU pragma: export
+#include "core/xccl_mpi.hpp"    // IWYU pragma: export
+#include "device/device.hpp"    // IWYU pragma: export
+#include "dl/horovod.hpp"       // IWYU pragma: export
+#include "dl/model.hpp"         // IWYU pragma: export
+#include "fabric/world.hpp"     // IWYU pragma: export
+#include "mpi/mpi.hpp"          // IWYU pragma: export
+#include "omb/harness.hpp"      // IWYU pragma: export
+#include "sim/profiles.hpp"     // IWYU pragma: export
+#include "xccl/backend.hpp"     // IWYU pragma: export
+#include "xccl/capi.hpp"        // IWYU pragma: export
+#include "xccl/msccl.hpp"       // IWYU pragma: export

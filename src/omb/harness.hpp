@@ -1,0 +1,116 @@
+#pragma once
+// OSU-Micro-Benchmarks-style measurement harness over the simulated stack.
+//
+// Conventions follow OMB: message-size sweeps in powers of two, warmup
+// iterations excluded from timing, latency averaged over iterations, and the
+// reported number is the maximum across participating ranks. The
+// max-across-ranks reduction falls out of RankContext::sync_clocks(): with
+// clocks aligned before and after the timed loop, every rank's delta IS the
+// slowest rank's time.
+//
+// The harness measures the same artifacts the paper's evaluation uses:
+//  * point-to-point latency / bandwidth / bi-directional bandwidth per CCL
+//    backend (Figs. 3-4), via osu_latency/osu_bw/osu_bibw-equivalent loops;
+//  * collective latency per runtime flavor (Figs. 1, 5, 6);
+//  * the flavors: proposed hybrid, proposed pure-xCCL-in-MPI, pure vendor
+//    CCL (the dashed lines), GPU-aware MPI, Open MPI + UCX, and OMPI+UCX+UCC.
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/tuning.hpp"
+#include "sim/profiles.hpp"
+#include "sim/topology.hpp"
+#include "xccl/api.hpp"
+
+namespace mpixccl::omb {
+
+/// One measured point: message size in bytes, value in the metric's unit
+/// (microseconds for latency, MB/s for bandwidth).
+struct Row {
+  std::size_t bytes = 0;
+  double value = 0.0;
+};
+
+using Series = std::vector<Row>;
+
+/// Powers-of-two sweep [min_bytes, max_bytes], multiplying by `factor`.
+std::vector<std::size_t> size_sweep(std::size_t min_bytes, std::size_t max_bytes,
+                                    std::size_t factor = 2);
+
+/// Iteration counts, shrinking for large messages like OMB does.
+struct Timing {
+  int warmup_small = 10;
+  int iters_small = 50;
+  int warmup_large = 2;
+  int iters_large = 10;
+  std::size_t large_threshold = 65536;
+
+  [[nodiscard]] int warmup(std::size_t bytes) const {
+    return bytes > large_threshold ? warmup_large : warmup_small;
+  }
+  [[nodiscard]] int iters(std::size_t bytes) const {
+    return bytes > large_threshold ? iters_large : iters_small;
+  }
+};
+
+// ---- Point-to-point (Figs. 3 and 4) ----------------------------------------
+
+struct P2pConfig {
+  xccl::CclKind backend = xccl::CclKind::Nccl;
+  sim::LinkScope scope = sim::LinkScope::IntraNode;
+  std::vector<std::size_t> sizes = size_sweep(4, 4u << 20);
+  Timing timing;
+  int window = 64;  ///< messages in flight for bw / bibw (OMB default)
+};
+
+struct P2pResult {
+  Series latency;  ///< one-way latency, us
+  Series bw;       ///< unidirectional bandwidth, MB/s
+  Series bibw;     ///< bi-directional bandwidth, MB/s
+};
+
+/// Run the three p2p benchmarks between two ranks (same node for IntraNode,
+/// adjacent nodes for InterNode) of `profile` with the given backend.
+P2pResult run_p2p(const sim::SystemProfile& profile, const P2pConfig& config);
+
+// ---- Collectives (Figs. 1, 5, 6) -------------------------------------------
+
+/// Which runtime serves the collective (the lines in the paper's figures).
+enum class Flavor {
+  HybridXccl,     ///< "Proposed Hybrid xCCL"
+  PureXcclInMpi,  ///< "Proposed xCCL w/ Pure <backend>"
+  PureCcl,        ///< vendor CCL called directly (OMB NCCL benchmarks)
+  GpuAwareMpi,    ///< MVAPICH-like GPU-aware MPI path
+  OmpiUcx,        ///< Open MPI + UCX baseline
+  OmpiUcxUcc,     ///< Open MPI + UCX + UCC baseline
+};
+
+std::string_view to_string(Flavor f);
+
+struct CollectiveConfig {
+  core::CollOp op = core::CollOp::Allreduce;
+  std::vector<Flavor> flavors = {Flavor::HybridXccl, Flavor::PureXcclInMpi,
+                                 Flavor::PureCcl, Flavor::OmpiUcxUcc};
+  /// Backend override (MSCCL runs); default: the system's native CCL.
+  std::optional<xccl::CclKind> backend;
+  std::vector<std::size_t> sizes = size_sweep(4, 4u << 20, 4);
+  Timing timing;
+};
+
+using FlavorSeries = std::map<Flavor, Series>;
+
+/// Measure one collective across sizes and flavors on `nodes` nodes of
+/// `profile` (latency in us, max across ranks).
+FlavorSeries run_collective(const sim::SystemProfile& profile, int nodes,
+                            const CollectiveConfig& config);
+
+/// Print series side by side as an OMB-style table ("# OSU ..." header,
+/// size column plus one column per series).
+void print_series_table(const std::string& title, const std::string& unit,
+                        const std::vector<std::pair<std::string, Series>>& series);
+
+}  // namespace mpixccl::omb

@@ -1,0 +1,34 @@
+#pragma once
+// Alpha-beta link cost models.
+//
+// A transfer of n bytes over a link costs alpha_us + n / bw. Bi-directional
+// traffic shares capacity with efficiency `bidir_factor` (1.0 = full duplex):
+// when both directions are loaded, each direction sees bw * bidir_factor.
+
+#include <cstddef>
+
+#include "sim/time.hpp"
+
+namespace mpixccl::sim {
+
+/// Parameters of one link class (e.g. NVLink hop, PCIe hop, HDR network hop).
+struct LinkParams {
+  double alpha_us = 0.0;      ///< per-message latency
+  double bw_MBps = 1.0;       ///< peak unidirectional bandwidth, MB/s (1e6 B/s)
+  double bidir_factor = 1.0;  ///< per-direction efficiency under bidirectional load
+
+  /// Cost of moving `bytes` one way, nothing else on the link.
+  [[nodiscard]] TimeUs cost_us(std::size_t bytes) const {
+    return alpha_us + static_cast<double>(bytes) / bw_MBps;  // B / (MB/s) = us
+  }
+
+  /// Cost per direction when both directions are saturated.
+  [[nodiscard]] TimeUs bidir_cost_us(std::size_t bytes) const {
+    return alpha_us + static_cast<double>(bytes) / (bw_MBps * bidir_factor);
+  }
+};
+
+/// Scope of a transfer with respect to the node layout.
+enum class LinkScope { IntraNode, InterNode };
+
+}  // namespace mpixccl::sim

@@ -1,0 +1,302 @@
+#include "sim/profiles.hpp"
+
+#include "common/status.hpp"
+
+namespace mpixccl::sim {
+
+// Calibration notes
+// -----------------
+// The paper reports, per backend (Sec. 4.2):
+//   launch overheads (intra): NCCL 20 us, RCCL 25 us, HCCL 270 us, MSCCL 28 us
+//   intra 4 MB latency:       NCCL 56,   RCCL 836,   HCCL 1651,  MSCCL 100
+//   intra bandwidth (MB/s):   NCCL 137031, RCCL 6351, HCCL 3044, MSCCL 112439
+//   intra bidir bw (MB/s):    NCCL 181204,            HCCL ~?,   MSCCL 131859
+//   inter 4 MB latency:       NCCL 255,  RCCL 579,   HCCL 835,   MSCCL 230
+//
+// We model p2p latency(n) = launch + alpha + n / bw. Solving with the peak
+// bandwidth from the BW test gives the per-message protocol alpha:
+//   NCCL intra:  56 = 20 + a + 4194304B/137031MBps(=30.6us) -> a ~ 5.4
+//   RCCL intra: 836 = 25 + a + 660.4                        -> a ~ 150.6
+//   HCCL intra: 1651 = 270 + a + 1377.9                     -> a ~ 3.1
+//   MSCCL intra: 100 = 28 + a + 37.3                        -> a ~ 34.7
+// Inter-node bandwidths are solved the same way from the 4 MB latencies.
+
+namespace {
+
+constexpr double kMiB4 = 4194304.0;
+
+/// Solve for the effective bandwidth that makes latency(4MB) match.
+double bw_from_4mb_latency(double total_us, double launch_us, double alpha_us) {
+  return kMiB4 / (total_us - launch_us - alpha_us);
+}
+
+}  // namespace
+
+SystemProfile thetagpu() {
+  SystemProfile p;
+  p.name = "thetagpu";
+  p.vendor = Vendor::Nvidia;
+  p.devices_per_node = 8;
+  p.max_nodes = 16;
+
+  // A100 SXM: ~2 TB/s HBM, ~25 GB/s pinned PCIe4 per direction.
+  p.device = DeviceParams{
+      .h2d_bw_MBps = 24000.0,
+      .d2h_bw_MBps = 22000.0,
+      .d2d_bw_MBps = 1300000.0,
+      .memcpy_launch_us = 3.5,
+      .kernel_launch_us = 4.0,
+      .alloc_us = 60.0,
+      .stream_sync_us = 2.5,
+  };
+
+  // NCCL 2.18-class behaviour on NVSwitch + HDR.
+  p.ccl = CclProfile{
+      .launch_us = 20.0,
+      .p2p_intra = LinkParams{.alpha_us = 5.4, .bw_MBps = 137031.0,
+                              // bibw 181204 / (2 * 137031) = 0.661
+                              .bidir_factor = 0.661},
+      .p2p_inter = LinkParams{.alpha_us = 6.0,
+                              .bw_MBps = bw_from_4mb_latency(255.0, 20.0, 6.0),
+                              .bidir_factor = 0.85},
+      .ring_step_us = 1.1,
+      .tree_hop_us = 1.0,
+      .tree_threshold = 262144,
+      .inter_quirks = {},
+  };
+
+  // MSCCL runs over NCCL 2.12.12: slightly lower launch-path latency
+  // inter-node (230 vs 255 us at 4 MB) but lower intra bandwidth.
+  p.msccl = CclProfile{
+      .launch_us = 28.0,
+      .p2p_intra = LinkParams{.alpha_us = 34.7, .bw_MBps = 112439.0,
+                              // bibw 131859 / (2 * 112439) = 0.586
+                              .bidir_factor = 0.586},
+      .p2p_inter = LinkParams{.alpha_us = 6.0,
+                              .bw_MBps = bw_from_4mb_latency(230.0, 28.0, 6.0),
+                              .bidir_factor = 0.85},
+      .ring_step_us = 1.2,
+      .tree_hop_us = 1.1,
+      .tree_threshold = 65536,
+      .inter_quirks = {},
+  };
+
+  // MVAPICH-class GPU-aware MPI: very low small-message latency (IPC /
+  // GDRCopy), but large transfers run below NCCL's NVSwitch rings.
+  // This gap produces the Fig. 1(a) crossover near 16 KB.
+  p.mpi = MpiProfile{
+      .per_op_us = 0.9,
+      .eager_threshold = 16384,
+      .rndv_rtt_us = 2.2,
+      .dev_intra = LinkParams{.alpha_us = 3.2, .bw_MBps = 68000.0, .bidir_factor = 0.8},
+      // Inter-node device transfers stage in pipeline chunks; effective rate
+      // sits well under NCCL's GDR rings (the Fig. 1(a) large-message gap).
+      .dev_inter = LinkParams{.alpha_us = 3.2, .bw_MBps = 8000.0, .bidir_factor = 0.9},
+      .host_intra = LinkParams{.alpha_us = 0.5, .bw_MBps = 12000.0, .bidir_factor = 0.8},
+      .host_inter = LinkParams{.alpha_us = 2.0, .bw_MBps = 24000.0, .bidir_factor = 0.9},
+  };
+
+  // Open MPI + UCX: higher per-op cost and staging-limited device bandwidth
+  // (Fig. 7: 44% below our designs at the application level).
+  p.ompi_ucx = MpiProfile{
+      .per_op_us = 2.4,
+      .eager_threshold = 8192,
+      .rndv_rtt_us = 3.5,
+      .dev_intra = LinkParams{.alpha_us = 4.0, .bw_MBps = 42000.0, .bidir_factor = 0.8},
+      // Host-staged inter-node transfers share the NIC across the node's 8
+      // ranks; the effective per-rank rate at scale sits far below HDR line
+      // rate (drives the Fig. 7(b) 1.35x gap).
+      .dev_inter = LinkParams{.alpha_us = 5.5, .bw_MBps = 4500.0, .bidir_factor = 0.9},
+      .host_intra = LinkParams{.alpha_us = 0.7, .bw_MBps = 11000.0, .bidir_factor = 0.8},
+      .host_inter = LinkParams{.alpha_us = 2.6, .bw_MBps = 22000.0, .bidir_factor = 0.9},
+  };
+
+  // UCC on top of OMPI: NCCL-class transports but extra collective-layer
+  // overhead, and composed collectives issue per-peer without group
+  // batching (Fig. 5(m): 2.8x worse Alltoall at 4 KB).
+  p.ucc = UccProfile{.per_op_us = 2.0, .compose_alpha_us = 3.5,
+                     .ucp_max_bytes = 8192};
+  return p;
+}
+
+SystemProfile mri() {
+  SystemProfile p;
+  p.name = "mri";
+  p.vendor = Vendor::Amd;
+  p.devices_per_node = 2;
+  p.max_nodes = 8;
+
+  p.device = DeviceParams{
+      .h2d_bw_MBps = 18000.0,
+      .d2h_bw_MBps = 16000.0,
+      .d2d_bw_MBps = 900000.0,
+      .memcpy_launch_us = 5.0,
+      .kernel_launch_us = 6.0,
+      .alloc_us = 80.0,
+      .stream_sync_us = 4.0,
+  };
+
+  // RCCL over PCIe (no XGMI bridge on MRI): modest bandwidth, large
+  // per-message protocol cost.
+  p.ccl = CclProfile{
+      .launch_us = 25.0,
+      .p2p_intra = LinkParams{.alpha_us = 150.6, .bw_MBps = 6351.0, .bidir_factor = 0.75},
+      .p2p_inter = LinkParams{.alpha_us = 20.0,
+                              .bw_MBps = bw_from_4mb_latency(579.0, 25.0, 20.0),
+                              .bidir_factor = 0.85},
+      .ring_step_us = 4.0,
+      .tree_hop_us = 3.0,
+      .tree_threshold = 32768,
+      .inter_quirks = {},
+  };
+  p.msccl.reset();  // MSCCL is NVIDIA-only in the paper's evaluation
+
+  // ROCm-aware MVAPICH-like path. Fig. 1(b): MPI wins Allgather below
+  // ~64 KB; RCCL wins above, so the MPI device path tops out below RCCL's
+  // 6.3 GB/s.
+  p.mpi = MpiProfile{
+      .per_op_us = 1.1,
+      .eager_threshold = 16384,
+      .rndv_rtt_us = 2.8,
+      .dev_intra = LinkParams{.alpha_us = 2.2, .bw_MBps = 5100.0, .bidir_factor = 0.8},
+      .dev_inter = LinkParams{.alpha_us = 4.0, .bw_MBps = 5900.0, .bidir_factor = 0.9},
+      .host_intra = LinkParams{.alpha_us = 0.6, .bw_MBps = 10000.0, .bidir_factor = 0.8},
+      .host_inter = LinkParams{.alpha_us = 2.2, .bw_MBps = 23000.0, .bidir_factor = 0.9},
+  };
+  p.ompi_ucx = MpiProfile{
+      .per_op_us = 2.8,
+      .eager_threshold = 8192,
+      .rndv_rtt_us = 4.0,
+      .dev_intra = LinkParams{.alpha_us = 5.0, .bw_MBps = 4200.0, .bidir_factor = 0.8},
+      .dev_inter = LinkParams{.alpha_us = 6.0, .bw_MBps = 5200.0, .bidir_factor = 0.9},
+      .host_intra = LinkParams{.alpha_us = 0.8, .bw_MBps = 9000.0, .bidir_factor = 0.8},
+      .host_inter = LinkParams{.alpha_us = 2.8, .bw_MBps = 21000.0, .bidir_factor = 0.9},
+  };
+  p.ucc = UccProfile{.per_op_us = 2.5, .compose_alpha_us = 4.5,
+                     .ucp_max_bytes = 8192};
+  return p;
+}
+
+SystemProfile voyager() {
+  SystemProfile p;
+  p.name = "voyager";
+  p.vendor = Vendor::Habana;
+  p.devices_per_node = 8;
+  p.max_nodes = 4;
+
+  p.device = DeviceParams{
+      .h2d_bw_MBps = 11000.0,
+      .d2h_bw_MBps = 10000.0,
+      .d2d_bw_MBps = 600000.0,
+      .memcpy_launch_us = 9.0,
+      .kernel_launch_us = 12.0,
+      .alloc_us = 120.0,
+      .stream_sync_us = 8.0,
+  };
+
+  // HCCL over Gaudi's on-chip RoCE: huge launch overhead (270 us), low
+  // intra bandwidth, but inter-node is relatively fast (10x100GbE per
+  // Gaudi): 4 MB inter at 835 us.
+  p.ccl = CclProfile{
+      .launch_us = 270.0,
+      .p2p_intra = LinkParams{.alpha_us = 3.1, .bw_MBps = 3044.0, .bidir_factor = 0.8},
+      .p2p_inter = LinkParams{.alpha_us = 12.0,
+                              .bw_MBps = bw_from_4mb_latency(835.0, 270.0, 12.0),
+                              .bidir_factor = 0.85},
+      .ring_step_us = 6.0,
+      .tree_hop_us = 5.0,
+      .tree_threshold = 32768,
+      // Sec. 4.3: multi-node Allreduce/Reduce/Bcast degrade as step curves
+      // around 16 B and 64 B, reaching 7x-12x.
+      .inter_quirks = {StepQuirk{.min_bytes = 16, .extra_us = 1800.0},
+                       StepQuirk{.min_bytes = 64, .extra_us = 1400.0}},
+  };
+  p.msccl.reset();
+
+  // There is no vendor GPU-aware MPI on Gaudi; the paper's MPI path stages
+  // through host memory via SynapseAI copies + host RoCE network.
+  p.mpi = MpiProfile{
+      .per_op_us = 1.5,
+      .eager_threshold = 16384,
+      .rndv_rtt_us = 3.5,
+      .dev_intra = LinkParams{.alpha_us = 5.0, .bw_MBps = 2500.0, .bidir_factor = 0.8},
+      .dev_inter = LinkParams{.alpha_us = 7.0, .bw_MBps = 4800.0, .bidir_factor = 0.85},
+      .host_intra = LinkParams{.alpha_us = 0.7, .bw_MBps = 9000.0, .bidir_factor = 0.8},
+      .host_inter = LinkParams{.alpha_us = 2.5, .bw_MBps = 40000.0, .bidir_factor = 0.9},
+  };
+  p.ompi_ucx = MpiProfile{
+      .per_op_us = 3.0,
+      .eager_threshold = 8192,
+      .rndv_rtt_us = 5.0,
+      .dev_intra = LinkParams{.alpha_us = 8.0, .bw_MBps = 2000.0, .bidir_factor = 0.8},
+      .dev_inter = LinkParams{.alpha_us = 9.0, .bw_MBps = 4000.0, .bidir_factor = 0.85},
+      .host_intra = LinkParams{.alpha_us = 0.9, .bw_MBps = 8000.0, .bidir_factor = 0.8},
+      .host_inter = LinkParams{.alpha_us = 3.0, .bw_MBps = 36000.0, .bidir_factor = 0.9},
+  };
+  p.ucc = UccProfile{.per_op_us = 3.0, .compose_alpha_us = 6.0,
+                     .ucp_max_bytes = 8192};
+  return p;
+}
+
+SystemProfile aurora_like() {
+  // The paper's future-work target: Intel GPUs with oneCCL. No measurements
+  // exist in the paper, so this profile is calibrated from public Aurora/PVC
+  // characteristics (6 Ponte Vecchio per node over Xe Link, Slingshot 11
+  // inter-node) — plausible constants, clearly marked as an extension.
+  SystemProfile p;
+  p.name = "aurora-like";
+  p.vendor = Vendor::Intel;
+  p.devices_per_node = 6;
+  p.max_nodes = 16;
+
+  p.device = DeviceParams{
+      .h2d_bw_MBps = 20000.0,
+      .d2h_bw_MBps = 18000.0,
+      .d2d_bw_MBps = 1000000.0,
+      .memcpy_launch_us = 5.0,
+      .kernel_launch_us = 6.0,
+      .alloc_us = 90.0,
+      .stream_sync_us = 4.0,
+  };
+  p.ccl = CclProfile{
+      .launch_us = 26.0,
+      .p2p_intra = LinkParams{.alpha_us = 8.0, .bw_MBps = 45000.0, .bidir_factor = 0.7},
+      .p2p_inter = LinkParams{.alpha_us = 7.0, .bw_MBps = 20000.0, .bidir_factor = 0.85},
+      .ring_step_us = 2.0,
+      .tree_hop_us = 1.5,
+      .tree_threshold = 131072,
+      .inter_quirks = {},
+  };
+  p.msccl.reset();
+  p.mpi = MpiProfile{
+      .per_op_us = 1.0,
+      .eager_threshold = 16384,
+      .rndv_rtt_us = 2.5,
+      .dev_intra = LinkParams{.alpha_us = 3.5, .bw_MBps = 30000.0, .bidir_factor = 0.8},
+      .dev_inter = LinkParams{.alpha_us = 3.5, .bw_MBps = 9000.0, .bidir_factor = 0.9},
+      .host_intra = LinkParams{.alpha_us = 0.6, .bw_MBps = 11000.0, .bidir_factor = 0.8},
+      .host_inter = LinkParams{.alpha_us = 2.1, .bw_MBps = 25000.0, .bidir_factor = 0.9},
+  };
+  p.ompi_ucx = MpiProfile{
+      .per_op_us = 2.6,
+      .eager_threshold = 8192,
+      .rndv_rtt_us = 3.8,
+      .dev_intra = LinkParams{.alpha_us = 5.5, .bw_MBps = 22000.0, .bidir_factor = 0.8},
+      .dev_inter = LinkParams{.alpha_us = 6.0, .bw_MBps = 5000.0, .bidir_factor = 0.9},
+      .host_intra = LinkParams{.alpha_us = 0.8, .bw_MBps = 10000.0, .bidir_factor = 0.8},
+      .host_inter = LinkParams{.alpha_us = 2.7, .bw_MBps = 23000.0, .bidir_factor = 0.9},
+  };
+  p.ucc = UccProfile{.per_op_us = 2.5, .compose_alpha_us = 4.0,
+                     .ucp_max_bytes = 8192};
+  return p;
+}
+
+SystemProfile profile_by_name(const std::string& name) {
+  if (name == "thetagpu") return thetagpu();
+  if (name == "mri") return mri();
+  if (name == "voyager") return voyager();
+  if (name == "aurora-like" || name == "aurora") return aurora_like();
+  throw Error("unknown system profile: " + name);
+}
+
+}  // namespace mpixccl::sim

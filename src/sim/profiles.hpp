@@ -1,0 +1,107 @@
+#pragma once
+// Calibrated performance profiles of the paper's three evaluation systems
+// (Table 1): ThetaGPU (NVIDIA A100 + NVLink + IB HDR), MRI (AMD MI100 +
+// PCIe + IB HDR) and Voyager (Habana Gaudi + RoCE).
+//
+// Every parameter is fit to a number the paper reports (see the factory
+// functions in profiles.cpp for the derivations). The simulation layers read
+// these profiles; nothing else in the library hard-codes performance
+// constants, so a new system is one more factory function.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/link.hpp"
+
+namespace mpixccl::sim {
+
+/// Memcpy-engine and runtime-call costs of one accelerator flavor.
+struct DeviceParams {
+  double h2d_bw_MBps = 20000.0;   ///< pinned host -> device
+  double d2h_bw_MBps = 20000.0;   ///< device -> pinned host
+  double d2d_bw_MBps = 500000.0;  ///< on-device copy
+  double memcpy_launch_us = 4.0;  ///< per-async-memcpy issue cost
+  double kernel_launch_us = 5.0;  ///< per-kernel issue cost (reductions)
+  double alloc_us = 50.0;         ///< device malloc
+  double stream_sync_us = 3.0;    ///< stream synchronize overhead
+};
+
+/// Extra per-operation latency penalty keyed by message size; models the
+/// HCCL step-curve degradations the paper observes around 16 B and 64 B on
+/// multi-node runs (Sec. 4.3: "step curves around 16 and 64 bytes, reaching
+/// up to 7x to 12x").
+struct StepQuirk {
+  std::size_t min_bytes = 0;  ///< applies to messages strictly larger than this
+  double extra_us = 0.0;
+};
+
+/// One CCL backend's cost model on one system.
+struct CclProfile {
+  double launch_us = 20.0;  ///< constant per-op launch overhead (Sec. 4.2)
+  LinkParams p2p_intra;     ///< effective p2p link within a node
+  LinkParams p2p_inter;     ///< effective p2p link across nodes
+  double ring_step_us = 1.0;      ///< pipelined per-step cost in ring collectives
+  double tree_hop_us = 1.0;       ///< per-hop cost in the small-message tree path
+  std::size_t tree_threshold = 65536;  ///< <= this many bytes -> tree algorithm
+  std::vector<StepQuirk> inter_quirks;  ///< multi-node small-message penalties
+};
+
+/// GPU-aware MPI path cost model (MVAPICH-like, or the OMPI+UCX baseline).
+struct MpiProfile {
+  double per_op_us = 1.0;            ///< middleware bookkeeping per MPI call
+  std::size_t eager_threshold = 16384;  ///< <= this -> eager protocol
+  double rndv_rtt_us = 2.0;          ///< rendezvous handshake round trip
+  LinkParams dev_intra;  ///< device-buffer transfer within a node (IPC / staged)
+  LinkParams dev_inter;  ///< device-buffer transfer across nodes (GDR / staged)
+  LinkParams host_intra;  ///< host-buffer transfer within a node (shm)
+  LinkParams host_inter;  ///< host-buffer transfer across nodes
+};
+
+/// UCC collective layer on top of OMPI+UCX. UCC itself is a multi-transport
+/// selector: small messages ride the UCX (host/UCP) transport, large ones
+/// the vendor CCL — but with extra per-operation overhead, and composed
+/// collectives (Alltoall) issue per-peer phases without group batching.
+struct UccProfile {
+  double per_op_us = 2.0;         ///< collective-layer bookkeeping per call
+  double compose_alpha_us = 3.5;  ///< per-peer cost in unbatched composed collectives
+  std::size_t ucp_max_bytes = 8192;  ///< <= this -> UCX transport, not the CCL
+  /// Relative overhead of UCC's UCP collectives on multi-node jobs (the
+  /// paper's "UCC underperforms Open MPI + UCX by 10%").
+  double ucp_sra_overhead = 0.11;
+};
+
+/// Full description of one evaluation system.
+struct SystemProfile {
+  std::string name;
+  Vendor vendor = Vendor::Nvidia;
+  int devices_per_node = 8;
+  int max_nodes = 16;
+
+  DeviceParams device;
+  CclProfile ccl;                   ///< native CCL (NCCL / RCCL / HCCL)
+  std::optional<CclProfile> msccl;  ///< MSCCL (NVIDIA systems only)
+  MpiProfile mpi;                   ///< our GPU-aware MPI path (MVAPICH-like)
+  MpiProfile ompi_ucx;              ///< baseline: Open MPI + UCX
+  UccProfile ucc;                   ///< baseline: Open MPI + UCX + UCC
+};
+
+/// ThetaGPU at ALCF: 8x A100 per node, NVSwitch intra, ConnectX-6 HDR inter.
+SystemProfile thetagpu();
+/// MRI in-house cluster: 2x MI100 per node over PCIe, ConnectX-6 HDR inter.
+SystemProfile mri();
+/// Voyager at SDSC: 8x Gaudi per node, RoCE v2 (Arista 400 Gbps) inter.
+SystemProfile voyager();
+/// Extension (the paper's future work): an Aurora-like Intel GPU system —
+/// 6x Ponte-Vecchio-class devices per node over Xe Link, Slingshot inter —
+/// served by the oneCCL backend. Constants are plausible public-spec fits,
+/// not paper calibrations.
+SystemProfile aurora_like();
+
+/// Profile by name ("thetagpu" | "mri" | "voyager" | "aurora-like"); throws
+/// Error otherwise.
+SystemProfile profile_by_name(const std::string& name);
+
+}  // namespace mpixccl::sim

@@ -1,0 +1,39 @@
+#pragma once
+// Virtual time for the simulated cluster.
+//
+// Every rank thread owns a VirtualClock. Real data movement happens via
+// memcpy between threads; *reported* latencies come from these clocks, which
+// advance by modeled costs (alpha + bytes/bandwidth per hop, launch
+// overheads, staging copies). A matched transfer synchronizes the two clocks:
+// completion = max(sender_ready, receiver_ready) + transfer_cost.
+
+#include <algorithm>
+#include <cassert>
+
+namespace mpixccl::sim {
+
+/// Microseconds of simulated time.
+using TimeUs = double;
+
+/// Monotonic per-rank virtual clock.
+class VirtualClock {
+ public:
+  [[nodiscard]] TimeUs now() const { return now_us_; }
+
+  /// Advance by a non-negative delta.
+  void advance(TimeUs delta_us) {
+    assert(delta_us >= 0.0);
+    now_us_ += delta_us;
+  }
+
+  /// Jump forward to `t` if `t` is later (synchronization with a peer);
+  /// never moves backwards.
+  void advance_to(TimeUs t) { now_us_ = std::max(now_us_, t); }
+
+  void reset(TimeUs t = 0.0) { now_us_ = t; }
+
+ private:
+  TimeUs now_us_ = 0.0;
+};
+
+}  // namespace mpixccl::sim

@@ -1,0 +1,44 @@
+#pragma once
+// Cluster topology: how global ranks map to (node, local device).
+// Ranks are laid out node-major — ranks [0, devs_per_node) are node 0 — the
+// same layout the paper's job launches use.
+
+#include <cstddef>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "sim/link.hpp"
+
+namespace mpixccl::sim {
+
+class Topology {
+ public:
+  Topology(int nodes, int devices_per_node, Vendor vendor)
+      : nodes_(nodes), devices_per_node_(devices_per_node), vendor_(vendor) {
+    require(nodes >= 1 && devices_per_node >= 1, "Topology: sizes must be >= 1");
+  }
+
+  [[nodiscard]] int nodes() const { return nodes_; }
+  [[nodiscard]] int devices_per_node() const { return devices_per_node_; }
+  [[nodiscard]] int world_size() const { return nodes_ * devices_per_node_; }
+  [[nodiscard]] Vendor vendor() const { return vendor_; }
+
+  [[nodiscard]] int node_of(int rank) const { return rank / devices_per_node_; }
+  [[nodiscard]] int local_of(int rank) const { return rank % devices_per_node_; }
+  [[nodiscard]] int rank_of(int node, int local) const {
+    return node * devices_per_node_ + local;
+  }
+
+  [[nodiscard]] bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  [[nodiscard]] LinkScope scope(int a, int b) const {
+    return same_node(a, b) ? LinkScope::IntraNode : LinkScope::InterNode;
+  }
+
+ private:
+  int nodes_;
+  int devices_per_node_;
+  Vendor vendor_;
+};
+
+}  // namespace mpixccl::sim

@@ -1,0 +1,62 @@
+#include "sim/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/status.hpp"
+
+namespace mpixccl::sim {
+
+Trace& Trace::instance() {
+  static Trace t;
+  return t;
+}
+
+void Trace::record(int rank, std::string_view name, std::string_view category,
+                   double begin_us, double end_us) {
+  std::lock_guard lock(mu_);
+  if (!enabled_) return;
+  events_.push_back(TraceEvent{rank, std::string(name), std::string(category),
+                               begin_us, end_us});
+}
+
+void Trace::clear() {
+  std::lock_guard lock(mu_);
+  events_.clear();
+}
+
+std::size_t Trace::size() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Trace::events() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
+std::string Trace::to_chrome_json() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << e.name << "\",\"cat\":\"" << e.category
+       << "\",\"ph\":\"X\",\"ts\":" << e.begin_us
+       << ",\"dur\":" << (e.end_us - e.begin_us)
+       << ",\"pid\":0,\"tid\":" << e.rank << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+void Trace::save_chrome_json(const std::string& path) const {
+  std::ofstream out(path);
+  require(out.good(), "Trace::save_chrome_json: cannot open " + path);
+  out << to_chrome_json() << '\n';
+  require(out.good(), "Trace::save_chrome_json: write failed");
+}
+
+}  // namespace mpixccl::sim

@@ -1,0 +1,61 @@
+#pragma once
+// Virtual-time tracing: collect per-rank operation spans and export them in
+// the Chrome tracing format (chrome://tracing / Perfetto), with one track
+// per rank and virtual microseconds on the time axis. This is the simulator
+// equivalent of NCCL_DEBUG/NVTX timelines: it makes overlap, stream
+// serialization and hybrid dispatch visually inspectable.
+//
+// Tracing is off by default (zero overhead beyond one branch); enable it
+// around a region of interest, then save_chrome_json().
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpixccl::sim {
+
+struct TraceEvent {
+  int rank = 0;
+  std::string name;      ///< e.g. "allreduce"
+  std::string category;  ///< e.g. "xccl" / "mpi" / "compute"
+  double begin_us = 0.0;
+  double end_us = 0.0;
+};
+
+/// Process-wide trace collector (thread-safe; rank threads append).
+class Trace {
+ public:
+  static Trace& instance();
+
+  void set_enabled(bool on) {
+    std::lock_guard lock(mu_);
+    enabled_ = on;
+  }
+  [[nodiscard]] bool enabled() const {
+    std::lock_guard lock(mu_);
+    return enabled_;
+  }
+
+  /// Record one completed span (no-op while disabled).
+  void record(int rank, std::string_view name, std::string_view category,
+              double begin_us, double end_us);
+
+  void clear();
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Render the Chrome tracing JSON ("X" complete events; tid = rank).
+  [[nodiscard]] std::string to_chrome_json() const;
+  void save_chrome_json(const std::string& path) const;
+
+ private:
+  Trace() = default;
+
+  mutable std::mutex mu_;
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace mpixccl::sim

@@ -1,0 +1,128 @@
+#pragma once
+// Common API surface of the simulated vendor collective-communication
+// libraries (xCCLs). Mirrors the NCCL API shape the paper builds on: opaque
+// unique ids for bootstrap, communicators over a rank group, group calls,
+// five built-in collectives, and point-to-point send/recv.
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "fabric/message.hpp"
+
+namespace mpixccl::xccl {
+
+/// Which vendor library a backend emulates. OneCcl is the paper's stated
+/// future work ("extend support to ... new vendor-specific libraries like
+/// oneCCL"), implemented here as an extension.
+enum class CclKind : std::uint8_t { Nccl, Rccl, Hccl, Msccl, OneCcl };
+
+constexpr std::string_view to_string(CclKind k) {
+  switch (k) {
+    case CclKind::Nccl: return "nccl";
+    case CclKind::Rccl: return "rccl";
+    case CclKind::Hccl: return "hccl";
+    case CclKind::Msccl: return "msccl";
+    case CclKind::OneCcl: return "oneccl";
+  }
+  return "?";
+}
+
+/// The five built-in CCL collectives (Sec. 3.2 of the paper). Everything
+/// else is composed from Send/Recv in the abstraction layer (Sec. 3.3).
+enum class BuiltinColl : std::uint8_t {
+  AllReduce,
+  Broadcast,
+  Reduce,
+  AllGather,
+  ReduceScatter,
+};
+
+constexpr std::string_view to_string(BuiltinColl c) {
+  switch (c) {
+    case BuiltinColl::AllReduce: return "allreduce";
+    case BuiltinColl::Broadcast: return "broadcast";
+    case BuiltinColl::Reduce: return "reduce";
+    case BuiltinColl::AllGather: return "allgather";
+    case BuiltinColl::ReduceScatter: return "reducescatter";
+  }
+  return "?";
+}
+
+/// Opaque bootstrap token (ncclUniqueId equivalent). Generated on one rank,
+/// distributed out-of-band (via MPI in the abstraction layer), and used by
+/// every rank to join the same communicator.
+struct UniqueId {
+  std::array<std::uint64_t, 2> bits{};
+
+  friend bool operator==(const UniqueId&, const UniqueId&) = default;
+
+  /// Deterministically derive a fresh id from a seed and sequence number.
+  static UniqueId derive(std::uint64_t seed, std::uint64_t seq) {
+    return UniqueId{{splitmix64(seed ^ 0xcc1dull), splitmix64(seq + 0x9e37ull)}};
+  }
+
+  [[nodiscard]] fabric::ChannelId channel() const {
+    return splitmix64(bits[0] ^ splitmix64(bits[1]));
+  }
+};
+
+/// What a backend supports; consulted by the abstraction layer to decide
+/// between dispatching to the CCL and falling back to MPI.
+struct Capabilities {
+  std::set<DataType> movable;    ///< datatypes accepted by any operation
+  std::set<DataType> reducible;  ///< datatypes accepted by reductions
+  std::set<ReduceOp> ops;        ///< reduction operators
+
+  [[nodiscard]] bool can_move(DataType dt) const { return movable.contains(dt); }
+  [[nodiscard]] bool can_reduce(DataType dt, ReduceOp op) const {
+    return reducible.contains(dt) && ops.contains(op);
+  }
+};
+
+/// The NCCL-family capability set: all arithmetic types, no complex, no
+/// logical/bitwise ops.
+Capabilities nccl_family_capabilities();
+/// HCCL: float32 only (the paper: "HCCL only supports float currently").
+Capabilities hccl_capabilities();
+/// oneCCL: NCCL-family minus bfloat16 reductions (contemporary coverage).
+Capabilities oneccl_capabilities();
+
+/// A CCL communicator: this rank's membership in a rank group. Created
+/// collectively via CclBackend::comm_init_rank.
+class CclComm {
+ public:
+  CclComm() = default;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int nranks() const { return static_cast<int>(world_ranks_.size()); }
+  [[nodiscard]] int world_rank(int r) const {
+    require(r >= 0 && r < nranks(), "CclComm: bad rank");
+    return world_ranks_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] bool valid() const { return !world_ranks_.empty(); }
+
+  /// Channel for the next collective operation (all ranks call collectives
+  /// in the same order, so they derive identical channels).
+  [[nodiscard]] fabric::ChannelId next_op_channel() {
+    return fabric::derive_channel(base_channel_, ++op_seq_);
+  }
+  /// Channel for point-to-point traffic (grouped send/recv).
+  [[nodiscard]] fabric::ChannelId p2p_channel() const {
+    return fabric::derive_channel(base_channel_, 0);
+  }
+
+ private:
+  friend class CclBackend;
+  int rank_ = -1;
+  std::vector<int> world_ranks_;
+  fabric::ChannelId base_channel_ = 0;
+  std::uint64_t op_seq_ = 0;
+};
+
+}  // namespace mpixccl::xccl

@@ -1,0 +1,99 @@
+#pragma once
+// Abstract CCL backend interface — the per-rank handle to one simulated
+// vendor library (NCCL / RCCL / HCCL / MSCCL).
+//
+// Semantics mirror the real libraries:
+//  * Every operation is asynchronous with respect to the caller: the call
+//    charges only the launch overhead to the rank's clock; the communication
+//    work lands on the supplied Stream and is observed at stream sync.
+//  * Send/Recv must be enclosed in group_start()/group_end() when a rank
+//    both sends and receives in one logical step (Listing 1 of the paper);
+//    grouped operations execute concurrently at group_end.
+//  * Datatype/op support differs per vendor (Capabilities); unsupported
+//    arguments return UnsupportedDatatype/UnsupportedOperation *before*
+//    touching any buffer, which the MPI-xCCL layer turns into a fallback.
+
+#include <cstddef>
+#include <memory>
+
+#include "device/stream.hpp"
+#include "fabric/world.hpp"
+#include "sim/profiles.hpp"
+#include "xccl/api.hpp"
+
+namespace mpixccl::xccl {
+
+class CclBackend {
+ public:
+  explicit CclBackend(fabric::RankContext& ctx) : ctx_(&ctx) {}
+  virtual ~CclBackend() = default;
+
+  CclBackend(const CclBackend&) = delete;
+  CclBackend& operator=(const CclBackend&) = delete;
+
+  [[nodiscard]] virtual CclKind kind() const = 0;
+  [[nodiscard]] virtual const Capabilities& capabilities() const = 0;
+  [[nodiscard]] std::string_view name() const { return to_string(kind()); }
+
+  /// Join communicator `id` as `rank` of `nranks`; `world_ranks` maps comm
+  /// ranks to fabric ranks (identity when empty). Collective across members.
+  virtual XcclResult comm_init_rank(CclComm& comm, int nranks, const UniqueId& id,
+                                    int rank, std::vector<int> world_ranks = {});
+
+  // ---- Built-in collectives (Sec. 3.2) -----------------------------------
+  virtual XcclResult all_reduce(const void* sendbuf, void* recvbuf,
+                                std::size_t count, DataType dt, ReduceOp op,
+                                CclComm& comm, device::Stream& stream) = 0;
+  virtual XcclResult broadcast(void* buf, std::size_t count, DataType dt, int root,
+                               CclComm& comm, device::Stream& stream) = 0;
+  virtual XcclResult reduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                            DataType dt, ReduceOp op, int root, CclComm& comm,
+                            device::Stream& stream) = 0;
+  virtual XcclResult all_gather(const void* sendbuf, void* recvbuf,
+                                std::size_t sendcount, DataType dt, CclComm& comm,
+                                device::Stream& stream) = 0;
+  virtual XcclResult reduce_scatter(const void* sendbuf, void* recvbuf,
+                                    std::size_t recvcount, DataType dt, ReduceOp op,
+                                    CclComm& comm, device::Stream& stream) = 0;
+
+  // ---- Point-to-point (Sec. 3.3 building blocks) --------------------------
+  virtual XcclResult send(const void* buf, std::size_t count, DataType dt, int peer,
+                          CclComm& comm, device::Stream& stream) = 0;
+  virtual XcclResult recv(void* buf, std::size_t count, DataType dt, int peer,
+                          CclComm& comm, device::Stream& stream) = 0;
+
+  // ---- Group calls ---------------------------------------------------------
+  virtual XcclResult group_start() = 0;
+  virtual XcclResult group_end() = 0;
+
+ protected:
+  [[nodiscard]] fabric::RankContext& ctx() { return *ctx_; }
+  static void set_comm(CclComm& comm, int rank, std::vector<int> world_ranks,
+                       fabric::ChannelId base) {
+    comm.rank_ = rank;
+    comm.world_ranks_ = std::move(world_ranks);
+    comm.base_channel_ = base;
+    comm.op_seq_ = 0;
+  }
+
+ private:
+  fabric::RankContext* ctx_;
+};
+
+/// Create the backend emulating `kind` for this rank, priced by `profile`.
+std::unique_ptr<CclBackend> make_backend(CclKind kind, fabric::RankContext& ctx,
+                                         const sim::CclProfile& profile);
+
+/// The native CCL kind for an accelerator vendor.
+constexpr CclKind native_ccl(Vendor v) {
+  switch (v) {
+    case Vendor::Nvidia: return CclKind::Nccl;
+    case Vendor::Amd: return CclKind::Rccl;
+    case Vendor::Habana: return CclKind::Hccl;
+    case Vendor::Intel: return CclKind::OneCcl;
+    case Vendor::Host: return CclKind::Nccl;  // unused; MPI path handles host
+  }
+  return CclKind::Nccl;
+}
+
+}  // namespace mpixccl::xccl

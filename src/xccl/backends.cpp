@@ -1,0 +1,50 @@
+#include "xccl/backend.hpp"
+#include "xccl/msccl.hpp"
+#include "xccl/vendors.hpp"
+
+namespace mpixccl::xccl {
+
+Capabilities nccl_family_capabilities() {
+  Capabilities caps;
+  caps.movable = {DataType::Int8,    DataType::Uint8,   DataType::Int32,
+                  DataType::Uint32,  DataType::Int64,   DataType::Uint64,
+                  DataType::Float16, DataType::BFloat16, DataType::Float32,
+                  DataType::Float64, DataType::Byte};
+  caps.reducible = {DataType::Int8,    DataType::Uint8,    DataType::Int32,
+                    DataType::Uint32,  DataType::Int64,    DataType::Uint64,
+                    DataType::Float16, DataType::BFloat16, DataType::Float32,
+                    DataType::Float64};
+  caps.ops = {ReduceOp::Sum, ReduceOp::Prod, ReduceOp::Min, ReduceOp::Max,
+              ReduceOp::Avg};
+  return caps;
+}
+
+Capabilities hccl_capabilities() {
+  // "HCCL only supports float currently" (paper Sec. 3.2); no Avg either.
+  Capabilities caps;
+  caps.movable = {DataType::Float32};
+  caps.reducible = {DataType::Float32};
+  caps.ops = {ReduceOp::Sum, ReduceOp::Prod, ReduceOp::Min, ReduceOp::Max};
+  return caps;
+}
+
+Capabilities oneccl_capabilities() {
+  Capabilities caps = nccl_family_capabilities();
+  caps.reducible.erase(DataType::BFloat16);  // moved but not reduced
+  caps.ops.erase(ReduceOp::Avg);             // oneCCL has no average op
+  return caps;
+}
+
+std::unique_ptr<CclBackend> make_backend(CclKind kind, fabric::RankContext& ctx,
+                                         const sim::CclProfile& profile) {
+  switch (kind) {
+    case CclKind::Nccl: return std::make_unique<NcclBackend>(ctx, profile);
+    case CclKind::Rccl: return std::make_unique<RcclBackend>(ctx, profile);
+    case CclKind::Hccl: return std::make_unique<HcclBackend>(ctx, profile);
+    case CclKind::Msccl: return std::make_unique<MscclBackend>(ctx, profile);
+    case CclKind::OneCcl: return std::make_unique<OneCclBackend>(ctx, profile);
+  }
+  throw Error("make_backend: unknown CclKind");
+}
+
+}  // namespace mpixccl::xccl

@@ -1,0 +1,155 @@
+#include "xccl/capi.hpp"
+
+#include <atomic>
+#include <memory>
+
+namespace mpixccl::xccl {
+
+namespace {
+
+struct ThreadBinding {
+  std::unique_ptr<CclBackend> backend;
+  fabric::RankContext* ctx = nullptr;
+};
+
+ThreadBinding& binding() {
+  thread_local ThreadBinding b;
+  return b;
+}
+
+std::atomic<std::uint64_t>& unique_id_counter() {
+  static std::atomic<std::uint64_t> c{1};
+  return c;
+}
+
+}  // namespace
+
+void xcclBindDevice(fabric::RankContext& ctx, std::optional<CclKind> kind) {
+  const CclKind k = kind.value_or(native_ccl(ctx.profile().vendor));
+  const sim::CclProfile& profile =
+      (k == CclKind::Msccl && ctx.profile().msccl.has_value())
+          ? *ctx.profile().msccl
+          : ctx.profile().ccl;
+  binding().backend = make_backend(k, ctx, profile);
+  binding().ctx = &ctx;
+}
+
+CclBackend& xcclCurrentBackend() {
+  require(binding().backend != nullptr,
+          "xccl C API: call xcclBindDevice() on this rank thread first");
+  return *binding().backend;
+}
+
+xcclResult_t xcclGetUniqueId(xcclUniqueId* id) {
+  if (id == nullptr) return XcclResult::InvalidArgument;
+  // Seeded by the binding's rank so distinct roots generate distinct ids.
+  const auto seq = unique_id_counter().fetch_add(1);
+  const auto salt =
+      binding().ctx != nullptr ? static_cast<std::uint64_t>(binding().ctx->rank())
+                               : 0;
+  *id = UniqueId::derive(0xca91ull ^ salt, seq);
+  return XcclResult::Success;
+}
+
+xcclResult_t xcclCommInitRank(xcclComm_t* comm, int nranks,
+                              const xcclUniqueId& id, int rank) {
+  if (comm == nullptr) return XcclResult::InvalidArgument;
+  auto owned = std::make_unique<CclComm>();
+  const XcclResult r =
+      xcclCurrentBackend().comm_init_rank(*owned, nranks, id, rank);
+  if (!ok(r)) return r;
+  *comm = owned.release();
+  return XcclResult::Success;
+}
+
+xcclResult_t xcclCommDestroy(xcclComm_t comm) {
+  delete comm;
+  return XcclResult::Success;
+}
+
+xcclResult_t xcclCommCount(xcclComm_t comm, int* count) {
+  if (comm == nullptr || count == nullptr) return XcclResult::InvalidArgument;
+  *count = comm->nranks();
+  return XcclResult::Success;
+}
+
+xcclResult_t xcclCommUserRank(xcclComm_t comm, int* rank) {
+  if (comm == nullptr || rank == nullptr) return XcclResult::InvalidArgument;
+  *rank = comm->rank();
+  return XcclResult::Success;
+}
+
+namespace {
+xcclResult_t check_handles(xcclComm_t comm, xcclStream_t stream) {
+  if (comm == nullptr || stream == nullptr) return XcclResult::InvalidArgument;
+  return XcclResult::Success;
+}
+}  // namespace
+
+xcclResult_t xcclAllReduce(const void* sendbuff, void* recvbuff,
+                           std::size_t count, xcclDataType_t datatype,
+                           xcclRedOp_t op, xcclComm_t comm, xcclStream_t stream) {
+  if (auto r = check_handles(comm, stream); !ok(r)) return r;
+  return xcclCurrentBackend().all_reduce(sendbuff, recvbuff, count, datatype, op,
+                                         *comm, *stream);
+}
+
+xcclResult_t xcclBroadcast(void* buff, std::size_t count, xcclDataType_t datatype,
+                           int root, xcclComm_t comm, xcclStream_t stream) {
+  if (auto r = check_handles(comm, stream); !ok(r)) return r;
+  return xcclCurrentBackend().broadcast(buff, count, datatype, root, *comm,
+                                        *stream);
+}
+
+xcclResult_t xcclReduce(const void* sendbuff, void* recvbuff, std::size_t count,
+                        xcclDataType_t datatype, xcclRedOp_t op, int root,
+                        xcclComm_t comm, xcclStream_t stream) {
+  if (auto r = check_handles(comm, stream); !ok(r)) return r;
+  return xcclCurrentBackend().reduce(sendbuff, recvbuff, count, datatype, op,
+                                     root, *comm, *stream);
+}
+
+xcclResult_t xcclAllGather(const void* sendbuff, void* recvbuff,
+                           std::size_t sendcount, xcclDataType_t datatype,
+                           xcclComm_t comm, xcclStream_t stream) {
+  if (auto r = check_handles(comm, stream); !ok(r)) return r;
+  return xcclCurrentBackend().all_gather(sendbuff, recvbuff, sendcount, datatype,
+                                         *comm, *stream);
+}
+
+xcclResult_t xcclReduceScatter(const void* sendbuff, void* recvbuff,
+                               std::size_t recvcount, xcclDataType_t datatype,
+                               xcclRedOp_t op, xcclComm_t comm,
+                               xcclStream_t stream) {
+  if (auto r = check_handles(comm, stream); !ok(r)) return r;
+  return xcclCurrentBackend().reduce_scatter(sendbuff, recvbuff, recvcount,
+                                             datatype, op, *comm, *stream);
+}
+
+xcclResult_t xcclSend(const void* sendbuff, std::size_t count,
+                      xcclDataType_t datatype, int peer, xcclComm_t comm,
+                      xcclStream_t stream) {
+  if (auto r = check_handles(comm, stream); !ok(r)) return r;
+  return xcclCurrentBackend().send(sendbuff, count, datatype, peer, *comm,
+                                   *stream);
+}
+
+xcclResult_t xcclRecv(void* recvbuff, std::size_t count, xcclDataType_t datatype,
+                      int peer, xcclComm_t comm, xcclStream_t stream) {
+  if (auto r = check_handles(comm, stream); !ok(r)) return r;
+  return xcclCurrentBackend().recv(recvbuff, count, datatype, peer, *comm,
+                                   *stream);
+}
+
+xcclResult_t xcclGroupStart() { return xcclCurrentBackend().group_start(); }
+
+xcclResult_t xcclGroupEnd() { return xcclCurrentBackend().group_end(); }
+
+xcclResult_t xcclStreamSynchronize(xcclStream_t stream) {
+  if (stream == nullptr) return XcclResult::InvalidArgument;
+  require(binding().ctx != nullptr, "xccl C API: unbound thread");
+  stream->synchronize(binding().ctx->clock());
+  return XcclResult::Success;
+}
+
+}  // namespace mpixccl::xccl

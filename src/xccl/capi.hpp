@@ -1,0 +1,96 @@
+#pragma once
+// The unified xCCL C-style API (paper Sec. 3.1: "xCCL APIs map corresponding
+// NVIDIA, AMD, Habana, or Microsoft libraries under the xccl prefix").
+//
+// These free functions mirror the NCCL API shape one-for-one —
+// xcclCommInitRank, xcclAllReduce, xcclGroupStart/End, xcclSend/Recv — so
+// code like the paper's Listing 1 compiles as written. Each rank thread
+// first binds its backend with xcclBindDevice(); the functions then route
+// through a thread-local binding, the same way the real libraries key off
+// the current CUDA/HIP device.
+//
+// The C++ layers (core::XcclMpi) use xccl::CclBackend directly; this API
+// exists for user code and examples that want the vendor-library feel.
+
+#include <cstddef>
+
+#include "device/stream.hpp"
+#include "fabric/world.hpp"
+#include "xccl/backend.hpp"
+
+namespace mpixccl::xccl {
+
+using xcclResult_t = XcclResult;
+using xcclDataType_t = DataType;
+using xcclRedOp_t = ReduceOp;
+using xcclUniqueId = UniqueId;
+/// Opaque communicator handle (owned; destroy with xcclCommDestroy).
+using xcclComm_t = CclComm*;
+/// Stream handle (non-owning; typically &ctx.stream()).
+using xcclStream_t = device::Stream*;
+
+// Datatype/op constants under the xccl prefix, mirroring ncclFloat etc.
+inline constexpr xcclDataType_t xcclInt8 = DataType::Int8;
+inline constexpr xcclDataType_t xcclInt32 = DataType::Int32;
+inline constexpr xcclDataType_t xcclInt64 = DataType::Int64;
+inline constexpr xcclDataType_t xcclFloat16 = DataType::Float16;
+inline constexpr xcclDataType_t xcclBfloat16 = DataType::BFloat16;
+inline constexpr xcclDataType_t xcclFloat = DataType::Float32;
+inline constexpr xcclDataType_t xcclDouble = DataType::Float64;
+inline constexpr xcclRedOp_t xcclSum = ReduceOp::Sum;
+inline constexpr xcclRedOp_t xcclProd = ReduceOp::Prod;
+inline constexpr xcclRedOp_t xcclMin = ReduceOp::Min;
+inline constexpr xcclRedOp_t xcclMax = ReduceOp::Max;
+inline constexpr xcclRedOp_t xcclAvg = ReduceOp::Avg;
+
+/// Bind this rank thread to a backend (analog of cudaSetDevice + library
+/// selection). `kind` defaults to the vendor-native CCL of the profile.
+/// Must be called before any other xccl* function on this thread; rebinding
+/// replaces the previous backend.
+void xcclBindDevice(fabric::RankContext& ctx,
+                    std::optional<CclKind> kind = std::nullopt);
+
+/// The backend currently bound to this thread (throws Error when unbound).
+CclBackend& xcclCurrentBackend();
+
+/// Generate a unique id on one rank (analog of ncclGetUniqueId); distribute
+/// it out-of-band (e.g. MPI_Bcast) like the real flow.
+xcclResult_t xcclGetUniqueId(xcclUniqueId* id);
+
+xcclResult_t xcclCommInitRank(xcclComm_t* comm, int nranks,
+                              const xcclUniqueId& id, int rank);
+xcclResult_t xcclCommDestroy(xcclComm_t comm);
+xcclResult_t xcclCommCount(xcclComm_t comm, int* count);
+xcclResult_t xcclCommUserRank(xcclComm_t comm, int* rank);
+
+// ---- The five built-in collectives -----------------------------------------
+xcclResult_t xcclAllReduce(const void* sendbuff, void* recvbuff,
+                           std::size_t count, xcclDataType_t datatype,
+                           xcclRedOp_t op, xcclComm_t comm, xcclStream_t stream);
+xcclResult_t xcclBroadcast(void* buff, std::size_t count,
+                           xcclDataType_t datatype, int root, xcclComm_t comm,
+                           xcclStream_t stream);
+xcclResult_t xcclReduce(const void* sendbuff, void* recvbuff, std::size_t count,
+                        xcclDataType_t datatype, xcclRedOp_t op, int root,
+                        xcclComm_t comm, xcclStream_t stream);
+xcclResult_t xcclAllGather(const void* sendbuff, void* recvbuff,
+                           std::size_t sendcount, xcclDataType_t datatype,
+                           xcclComm_t comm, xcclStream_t stream);
+xcclResult_t xcclReduceScatter(const void* sendbuff, void* recvbuff,
+                               std::size_t recvcount, xcclDataType_t datatype,
+                               xcclRedOp_t op, xcclComm_t comm,
+                               xcclStream_t stream);
+
+// ---- Point-to-point + groups (the Listing 1 building blocks) ---------------
+xcclResult_t xcclSend(const void* sendbuff, std::size_t count,
+                      xcclDataType_t datatype, int peer, xcclComm_t comm,
+                      xcclStream_t stream);
+xcclResult_t xcclRecv(void* recvbuff, std::size_t count, xcclDataType_t datatype,
+                      int peer, xcclComm_t comm, xcclStream_t stream);
+xcclResult_t xcclGroupStart();
+xcclResult_t xcclGroupEnd();
+
+/// Block the calling rank until the stream drains (cudaStreamSynchronize).
+xcclResult_t xcclStreamSynchronize(xcclStream_t stream);
+
+}  // namespace mpixccl::xccl

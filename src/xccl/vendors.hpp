@@ -1,0 +1,41 @@
+#pragma once
+// Concrete vendor backends. NCCL, RCCL and HCCL are RingCclBackend
+// parameterizations (capability table + cost profile); MSCCL adds the
+// custom-algorithm interpreter (see msccl.hpp).
+
+#include "xccl/ring_backend.hpp"
+
+namespace mpixccl::xccl {
+
+/// NVIDIA NCCL emulation.
+class NcclBackend final : public RingCclBackend {
+ public:
+  NcclBackend(fabric::RankContext& ctx, const sim::CclProfile& profile)
+      : RingCclBackend(CclKind::Nccl, ctx, profile, nccl_family_capabilities()) {}
+};
+
+/// AMD RCCL emulation (API-identical to NCCL; PCIe-class cost profile).
+class RcclBackend final : public RingCclBackend {
+ public:
+  RcclBackend(fabric::RankContext& ctx, const sim::CclProfile& profile)
+      : RingCclBackend(CclKind::Rccl, ctx, profile, nccl_family_capabilities()) {}
+};
+
+/// Habana HCCL emulation: NCCL-compatible API, float-only datatype support,
+/// large launch overhead, multi-node small-message step quirks.
+class HcclBackend final : public RingCclBackend {
+ public:
+  HcclBackend(fabric::RankContext& ctx, const sim::CclProfile& profile)
+      : RingCclBackend(CclKind::Hccl, ctx, profile, hccl_capabilities()) {}
+};
+
+/// Intel oneCCL emulation (the paper's future-work target): NCCL-family
+/// algorithms with oneCCL's datatype coverage (no bfloat16 reduction in the
+/// era the paper targets).
+class OneCclBackend final : public RingCclBackend {
+ public:
+  OneCclBackend(fabric::RankContext& ctx, const sim::CclProfile& profile)
+      : RingCclBackend(CclKind::OneCcl, ctx, profile, oneccl_capabilities()) {}
+};
+
+}  // namespace mpixccl::xccl

@@ -1,0 +1,173 @@
+// Unit + parameterized tests for the elementwise reduction kernels.
+
+#include "common/reduce.hpp"
+
+#include <complex>
+#include <cstdint>
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mpixccl {
+namespace {
+
+TEST(ReduceDefined, ArithmeticOnAllNumeric) {
+  for (DataType dt : {DataType::Int8, DataType::Uint8, DataType::Int32,
+                      DataType::Uint32, DataType::Int64, DataType::Uint64,
+                      DataType::Float16, DataType::BFloat16, DataType::Float32,
+                      DataType::Float64}) {
+    for (ReduceOp op : {ReduceOp::Sum, ReduceOp::Prod, ReduceOp::Min,
+                        ReduceOp::Max, ReduceOp::Avg}) {
+      EXPECT_TRUE(reduce_defined(dt, op)) << to_string(dt) << " " << to_string(op);
+    }
+  }
+}
+
+TEST(ReduceDefined, ComplexOnlySumProdAvg) {
+  for (DataType dt : {DataType::FloatComplex, DataType::DoubleComplex}) {
+    EXPECT_TRUE(reduce_defined(dt, ReduceOp::Sum));
+    EXPECT_TRUE(reduce_defined(dt, ReduceOp::Prod));
+    EXPECT_TRUE(reduce_defined(dt, ReduceOp::Avg));
+    EXPECT_FALSE(reduce_defined(dt, ReduceOp::Min));
+    EXPECT_FALSE(reduce_defined(dt, ReduceOp::Max));
+    EXPECT_FALSE(reduce_defined(dt, ReduceOp::Band));
+  }
+}
+
+TEST(ReduceDefined, LogicalOnlyOnIntegers) {
+  EXPECT_TRUE(reduce_defined(DataType::Int32, ReduceOp::Band));
+  EXPECT_TRUE(reduce_defined(DataType::Uint64, ReduceOp::Lor));
+  EXPECT_FALSE(reduce_defined(DataType::Float32, ReduceOp::Band));
+  EXPECT_FALSE(reduce_defined(DataType::Float64, ReduceOp::Land));
+}
+
+TEST(ReduceDefined, ByteSupportsNothing) {
+  for (ReduceOp op : {ReduceOp::Sum, ReduceOp::Max, ReduceOp::Band}) {
+    EXPECT_FALSE(reduce_defined(DataType::Byte, op));
+  }
+}
+
+TEST(ApplyReduce, SumInt32) {
+  std::vector<std::int32_t> in{1, 2, 3, 4};
+  std::vector<std::int32_t> inout{10, 20, 30, 40};
+  ASSERT_EQ(apply_reduce(DataType::Int32, ReduceOp::Sum, in.data(), inout.data(), 4),
+            XcclResult::Success);
+  EXPECT_EQ(inout, (std::vector<std::int32_t>{11, 22, 33, 44}));
+}
+
+TEST(ApplyReduce, MinMaxFloat) {
+  std::vector<float> in{1.0f, 5.0f, -3.0f};
+  std::vector<float> lo{2.0f, 2.0f, 2.0f};
+  std::vector<float> hi{2.0f, 2.0f, 2.0f};
+  ASSERT_EQ(apply_reduce(DataType::Float32, ReduceOp::Min, in.data(), lo.data(), 3),
+            XcclResult::Success);
+  ASSERT_EQ(apply_reduce(DataType::Float32, ReduceOp::Max, in.data(), hi.data(), 3),
+            XcclResult::Success);
+  EXPECT_EQ(lo, (std::vector<float>{1.0f, 2.0f, -3.0f}));
+  EXPECT_EQ(hi, (std::vector<float>{2.0f, 5.0f, 2.0f}));
+}
+
+TEST(ApplyReduce, ProdDoubleComplex) {
+  using C = std::complex<double>;
+  std::vector<C> in{{1.0, 1.0}, {2.0, 0.0}};
+  std::vector<C> inout{{0.0, 1.0}, {3.0, -1.0}};
+  ASSERT_EQ(apply_reduce(DataType::DoubleComplex, ReduceOp::Prod, in.data(),
+                         inout.data(), 2),
+            XcclResult::Success);
+  EXPECT_EQ(inout[0], C(-1.0, 1.0));  // (1+i)*(0+i) = -1+i
+  EXPECT_EQ(inout[1], C(6.0, -2.0));
+}
+
+TEST(ApplyReduce, LogicalOps) {
+  std::vector<std::int32_t> in{0, 3, 0, 7};
+  std::vector<std::int32_t> a{5, 0, 0, 1};
+  std::vector<std::int32_t> b{5, 0, 0, 1};
+  ASSERT_EQ(apply_reduce(DataType::Int32, ReduceOp::Land, in.data(), a.data(), 4),
+            XcclResult::Success);
+  EXPECT_EQ(a, (std::vector<std::int32_t>{0, 0, 0, 1}));
+  ASSERT_EQ(apply_reduce(DataType::Int32, ReduceOp::Lor, in.data(), b.data(), 4),
+            XcclResult::Success);
+  EXPECT_EQ(b, (std::vector<std::int32_t>{1, 1, 0, 1}));
+}
+
+TEST(ApplyReduce, BitwiseOps) {
+  std::vector<std::uint8_t> in{0b1100, 0b1010};
+  std::vector<std::uint8_t> a{0b1010, 0b0110};
+  ASSERT_EQ(apply_reduce(DataType::Uint8, ReduceOp::Band, in.data(), a.data(), 2),
+            XcclResult::Success);
+  EXPECT_EQ(a[0], 0b1000);
+  EXPECT_EQ(a[1], 0b0010);
+}
+
+TEST(ApplyReduce, HalfSum) {
+  std::vector<Half> in{Half::from_float(1.5f), Half::from_float(-2.0f)};
+  std::vector<Half> inout{Half::from_float(0.25f), Half::from_float(4.0f)};
+  ASSERT_EQ(apply_reduce(DataType::Float16, ReduceOp::Sum, in.data(), inout.data(), 2),
+            XcclResult::Success);
+  EXPECT_EQ(inout[0].to_float(), 1.75f);
+  EXPECT_EQ(inout[1].to_float(), 2.0f);
+}
+
+TEST(ApplyReduce, RejectsUnsupportedPairs) {
+  float dummy[2] = {0.0f, 0.0f};
+  EXPECT_EQ(apply_reduce(DataType::Float32, ReduceOp::Band, dummy, dummy, 2),
+            XcclResult::UnsupportedOperation);
+  std::complex<double> c[1] = {};
+  EXPECT_EQ(apply_reduce(DataType::DoubleComplex, ReduceOp::Max, c, c, 1),
+            XcclResult::UnsupportedOperation);
+  std::byte bytes[4] = {};
+  EXPECT_EQ(apply_reduce(DataType::Byte, ReduceOp::Sum, bytes, bytes, 4),
+            XcclResult::UnsupportedDatatype);
+}
+
+TEST(ScaleInplace, FloatTypes) {
+  std::vector<double> d{2.0, -4.0};
+  ASSERT_EQ(scale_inplace(DataType::Float64, d.data(), 2, 0.5), XcclResult::Success);
+  EXPECT_EQ(d, (std::vector<double>{1.0, -2.0}));
+
+  std::vector<std::complex<float>> c{{2.0f, 4.0f}};
+  ASSERT_EQ(scale_inplace(DataType::FloatComplex, c.data(), 1, 0.25),
+            XcclResult::Success);
+  EXPECT_EQ(c[0], std::complex<float>(0.5f, 1.0f));
+
+  std::vector<std::int32_t> i{8};
+  EXPECT_EQ(scale_inplace(DataType::Int32, i.data(), 1, 0.5),
+            XcclResult::UnsupportedDatatype);
+}
+
+// Property sweep: sum/min/max against a scalar oracle on random data.
+class ReducePropertyTest
+    : public ::testing::TestWithParam<std::tuple<ReduceOp, std::size_t>> {};
+
+TEST_P(ReducePropertyTest, MatchesScalarOracleInt64) {
+  const auto [op, n] = GetParam();
+  auto rng = make_rng(42, static_cast<std::uint64_t>(n) * 7 + static_cast<int>(op));
+  std::uniform_int_distribution<std::int64_t> dist(-1000, 1000);
+  std::vector<std::int64_t> in(n);
+  std::vector<std::int64_t> inout(n);
+  std::vector<std::int64_t> expect(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in[i] = dist(rng);
+    inout[i] = dist(rng);
+    switch (op) {
+      case ReduceOp::Sum: expect[i] = in[i] + inout[i]; break;
+      case ReduceOp::Prod: expect[i] = in[i] * inout[i]; break;
+      case ReduceOp::Min: expect[i] = std::min(in[i], inout[i]); break;
+      case ReduceOp::Max: expect[i] = std::max(in[i], inout[i]); break;
+      default: FAIL();
+    }
+  }
+  ASSERT_EQ(apply_reduce(DataType::Int64, op, in.data(), inout.data(), n),
+            XcclResult::Success);
+  EXPECT_EQ(inout, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReducePropertyTest,
+    ::testing::Combine(::testing::Values(ReduceOp::Sum, ReduceOp::Prod,
+                                         ReduceOp::Min, ReduceOp::Max),
+                       ::testing::Values<std::size_t>(0, 1, 3, 64, 1023)));
+
+}  // namespace
+}  // namespace mpixccl

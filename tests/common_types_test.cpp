@@ -1,0 +1,98 @@
+// Unit tests for common/types: datatype traits and half/bfloat16 conversion.
+
+#include "common/types.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <limits>
+
+namespace mpixccl {
+namespace {
+
+TEST(DatatypeTraits, Sizes) {
+  EXPECT_EQ(datatype_size(DataType::Int8), 1u);
+  EXPECT_EQ(datatype_size(DataType::Uint8), 1u);
+  EXPECT_EQ(datatype_size(DataType::Float16), 2u);
+  EXPECT_EQ(datatype_size(DataType::BFloat16), 2u);
+  EXPECT_EQ(datatype_size(DataType::Int32), 4u);
+  EXPECT_EQ(datatype_size(DataType::Float32), 4u);
+  EXPECT_EQ(datatype_size(DataType::Int64), 8u);
+  EXPECT_EQ(datatype_size(DataType::Float64), 8u);
+  EXPECT_EQ(datatype_size(DataType::FloatComplex), 8u);
+  EXPECT_EQ(datatype_size(DataType::DoubleComplex), 16u);
+  EXPECT_EQ(datatype_size(DataType::Byte), 1u);
+}
+
+TEST(DatatypeTraits, Classification) {
+  EXPECT_TRUE(is_floating(DataType::Float32));
+  EXPECT_TRUE(is_floating(DataType::BFloat16));
+  EXPECT_FALSE(is_floating(DataType::Int32));
+  EXPECT_FALSE(is_floating(DataType::DoubleComplex));
+  EXPECT_TRUE(is_complex(DataType::DoubleComplex));
+  EXPECT_TRUE(is_complex(DataType::FloatComplex));
+  EXPECT_FALSE(is_complex(DataType::Float64));
+}
+
+TEST(DatatypeTraits, Names) {
+  EXPECT_EQ(to_string(DataType::DoubleComplex), "double_complex");
+  EXPECT_EQ(to_string(Vendor::Habana), "habana");
+  EXPECT_EQ(to_string(ReduceOp::Sum), "sum");
+}
+
+TEST(Half, RoundTripExactValues) {
+  // Values exactly representable in binary16 survive the round trip.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f, 65504.0f}) {
+    EXPECT_EQ(Half::from_float(v).to_float(), v) << v;
+  }
+}
+
+TEST(Half, RoundsToNearest) {
+  // 1 + 2^-11 is exactly between 1.0 and the next half; ties-to-even -> 1.0.
+  const float mid = 1.0f + 4.8828125e-4f;
+  EXPECT_EQ(Half::from_float(mid).to_float(), 1.0f);
+  // Slightly above the midpoint rounds up to 1 + 2^-10.
+  const float above = 1.0f + 6.1e-4f;
+  EXPECT_EQ(Half::from_float(above).to_float(), 1.0f + 9.765625e-4f);
+}
+
+TEST(Half, OverflowToInf) {
+  EXPECT_TRUE(std::isinf(Half::from_float(1.0e6f).to_float()));
+  EXPECT_TRUE(std::isinf(Half::from_float(-1.0e6f).to_float()));
+  EXPECT_LT(Half::from_float(-1.0e6f).to_float(), 0.0f);
+}
+
+TEST(Half, Subnormals) {
+  const float tiny = 5.960464477539063e-8f;  // 2^-24, smallest half subnormal
+  EXPECT_EQ(Half::from_float(tiny).to_float(), tiny);
+  const float sub = 1.0e-7f;
+  const float rt = Half::from_float(sub).to_float();
+  EXPECT_NEAR(rt, sub, 6e-8f);
+}
+
+TEST(Half, NanPreserved) {
+  EXPECT_TRUE(std::isnan(
+      Half::from_float(std::numeric_limits<float>::quiet_NaN()).to_float()));
+}
+
+TEST(BF16, RoundTripExactValues) {
+  for (float v : {0.0f, 1.0f, -2.0f, 0.15625f, 3.3895314e38f}) {
+    EXPECT_EQ(BF16::from_float(v).to_float(), v) << v;
+  }
+}
+
+TEST(BF16, RoundsToNearestEven) {
+  // bfloat16 keeps 7 mantissa bits: near 1.0 the step is 2^-7, so the
+  // midpoint is 1 + 2^-8; ties round to even (1.0), above rounds up.
+  EXPECT_EQ(BF16::from_float(1.0f + 0.00390625f).to_float(), 1.0f);
+  EXPECT_EQ(BF16::from_float(1.0f + 0.005f).to_float(), 1.0078125f);
+}
+
+TEST(BF16, InfAndNan) {
+  EXPECT_TRUE(std::isinf(BF16::from_float(std::numeric_limits<float>::infinity())
+                             .to_float()));
+  EXPECT_TRUE(std::isnan(
+      BF16::from_float(std::numeric_limits<float>::quiet_NaN()).to_float()));
+}
+
+}  // namespace
+}  // namespace mpixccl

@@ -1,0 +1,97 @@
+// Tests for the runtime profiler (per-collective virtual-time accounting)
+// and tuning-table file persistence.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/xccl_mpi.hpp"
+#include "device/device.hpp"
+#include "fabric/world.hpp"
+#include "sim/profiles.hpp"
+
+namespace mpixccl::core {
+namespace {
+
+TEST(Profiler, AccumulatesPerCollectiveAndEngine) {
+  fabric::run_world(sim::thetagpu(), 1, [](fabric::RankContext& ctx) {
+    XcclMpi rt(ctx);
+    device::DeviceBuffer buf(ctx.device(), 4u << 20);
+    // Two small allreduces (MPI engine) + one large (xccl engine) + a bcast.
+    rt.allreduce(buf.get(), buf.get(), 64, mini::kFloat, ReduceOp::Sum,
+                 rt.comm_world());
+    rt.allreduce(buf.get(), buf.get(), 64, mini::kFloat, ReduceOp::Sum,
+                 rt.comm_world());
+    rt.allreduce(buf.get(), buf.get(), 1 << 20, mini::kFloat, ReduceOp::Sum,
+                 rt.comm_world());
+    rt.bcast(buf.get(), 32, mini::kFloat, 0, rt.comm_world());
+
+    const auto& prof = rt.profile_stats();
+    ASSERT_TRUE(prof.contains(CollOp::Allreduce));
+    ASSERT_TRUE(prof.contains(CollOp::Bcast));
+    const OpProfile& ar = prof.at(CollOp::Allreduce);
+    EXPECT_EQ(ar.mpi_calls, 2u);
+    EXPECT_EQ(ar.xccl_calls, 1u);
+    EXPECT_GT(ar.mpi_us, 0.0);
+    EXPECT_GT(ar.xccl_us, ar.mpi_us);  // the 4MB op dwarfs two tiny ones
+    EXPECT_EQ(prof.at(CollOp::Bcast).mpi_calls, 1u);
+
+    const std::string report = rt.profile_report();
+    EXPECT_NE(report.find("allreduce"), std::string::npos);
+    EXPECT_NE(report.find("bcast"), std::string::npos);
+
+    rt.reset_stats();
+    EXPECT_TRUE(rt.profile_stats().empty());
+  });
+}
+
+TEST(TuningFile, SaveLoadRoundTrip) {
+  const std::string path = "/tmp/mpixccl_tuning_test.tbl";
+  const TuningTable t = TuningTable::default_for(sim::mri());
+  t.save_file(path);
+  const TuningTable back = TuningTable::load_file(path);
+  for (const CollOp op : kAllCollOps) {
+    for (const std::size_t b : {100u, 100000u}) {
+      EXPECT_EQ(t.select(op, b), back.select(op, b));
+    }
+  }
+  std::remove(path.c_str());
+  EXPECT_THROW(TuningTable::load_file("/nonexistent/dir/x.tbl"), Error);
+}
+
+TEST(TuningFile, OptionsFileDrivesDispatch) {
+  const std::string path = "/tmp/mpixccl_tuning_mpi_only.tbl";
+  TuningTable::uniform(Engine::Mpi).save_file(path);
+
+  fabric::run_world(sim::thetagpu(), 1, [&](fabric::RankContext& ctx) {
+    XcclMpiOptions opts;
+    opts.tuning_file = path;
+    XcclMpi rt(ctx, opts);
+    device::DeviceBuffer buf(ctx.device(), 4u << 20);
+    rt.allreduce(buf.get(), buf.get(), 1 << 20, mini::kFloat, ReduceOp::Sum,
+                 rt.comm_world());
+    // The file says "mpi everywhere": even 4 MB routes to the MPI engine.
+    EXPECT_EQ(rt.last_dispatch().engine, Engine::Mpi);
+  });
+  std::remove(path.c_str());
+}
+
+TEST(TuningFile, ExplicitTableBeatsFile) {
+  const std::string path = "/tmp/mpixccl_tuning_loser.tbl";
+  TuningTable::uniform(Engine::Mpi).save_file(path);
+  fabric::run_world(sim::thetagpu(), 1, [&](fabric::RankContext& ctx) {
+    XcclMpiOptions opts;
+    opts.tuning = TuningTable::uniform(Engine::Xccl);
+    opts.tuning_file = path;  // lower precedence
+    XcclMpi rt(ctx, opts);
+    device::DeviceBuffer buf(ctx.device(), 1024);
+    rt.allreduce(buf.get(), buf.get(), 16, mini::kFloat, ReduceOp::Sum,
+                 rt.comm_world());
+    EXPECT_EQ(rt.last_dispatch().engine, Engine::Xccl);
+  });
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mpixccl::core

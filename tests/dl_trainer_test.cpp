@@ -1,0 +1,101 @@
+// Tests for the synthetic models and the Horovod-style trainer.
+
+#include <gtest/gtest.h>
+
+#include "dl/horovod.hpp"
+#include "dl/model.hpp"
+#include "sim/profiles.hpp"
+
+namespace mpixccl::dl {
+namespace {
+
+TEST(Models, ParameterCountsAreRealistic) {
+  // Real ResNet-50: 25.6M; VGG-16: 138M; BERT-base: 110M.
+  EXPECT_NEAR(static_cast<double>(Model::resnet50().total_params()), 25.6e6,
+              4.0e6);
+  EXPECT_NEAR(static_cast<double>(Model::vgg16().total_params()), 138.0e6,
+              10.0e6);
+  EXPECT_NEAR(static_cast<double>(Model::bert_base().total_params()), 110.0e6,
+              15.0e6);
+  EXPECT_GT(Model::resnet50().layers.size(), 50u);
+  EXPECT_GT(Model::bert_base().layers.size(), 90u);
+}
+
+TrainerConfig quick_config(omb::Flavor flavor) {
+  TrainerConfig cfg;
+  cfg.flavor = flavor;
+  cfg.batch_size = 32;
+  cfg.warmup_steps = 1;
+  cfg.steps = 3;
+  return cfg;
+}
+
+TEST(Trainer, ProducesPositiveThroughput) {
+  const TrainerResult r =
+      run_training(sim::mri(), 1, quick_config(omb::Flavor::HybridXccl));
+  EXPECT_GT(r.images_per_sec, 0.0);
+  EXPECT_GT(r.step_time_us, 0.0);
+  EXPECT_GT(r.buckets_per_step, 3);
+}
+
+TEST(Trainer, OverlapBeatsNoOverlap) {
+  TrainerConfig with = quick_config(omb::Flavor::PureXcclInMpi);
+  TrainerConfig without = with;
+  without.overlap = false;
+  const double t_with =
+      run_training(sim::thetagpu(), 1, with).images_per_sec;
+  const double t_without =
+      run_training(sim::thetagpu(), 1, without).images_per_sec;
+  EXPECT_GT(t_with, t_without);
+}
+
+TEST(Trainer, LargerBatchAmortizesCommunication) {
+  TrainerConfig small = quick_config(omb::Flavor::HybridXccl);
+  small.batch_size = 16;
+  TrainerConfig large = small;
+  large.batch_size = 64;
+  const TrainerResult r_small = run_training(sim::thetagpu(), 1, small);
+  const TrainerResult r_large = run_training(sim::thetagpu(), 1, large);
+  EXPECT_GE(r_large.images_per_sec, r_small.images_per_sec * 0.98);
+}
+
+TEST(Trainer, HybridBeatsNonOverlappedPureCcl) {
+  // The paper's Fig. 8 shape: our runtime vs the vendor-CCL Horovod build
+  // that reduces after backward (25% on AMD at the application level).
+  TrainerConfig ours = quick_config(omb::Flavor::HybridXccl);
+  TrainerConfig vendor = quick_config(omb::Flavor::PureCcl);
+  vendor.overlap = false;
+  const double t_ours = run_training(sim::mri(), 4, ours).images_per_sec;
+  const double t_vendor = run_training(sim::mri(), 4, vendor).images_per_sec;
+  EXPECT_GT(t_ours, t_vendor * 1.05);
+}
+
+TEST(Trainer, MscclBackendRuns) {
+  TrainerConfig cfg = quick_config(omb::Flavor::PureXcclInMpi);
+  cfg.backend = xccl::CclKind::Msccl;
+  const TrainerResult r = run_training(sim::thetagpu(), 1, cfg);
+  EXPECT_GT(r.images_per_sec, 0.0);
+}
+
+TEST(Trainer, HabanaMatchesPureHcclClosely) {
+  // Fig. 9: xCCL over HCCL within ~1% of pure HCCL (both overlapped there).
+  TrainerConfig ours = quick_config(omb::Flavor::PureXcclInMpi);
+  TrainerConfig vendor = quick_config(omb::Flavor::PureCcl);
+  const double t_ours = run_training(sim::voyager(), 1, ours).images_per_sec;
+  const double t_vendor = run_training(sim::voyager(), 1, vendor).images_per_sec;
+  EXPECT_NEAR(t_ours, t_vendor, t_vendor * 0.08);
+}
+
+TEST(Trainer, CommWaitDropsWithOverlap) {
+  TrainerConfig with = quick_config(omb::Flavor::PureXcclInMpi);
+  TrainerConfig without = with;
+  without.overlap = false;
+  const TrainerResult r_with = run_training(sim::thetagpu(), 2, with);
+  const TrainerResult r_without = run_training(sim::thetagpu(), 2, without);
+  // Without overlap the comm cost shows up during the bucket loop, not the
+  // final wait; with overlap the wait absorbs only the unhidden tail.
+  EXPECT_LT(r_with.step_time_us, r_without.step_time_us);
+}
+
+}  // namespace
+}  // namespace mpixccl::dl

@@ -1,0 +1,202 @@
+// Tests for the fabric transport: matching semantics, protocol behaviour,
+// virtual-clock rendezvous, and the World runner.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "fabric/endpoint.hpp"
+#include "fabric/world.hpp"
+#include "sim/profiles.hpp"
+
+namespace mpixccl::fabric {
+namespace {
+
+CostFn flat_cost(double alpha, double bw_MBps) {
+  return [=](int, std::size_t bytes) {
+    return alpha + static_cast<double>(bytes) / bw_MBps;
+  };
+}
+
+TEST(Endpoint, EagerSendCompletesWithoutReceiver) {
+  Endpoint ep(1);
+  const int payload = 42;
+  SendPolicy eager{.rendezvous = false, .eager_complete_us = 3.0};
+  PendingSend s = ep.deliver(0, 7, 100, &payload, sizeof(payload), 10.0, eager);
+
+  sim::VirtualClock clock;
+  // Resolves immediately at sender_ready + eager cost even though no recv.
+  EXPECT_DOUBLE_EQ(s.wait(clock), 13.0);
+  EXPECT_EQ(ep.unexpected_count(), 1u);
+
+  int out = 0;
+  PendingRecv r = ep.post_recv(0, 7, 100, &out, sizeof(out), 20.0, flat_cost(5, 1e6));
+  sim::VirtualClock rclock;
+  const RecvResult res = r.wait(rclock);
+  EXPECT_EQ(out, 42);
+  EXPECT_EQ(res.src, 0);
+  EXPECT_EQ(res.tag, 7);
+  EXPECT_EQ(res.bytes, sizeof(int));
+  // completion = max(10, 20) + 5 + 4B/1e6MBps ~ 25.
+  EXPECT_NEAR(res.completion, 25.0, 1e-4);
+  EXPECT_DOUBLE_EQ(rclock.now(), res.completion);
+}
+
+TEST(Endpoint, RendezvousSenderSynchronizesWithReceiver) {
+  Endpoint ep(1);
+  std::vector<char> data(1000, 'a');
+  std::vector<char> out(1000);
+  SendPolicy rndv{.rendezvous = true, .eager_complete_us = 0.0};
+
+  // Receiver is ready *before* the sender: completion based on sender time.
+  PendingRecv r = ep.post_recv(kAnySource, kAnyTag, 5, out.data(), out.size(), 2.0,
+                               flat_cost(1.0, 1000.0));
+  PendingSend s = ep.deliver(3, 9, 5, data.data(), data.size(), 50.0, rndv);
+
+  sim::VirtualClock sc;
+  sim::VirtualClock rc;
+  const double sender_done = s.wait(sc);
+  const RecvResult res = r.wait(rc);
+  // base = max(50, 2) = 50; cost = 1 + 1000/1000 = 2.
+  EXPECT_DOUBLE_EQ(res.completion, 52.0);
+  EXPECT_DOUBLE_EQ(sender_done, 52.0);  // rendezvous: sender completes with transfer
+  EXPECT_EQ(out[999], 'a');
+  EXPECT_EQ(res.src, 3);
+  EXPECT_EQ(res.tag, 9);
+}
+
+TEST(Endpoint, ChannelsIsolateTraffic) {
+  Endpoint ep(0);
+  const int a = 1;
+  const int b = 2;
+  SendPolicy eager{.rendezvous = false, .eager_complete_us = 0.0};
+  ep.deliver(5, 0, /*channel=*/111, &a, sizeof(a), 0.0, eager);
+  ep.deliver(5, 0, /*channel=*/222, &b, sizeof(b), 0.0, eager);
+
+  int out = 0;
+  sim::VirtualClock clock;
+  // Receive on channel 222 first: must get `b`, not the earlier `a`.
+  PendingRecv r = ep.post_recv(5, 0, 222, &out, sizeof(out), 0.0, flat_cost(0, 1));
+  r.wait(clock);
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(ep.unexpected_count(), 1u);
+}
+
+TEST(Endpoint, FifoOrderPerSourceAndTag) {
+  Endpoint ep(0);
+  SendPolicy eager{.rendezvous = false, .eager_complete_us = 0.0};
+  for (int v : {10, 20, 30}) {
+    ep.deliver(1, 4, 9, &v, sizeof(v), 0.0, eager);
+  }
+  sim::VirtualClock clock;
+  for (int expect : {10, 20, 30}) {
+    int out = 0;
+    PendingRecv r = ep.post_recv(1, 4, 9, &out, sizeof(out), 0.0, flat_cost(0, 1));
+    r.wait(clock);
+    EXPECT_EQ(out, expect);
+  }
+}
+
+TEST(Endpoint, TruncationIsAnError) {
+  Endpoint ep(0);
+  std::vector<char> big(64, 'x');
+  SendPolicy eager{.rendezvous = false, .eager_complete_us = 0.0};
+  ep.deliver(1, 0, 3, big.data(), big.size(), 0.0, eager);
+
+  char small[8];
+  PendingRecv r = ep.post_recv(1, 0, 3, small, sizeof(small), 0.0, flat_cost(0, 1));
+  sim::VirtualClock clock;
+  EXPECT_THROW(r.wait(clock), Error);
+}
+
+TEST(Endpoint, ZeroByteMessages) {
+  Endpoint ep(0);
+  SendPolicy eager{.rendezvous = false, .eager_complete_us = 1.0};
+  PendingSend s = ep.deliver(2, 8, 4, nullptr, 0, 5.0, eager);
+  PendingRecv r = ep.post_recv(2, 8, 4, nullptr, 0, 7.0, flat_cost(0.5, 1e6));
+  sim::VirtualClock clock;
+  EXPECT_DOUBLE_EQ(s.wait(clock), 6.0);
+  EXPECT_DOUBLE_EQ(r.wait(clock).completion, 7.5);
+}
+
+TEST(World, RunsAllRanksAndPropagatesExceptions) {
+  sim::SystemProfile prof = sim::thetagpu();
+  World world(WorldConfig{prof, 1, 4});
+  std::atomic<int> count{0};
+  world.run([&](RankContext& ctx) {
+    count.fetch_add(1 + ctx.rank());
+    EXPECT_EQ(ctx.size(), 4);
+    EXPECT_EQ(&ctx.device(), &ctx.world().device(ctx.rank()));
+  });
+  EXPECT_EQ(count.load(), 1 + 2 + 3 + 4);
+
+  EXPECT_THROW(world.run([](RankContext& ctx) {
+                 if (ctx.rank() == 2) throw Error("rank 2 exploded");
+               }),
+               Error);
+}
+
+TEST(World, CrossThreadMessagePassing) {
+  sim::SystemProfile prof = sim::thetagpu();
+  World world(WorldConfig{prof, 1, 2});
+  world.run([&](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      const double x = 3.25;
+      ctx.clock().advance(10.0);
+      SendPolicy rndv{.rendezvous = true};
+      auto s = ctx.endpoint_of(1).deliver(0, 0, 77, &x, sizeof(x),
+                                          ctx.clock().now(), rndv);
+      s.wait(ctx.clock());
+      EXPECT_GE(ctx.clock().now(), 10.0);
+    } else {
+      double out = 0.0;
+      auto r = ctx.endpoint().post_recv(0, 0, 77, &out, sizeof(out),
+                                        ctx.clock().now(), flat_cost(2.0, 1e6));
+      const RecvResult res = r.wait(ctx.clock());
+      EXPECT_EQ(out, 3.25);
+      // Sender was at t=10; receiver at 0 -> completion >= 12.
+      EXPECT_GE(res.completion, 12.0);
+    }
+  });
+}
+
+TEST(World, SyncClocksAlignsToMax) {
+  sim::SystemProfile prof = sim::mri();
+  World world(WorldConfig{prof, 1, 4});
+  world.run([&](RankContext& ctx) {
+    ctx.clock().advance(10.0 * (ctx.rank() + 1));
+    ctx.sync_clocks();
+    EXPECT_DOUBLE_EQ(ctx.clock().now(), 40.0);
+  });
+}
+
+TEST(World, ResetTimeClearsClocks) {
+  sim::SystemProfile prof = sim::mri();
+  World world(WorldConfig{prof, 1, 2});
+  world.run([&](RankContext& ctx) { ctx.clock().advance(5.0); });
+  world.reset_time();
+  world.run([&](RankContext& ctx) { EXPECT_DOUBLE_EQ(ctx.clock().now(), 0.0); });
+}
+
+TEST(World, TopologySpansNodes) {
+  sim::SystemProfile prof = sim::thetagpu();
+  World world(WorldConfig{prof, 2, 0});  // 0 -> profile default (8/node)
+  EXPECT_EQ(world.size(), 16);
+  EXPECT_TRUE(world.topology().same_node(0, 7));
+  EXPECT_FALSE(world.topology().same_node(7, 8));
+}
+
+TEST(DeriveChannel, DeterministicAndDistinct) {
+  const ChannelId a = derive_channel(1, 1);
+  const ChannelId b = derive_channel(1, 1);
+  const ChannelId c = derive_channel(1, 2);
+  const ChannelId d = derive_channel(2, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+}  // namespace
+}  // namespace mpixccl::fabric

@@ -1,0 +1,151 @@
+// Tests for Cartesian topologies and neighborhood collectives.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fabric/world.hpp"
+#include "mpi/cart.hpp"
+#include "sim/profiles.hpp"
+
+namespace mpixccl::mini {
+namespace {
+
+void with_mpi(int ranks, const std::function<void(Mpi&)>& body) {
+  fabric::World world(fabric::WorldConfig{sim::thetagpu(), 1, ranks});
+  world.run([&](fabric::RankContext& ctx) {
+    Mpi mpi(ctx, ctx.profile().mpi);
+    body(mpi);
+  });
+}
+
+TEST(CartComm, BalancedDims) {
+  EXPECT_EQ(CartComm::balanced_dims(12, 2), (std::vector<int>{4, 3}));
+  EXPECT_EQ(CartComm::balanced_dims(8, 3), (std::vector<int>{2, 2, 2}));
+  EXPECT_EQ(CartComm::balanced_dims(7, 2), (std::vector<int>{7, 1}));
+  EXPECT_EQ(CartComm::balanced_dims(1, 2), (std::vector<int>{1, 1}));
+  int prod = 1;
+  for (int d : CartComm::balanced_dims(24, 3)) prod *= d;
+  EXPECT_EQ(prod, 24);
+}
+
+TEST(CartComm, CoordsRoundTrip) {
+  with_mpi(6, [](Mpi& mpi) {
+    const int dims[] = {3, 2};
+    const bool per[] = {false, false};
+    CartComm cart = CartComm::create(mpi, mpi.comm_world(), dims, per);
+    const std::vector<int> c = cart.coords();
+    EXPECT_EQ(c[0], mpi.rank() / 2);
+    EXPECT_EQ(c[1], mpi.rank() % 2);
+    EXPECT_EQ(cart.rank_of(c), mpi.rank());
+    // Out-of-range on a non-periodic dim -> PROC_NULL.
+    const int off[] = {3, 0};
+    EXPECT_EQ(cart.rank_of(off), kProcNull);
+  });
+}
+
+TEST(CartComm, PeriodicWrapAndShift) {
+  with_mpi(6, [](Mpi& mpi) {
+    const int dims[] = {3, 2};
+    const bool per[] = {true, false};
+    CartComm cart = CartComm::create(mpi, mpi.comm_world(), dims, per);
+    const auto c = cart.coords();
+    // Periodic dim 0 wraps.
+    const CartComm::Shift s0 = cart.shift(0, 1);
+    EXPECT_EQ(s0.dest, cart.rank_of(std::vector<int>{(c[0] + 1) % 3, c[1]}));
+    EXPECT_EQ(s0.source, cart.rank_of(std::vector<int>{(c[0] + 2) % 3, c[1]}));
+    // Non-periodic dim 1 hits PROC_NULL at the edges.
+    const CartComm::Shift s1 = cart.shift(1, 1);
+    if (c[1] == 1) {
+      EXPECT_EQ(s1.dest, kProcNull);
+    } else {
+      EXPECT_EQ(s1.dest, cart.rank_of(std::vector<int>{c[0], c[1] + 1}));
+    }
+  });
+}
+
+TEST(CartComm, CreateValidatesGridSize) {
+  with_mpi(4, [](Mpi& mpi) {
+    const int dims[] = {3, 2};  // 6 != 4
+    const bool per[] = {false, false};
+    EXPECT_THROW(CartComm::create(mpi, mpi.comm_world(), dims, per), Error);
+  });
+}
+
+TEST(NeighborCollectives, Alltoall1dRing) {
+  with_mpi(4, [](Mpi& mpi) {
+    const int dims[] = {4};
+    const bool per[] = {true};
+    CartComm cart = CartComm::create(mpi, mpi.comm_world(), dims, per);
+    // Blocks: [to low neighbor, to high neighbor].
+    const int me = mpi.rank();
+    std::vector<int> send{me * 10 + 0, me * 10 + 1};
+    std::vector<int> recv(2, -1);
+    neighbor_alltoall(mpi, cart, send.data(), 1, kInt, recv.data(), 1, kInt);
+    const int low = (me + 3) % 4;
+    const int high = (me + 1) % 4;
+    // From my low neighbor I get the block it sent to its high side.
+    EXPECT_EQ(recv[0], low * 10 + 1);
+    EXPECT_EQ(recv[1], high * 10 + 0);
+  });
+}
+
+TEST(NeighborCollectives, AlltoallNonPeriodicEdgesUntouched) {
+  with_mpi(3, [](Mpi& mpi) {
+    const int dims[] = {3};
+    const bool per[] = {false};
+    CartComm cart = CartComm::create(mpi, mpi.comm_world(), dims, per);
+    const int me = mpi.rank();
+    std::vector<double> send{me + 0.5, me + 0.25};
+    std::vector<double> recv(2, -1.0);
+    neighbor_alltoall(mpi, cart, send.data(), 1, kDouble, recv.data(), 1,
+                      kDouble);
+    if (me == 0) {
+      EXPECT_DOUBLE_EQ(recv[0], -1.0);  // no low neighbor
+      EXPECT_DOUBLE_EQ(recv[1], 1.5);   // rank 1's low block
+    } else if (me == 2) {
+      EXPECT_DOUBLE_EQ(recv[0], 1.25);  // rank 1's high block
+      EXPECT_DOUBLE_EQ(recv[1], -1.0);  // no high neighbor
+    } else {
+      EXPECT_DOUBLE_EQ(recv[0], 0.25);
+      EXPECT_DOUBLE_EQ(recv[1], 2.5);
+    }
+  });
+}
+
+TEST(NeighborCollectives, Allgather2dGrid) {
+  with_mpi(6, [](Mpi& mpi) {
+    const int dims[] = {3, 2};
+    const bool per[] = {true, true};
+    CartComm cart = CartComm::create(mpi, mpi.comm_world(), dims, per);
+    const int me = mpi.rank();
+    const std::vector<int> nbrs = cart.neighbors();
+    std::vector<float> mine(4, static_cast<float>(me));
+    std::vector<float> all(4 * nbrs.size(), -1.0f);
+    neighbor_allgather(mpi, cart, mine.data(), 4, kFloat, all.data(), 4, kFloat);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      ASSERT_FLOAT_EQ(all[i * 4 + 3], static_cast<float>(nbrs[i]))
+          << "neighbor slot " << i;
+    }
+  });
+}
+
+TEST(NeighborCollectives, TwoWidePeriodicDimensionSelfConsistent) {
+  // dims {2} periodic: both neighbors are the same rank; tag mirroring must
+  // keep low/high blocks straight.
+  with_mpi(2, [](Mpi& mpi) {
+    const int dims[] = {2};
+    const bool per[] = {true};
+    CartComm cart = CartComm::create(mpi, mpi.comm_world(), dims, per);
+    const int me = mpi.rank();
+    const int peer = 1 - me;
+    std::vector<int> send{me * 100, me * 100 + 1};  // [low block, high block]
+    std::vector<int> recv(2, -1);
+    neighbor_alltoall(mpi, cart, send.data(), 1, kInt, recv.data(), 1, kInt);
+    EXPECT_EQ(recv[0], peer * 100 + 1);  // peer's high block arrives low
+    EXPECT_EQ(recv[1], peer * 100);      // peer's low block arrives high
+  });
+}
+
+}  // namespace
+}  // namespace mpixccl::mini

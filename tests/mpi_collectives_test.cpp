@@ -1,0 +1,399 @@
+// MiniMPI collective correctness tests against serial oracles, parameterized
+// over world sizes and message lengths so both the small-message algorithms
+// (recursive doubling, Bruck) and the large-message ones (Rabenseifner,
+// ring) are exercised, including non-power-of-two rank counts.
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <numeric>
+#include <vector>
+
+#include "device/device.hpp"
+#include "fabric/world.hpp"
+#include "mpi/mpi.hpp"
+#include "sim/profiles.hpp"
+
+namespace mpixccl::mini {
+namespace {
+
+// Deterministic per-rank input.
+double input_of(int rank, std::size_t i) {
+  return static_cast<double>((rank + 1) * 1000 + static_cast<int>(i % 97));
+}
+
+void for_ranks(int nodes, int dpn, const std::function<void(Mpi&)>& body) {
+  fabric::World world(fabric::WorldConfig{sim::thetagpu(), nodes, dpn});
+  world.run([&](fabric::RankContext& ctx) {
+    Mpi mpi(ctx, ctx.profile().mpi);
+    body(mpi);
+  });
+}
+
+class CollectiveSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {
+ protected:
+  [[nodiscard]] int world_size() const { return std::get<0>(GetParam()); }
+  [[nodiscard]] std::size_t count() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(CollectiveSweep, AllreduceSumMatchesOracle) {
+  const std::size_t n = count();
+  for_ranks(1, world_size(), [&](Mpi& mpi) {
+    std::vector<double> in(n);
+    std::vector<double> out(n, -1.0);
+    for (std::size_t i = 0; i < n; ++i) in[i] = input_of(mpi.rank(), i);
+    mpi.allreduce(in.data(), out.data(), n, kDouble, ReduceOp::Sum,
+                  mpi.comm_world());
+    for (std::size_t i = 0; i < n; ++i) {
+      double expect = 0.0;
+      for (int r = 0; r < mpi.size(); ++r) expect += input_of(r, i);
+      ASSERT_DOUBLE_EQ(out[i], expect) << "i=" << i << " p=" << mpi.size();
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AllgatherMatchesOracle) {
+  const std::size_t n = count();
+  for_ranks(1, world_size(), [&](Mpi& mpi) {
+    const int p = mpi.size();
+    std::vector<double> mine(n);
+    for (std::size_t i = 0; i < n; ++i) mine[i] = input_of(mpi.rank(), i);
+    std::vector<double> all(n * static_cast<std::size_t>(p), -1.0);
+    mpi.allgather(mine.data(), n, kDouble, all.data(), n, kDouble,
+                  mpi.comm_world());
+    for (int r = 0; r < p; ++r) {
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_DOUBLE_EQ(all[static_cast<std::size_t>(r) * n + i], input_of(r, i))
+            << "r=" << r << " i=" << i;
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, BcastFromEveryRoot) {
+  const std::size_t n = count();
+  for_ranks(1, world_size(), [&](Mpi& mpi) {
+    for (int root = 0; root < mpi.size(); ++root) {
+      std::vector<double> buf(n);
+      if (mpi.rank() == root) {
+        for (std::size_t i = 0; i < n; ++i) buf[i] = input_of(root, i);
+      }
+      mpi.bcast(buf.data(), n, kDouble, root, mpi.comm_world());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_DOUBLE_EQ(buf[i], input_of(root, i)) << "root=" << root;
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, ReduceToEveryRoot) {
+  const std::size_t n = count();
+  for_ranks(1, world_size(), [&](Mpi& mpi) {
+    for (int root = 0; root < mpi.size(); ++root) {
+      std::vector<double> in(n);
+      std::vector<double> out(n, -1.0);
+      for (std::size_t i = 0; i < n; ++i) in[i] = input_of(mpi.rank(), i);
+      mpi.reduce(in.data(), out.data(), n, kDouble, ReduceOp::Sum, root,
+                 mpi.comm_world());
+      if (mpi.rank() == root) {
+        for (std::size_t i = 0; i < n; ++i) {
+          double expect = 0.0;
+          for (int r = 0; r < mpi.size(); ++r) expect += input_of(r, i);
+          ASSERT_DOUBLE_EQ(out[i], expect);
+        }
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AlltoallMatchesOracle) {
+  const std::size_t n = count();
+  for_ranks(1, world_size(), [&](Mpi& mpi) {
+    const int p = mpi.size();
+    const auto up = static_cast<std::size_t>(p);
+    // Element j of the block from r to d encodes (r, d, j).
+    std::vector<double> sendbuf(n * up);
+    for (int d = 0; d < p; ++d) {
+      for (std::size_t j = 0; j < n; ++j) {
+        sendbuf[static_cast<std::size_t>(d) * n + j] =
+            mpi.rank() * 1e6 + d * 1e3 + static_cast<double>(j % 97);
+      }
+    }
+    std::vector<double> recvbuf(n * up, -1.0);
+    mpi.alltoall(sendbuf.data(), n, kDouble, recvbuf.data(), n, kDouble,
+                 mpi.comm_world());
+    for (int r = 0; r < p; ++r) {
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_DOUBLE_EQ(recvbuf[static_cast<std::size_t>(r) * n + j],
+                         r * 1e6 + mpi.rank() * 1e3 + static_cast<double>(j % 97));
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, ReduceScatterBlockMatchesOracle) {
+  const std::size_t n = count();
+  for_ranks(1, world_size(), [&](Mpi& mpi) {
+    const int p = mpi.size();
+    const auto up = static_cast<std::size_t>(p);
+    std::vector<double> in(n * up);
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = input_of(mpi.rank(), i);
+    std::vector<double> out(n, -1.0);
+    mpi.reduce_scatter_block(in.data(), out.data(), n, kDouble, ReduceOp::Sum,
+                             mpi.comm_world());
+    const std::size_t base = static_cast<std::size_t>(mpi.rank()) * n;
+    for (std::size_t i = 0; i < n; ++i) {
+      double expect = 0.0;
+      for (int r = 0; r < p; ++r) expect += input_of(r, base + i);
+      ASSERT_DOUBLE_EQ(out[i], expect);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CollectiveSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 8),
+                       ::testing::Values<std::size_t>(1, 7, 1000, 9000)),
+    [](const auto& info) {
+      return "p" + std::to_string(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(MpiCollectives, AllreduceMinMaxAvg) {
+  for_ranks(1, 4, [](Mpi& mpi) {
+    const double v = 10.0 * (mpi.rank() + 1);
+    double lo = 0.0;
+    double hi = 0.0;
+    double avg = 0.0;
+    mpi.allreduce(&v, &lo, 1, kDouble, ReduceOp::Min, mpi.comm_world());
+    mpi.allreduce(&v, &hi, 1, kDouble, ReduceOp::Max, mpi.comm_world());
+    mpi.allreduce(&v, &avg, 1, kDouble, ReduceOp::Avg, mpi.comm_world());
+    EXPECT_DOUBLE_EQ(lo, 10.0);
+    EXPECT_DOUBLE_EQ(hi, 40.0);
+    EXPECT_DOUBLE_EQ(avg, 25.0);
+  });
+}
+
+TEST(MpiCollectives, AllreduceDoubleComplex) {
+  // The MPI path must handle MPI_DOUBLE_COMPLEX (the FFT fallback target).
+  for_ranks(1, 3, [](Mpi& mpi) {
+    using C = std::complex<double>;
+    std::vector<C> in(64, C(mpi.rank() + 1.0, -1.0));
+    std::vector<C> out(64);
+    mpi.allreduce(in.data(), out.data(), 64, kDoubleComplex, ReduceOp::Sum,
+                  mpi.comm_world());
+    EXPECT_EQ(out[10], C(6.0, -3.0));
+  });
+}
+
+TEST(MpiCollectives, AllreduceInPlaceStyleSameBuffer) {
+  for_ranks(1, 4, [](Mpi& mpi) {
+    std::vector<int> buf(128, mpi.rank() + 1);
+    mpi.allreduce(buf.data(), buf.data(), 128, kInt, ReduceOp::Sum,
+                  mpi.comm_world());
+    EXPECT_EQ(buf[0], 10);
+    EXPECT_EQ(buf[127], 10);
+  });
+}
+
+TEST(MpiCollectives, GatherScatterRoundTrip) {
+  for_ranks(1, 5, [](Mpi& mpi) {
+    const int p = mpi.size();
+    const std::size_t n = 33;
+    std::vector<int> mine(n, mpi.rank() * 7);
+    std::vector<int> gathered;
+    const int root = 2;
+    if (mpi.rank() == root) gathered.resize(n * static_cast<std::size_t>(p));
+    mpi.gather(mine.data(), n, kInt, gathered.data(), n, kInt, root,
+               mpi.comm_world());
+    if (mpi.rank() == root) {
+      for (int r = 0; r < p; ++r) {
+        EXPECT_EQ(gathered[static_cast<std::size_t>(r) * n], r * 7);
+      }
+    }
+    // Scatter it back; every rank should recover its own block.
+    std::vector<int> back(n, -1);
+    mpi.scatter(gathered.data(), n, kInt, back.data(), n, kInt, root,
+                mpi.comm_world());
+    EXPECT_EQ(back[0], mpi.rank() * 7);
+    EXPECT_EQ(back[n - 1], mpi.rank() * 7);
+  });
+}
+
+TEST(MpiCollectives, GathervScattervVariableBlocks) {
+  for_ranks(1, 4, [](Mpi& mpi) {
+    const int p = mpi.size();
+    const int root = 1;
+    // Rank r contributes r+1 ints.
+    const std::size_t mine_n = static_cast<std::size_t>(mpi.rank()) + 1;
+    std::vector<int> mine(mine_n, mpi.rank());
+    std::vector<std::size_t> counts;
+    std::vector<std::size_t> displs;
+    std::size_t total = 0;
+    for (int r = 0; r < p; ++r) {
+      counts.push_back(static_cast<std::size_t>(r) + 1);
+      displs.push_back(total);
+      total += counts.back();
+    }
+    std::vector<int> gathered(total, -1);
+    mpi.gatherv(mine.data(), mine_n, kInt, gathered.data(), counts, displs, kInt,
+                root, mpi.comm_world());
+    if (mpi.rank() == root) {
+      EXPECT_EQ(gathered, (std::vector<int>{0, 1, 1, 2, 2, 2, 3, 3, 3, 3}));
+    }
+    std::vector<int> back(mine_n, -1);
+    mpi.scatterv(gathered.data(), counts, displs, kInt, back.data(), mine_n, kInt,
+                 root, mpi.comm_world());
+    EXPECT_EQ(back, std::vector<int>(mine_n, mpi.rank()));
+  });
+}
+
+TEST(MpiCollectives, AllgathervVariableBlocks) {
+  for_ranks(1, 3, [](Mpi& mpi) {
+    const int p = mpi.size();
+    const std::size_t mine_n = static_cast<std::size_t>(mpi.rank()) * 2 + 1;
+    std::vector<double> mine(mine_n, mpi.rank() + 0.5);
+    std::vector<std::size_t> counts;
+    std::vector<std::size_t> displs;
+    std::size_t total = 0;
+    for (int r = 0; r < p; ++r) {
+      counts.push_back(static_cast<std::size_t>(r) * 2 + 1);
+      displs.push_back(total);
+      total += counts.back();
+    }
+    std::vector<double> all(total, -1.0);
+    mpi.allgatherv(mine.data(), mine_n, kDouble, all.data(), counts, displs,
+                   kDouble, mpi.comm_world());
+    for (int r = 0; r < p; ++r) {
+      for (std::size_t i = 0; i < counts[static_cast<std::size_t>(r)]; ++i) {
+        EXPECT_DOUBLE_EQ(all[displs[static_cast<std::size_t>(r)] + i], r + 0.5);
+      }
+    }
+  });
+}
+
+TEST(MpiCollectives, AlltoallvRaggedExchange) {
+  for_ranks(1, 4, [](Mpi& mpi) {
+    const int p = mpi.size();
+    const int me = mpi.rank();
+    // Rank r sends (r + d + 1) ints of value r*100+d to rank d.
+    std::vector<std::size_t> scounts;
+    std::vector<std::size_t> sdispls;
+    std::size_t stotal = 0;
+    for (int d = 0; d < p; ++d) {
+      scounts.push_back(static_cast<std::size_t>(me + d + 1));
+      sdispls.push_back(stotal);
+      stotal += scounts.back();
+    }
+    std::vector<int> sendbuf(stotal);
+    for (int d = 0; d < p; ++d) {
+      for (std::size_t i = 0; i < scounts[static_cast<std::size_t>(d)]; ++i) {
+        sendbuf[sdispls[static_cast<std::size_t>(d)] + i] = me * 100 + d;
+      }
+    }
+    std::vector<std::size_t> rcounts;
+    std::vector<std::size_t> rdispls;
+    std::size_t rtotal = 0;
+    for (int r = 0; r < p; ++r) {
+      rcounts.push_back(static_cast<std::size_t>(r + me + 1));
+      rdispls.push_back(rtotal);
+      rtotal += rcounts.back();
+    }
+    std::vector<int> recvbuf(rtotal, -1);
+    mpi.alltoallv(sendbuf.data(), scounts, sdispls, kInt, recvbuf.data(), rcounts,
+                  rdispls, kInt, mpi.comm_world());
+    for (int r = 0; r < p; ++r) {
+      for (std::size_t i = 0; i < rcounts[static_cast<std::size_t>(r)]; ++i) {
+        ASSERT_EQ(recvbuf[rdispls[static_cast<std::size_t>(r)] + i], r * 100 + me);
+      }
+    }
+  });
+}
+
+TEST(MpiCollectives, ScanPrefixSums) {
+  for_ranks(1, 5, [](Mpi& mpi) {
+    const int v = mpi.rank() + 1;
+    int prefix = 0;
+    mpi.scan(&v, &prefix, 1, kInt, ReduceOp::Sum, mpi.comm_world());
+    EXPECT_EQ(prefix, (mpi.rank() + 1) * (mpi.rank() + 2) / 2);
+  });
+}
+
+TEST(MpiCollectives, BarrierAlignsVirtualClocks) {
+  for_ranks(1, 4, [](Mpi& mpi) {
+    mpi.context().clock().advance(100.0 * (mpi.rank() + 1));
+    mpi.barrier(mpi.comm_world());
+    // Dissemination guarantees every rank's clock >= the latest arrival.
+    EXPECT_GE(mpi.context().clock().now(), 400.0);
+  });
+}
+
+TEST(MpiCollectives, NonblockingCollectivesComplete) {
+  for_ranks(1, 4, [](Mpi& mpi) {
+    std::vector<float> v(256, static_cast<float>(mpi.rank()));
+    std::vector<float> out(256);
+    Request r1 = mpi.iallreduce(v.data(), out.data(), 256, kFloat, ReduceOp::Sum,
+                                mpi.comm_world());
+    Request r2 = mpi.ibarrier(mpi.comm_world());
+    mpi.wait(r1);
+    mpi.wait(r2);
+    EXPECT_EQ(out[0], 6.0f);  // 0+1+2+3
+  });
+}
+
+TEST(MpiCollectives, DeviceBufferAllreduce) {
+  for_ranks(1, 4, [](Mpi& mpi) {
+    auto& dev = mpi.context().device();
+    const std::size_t n = 4096;
+    device::DeviceBuffer in(dev, n * sizeof(double));
+    device::DeviceBuffer out(dev, n * sizeof(double));
+    for (std::size_t i = 0; i < n; ++i) {
+      in.as<double>()[i] = input_of(mpi.rank(), i);
+    }
+    mpi.allreduce(in.get(), out.get(), n, kDouble, ReduceOp::Sum,
+                  mpi.comm_world());
+    for (std::size_t i = 0; i < n; i += 257) {
+      double expect = 0.0;
+      for (int r = 0; r < 4; ++r) expect += input_of(r, i);
+      ASSERT_DOUBLE_EQ(out.as<double>()[i], expect);
+    }
+  });
+}
+
+TEST(MpiCollectives, ClockMonotonicAcrossCollectives) {
+  for_ranks(2, 2, [](Mpi& mpi) {
+    double last = mpi.context().clock().now();
+    std::vector<double> buf(2048, 1.0);
+    std::vector<double> out(2048);
+    for (int iter = 0; iter < 5; ++iter) {
+      mpi.allreduce(buf.data(), out.data(), buf.size(), kDouble, ReduceOp::Sum,
+                    mpi.comm_world());
+      mpi.bcast(out.data(), out.size(), kDouble, 0, mpi.comm_world());
+      const double now = mpi.context().clock().now();
+      EXPECT_GT(now, last);
+      last = now;
+    }
+  });
+}
+
+TEST(MpiCollectives, LargeMessagesCostMoreThanSmall) {
+  for_ranks(1, 4, [](Mpi& mpi) {
+    std::vector<char> small(64);
+    std::vector<char> large(1 << 22);
+    mpi.barrier(mpi.comm_world());
+    const double t0 = mpi.context().clock().now();
+    mpi.allreduce(small.data(), small.data(), small.size(), kChar, ReduceOp::Max,
+                  mpi.comm_world());
+    mpi.barrier(mpi.comm_world());
+    const double t1 = mpi.context().clock().now();
+    mpi.allreduce(large.data(), large.data(), large.size(), kChar, ReduceOp::Max,
+                  mpi.comm_world());
+    mpi.barrier(mpi.comm_world());
+    const double t2 = mpi.context().clock().now();
+    EXPECT_GT(t2 - t1, (t1 - t0) * 5);
+  });
+}
+
+}  // namespace
+}  // namespace mpixccl::mini

@@ -1,0 +1,164 @@
+// Tests for the OMB-style harness: the measured numbers must reproduce the
+// paper's calibration anchors (Sec. 4.2 p2p numbers) and ordering claims
+// (pure-xCCL-in-MPI within a few percent of vendor CCL; hybrid best for
+// small messages; UCC worse).
+
+#include <gtest/gtest.h>
+
+#include "omb/harness.hpp"
+#include "sim/profiles.hpp"
+
+namespace mpixccl::omb {
+namespace {
+
+double value_at(const Series& s, std::size_t bytes) {
+  for (const Row& r : s) {
+    if (r.bytes == bytes) return r.value;
+  }
+  ADD_FAILURE() << "no row for " << bytes;
+  return 0.0;
+}
+
+TEST(SizeSweep, PowersOfTwo) {
+  const auto s = size_sweep(4, 64);
+  EXPECT_EQ(s, (std::vector<std::size_t>{4, 8, 16, 32, 64}));
+  const auto s4 = size_sweep(4, 1024, 4);
+  EXPECT_EQ(s4, (std::vector<std::size_t>{4, 16, 64, 256, 1024}));
+  EXPECT_THROW(size_sweep(0, 64), Error);
+}
+
+TEST(P2p, NcclIntraNodeMatchesPaperAnchors) {
+  P2pConfig cfg;
+  cfg.backend = xccl::CclKind::Nccl;
+  cfg.scope = sim::LinkScope::IntraNode;
+  cfg.sizes = {4, 65536, 4u << 20};
+  cfg.timing = Timing{.warmup_small = 2, .iters_small = 5, .warmup_large = 1,
+                      .iters_large = 3, .large_threshold = 65536};
+  const P2pResult r = run_p2p(sim::thetagpu(), cfg);
+
+  // Paper: ~56 us at 4 MB (plus the stream-sync cost of the measurement
+  // loop, ~2.5 us per op); 137031 MB/s uni; 181204 MB/s bidir.
+  EXPECT_NEAR(value_at(r.latency, 4u << 20), 58.5, 4.0);
+  EXPECT_NEAR(value_at(r.bw, 4u << 20), 137031.0, 137031.0 * 0.05);
+  EXPECT_NEAR(value_at(r.bibw, 4u << 20), 181204.0, 181204.0 * 0.06);
+  // Small-message latency is launch-overhead dominated (~20 us + sync).
+  EXPECT_NEAR(value_at(r.latency, 4), 20.0 + 5.4 + 2.5, 4.0);
+}
+
+TEST(P2p, BackendOverheadOrdering) {
+  // Paper Sec. 4.2: launch overheads NCCL 20 < RCCL 25 < MSCCL 28 << HCCL 270.
+  Timing fast{.warmup_small = 1, .iters_small = 3, .warmup_large = 1,
+              .iters_large = 2, .large_threshold = 65536};
+  auto small_latency = [&](const sim::SystemProfile& prof, xccl::CclKind kind) {
+    P2pConfig cfg;
+    cfg.backend = kind;
+    cfg.sizes = {4};
+    cfg.timing = fast;
+    return run_p2p(prof, cfg).latency[0].value;
+  };
+  const double nccl = small_latency(sim::thetagpu(), xccl::CclKind::Nccl);
+  const double rccl = small_latency(sim::mri(), xccl::CclKind::Rccl);
+  const double msccl = small_latency(sim::thetagpu(), xccl::CclKind::Msccl);
+  const double hccl = small_latency(sim::voyager(), xccl::CclKind::Hccl);
+  EXPECT_LT(nccl, rccl);
+  EXPECT_LT(nccl, msccl);
+  EXPECT_GT(hccl, 3.0 * msccl);
+  EXPECT_NEAR(hccl, 270.0 + 3.1 + 8.0, 15.0);
+}
+
+TEST(P2p, InterNodeSlowerAtLargeSizes) {
+  Timing fast{.warmup_small = 1, .iters_small = 2, .warmup_large = 1,
+              .iters_large = 2, .large_threshold = 65536};
+  P2pConfig intra;
+  intra.sizes = {4u << 20};
+  intra.timing = fast;
+  P2pConfig inter = intra;
+  inter.scope = sim::LinkScope::InterNode;
+  const double lat_intra = run_p2p(sim::thetagpu(), intra).latency[0].value;
+  const double lat_inter = run_p2p(sim::thetagpu(), inter).latency[0].value;
+  // Paper: 56 us intra vs 255 us inter at 4 MB.
+  EXPECT_GT(lat_inter, 3.0 * lat_intra);
+  EXPECT_NEAR(lat_inter, 255.0 + 2.5, 8.0);
+}
+
+TEST(Collective, PureXcclInMpiWithinFewPercentOfVendorCcl) {
+  // The paper's headline overhead claim: "only +-3% variation between xCCL
+  // with NCCL and pure NCCL" for large messages.
+  CollectiveConfig cfg;
+  cfg.op = core::CollOp::Allreduce;
+  cfg.flavors = {Flavor::PureXcclInMpi, Flavor::PureCcl};
+  cfg.sizes = {1u << 20, 4u << 20};
+  cfg.timing = Timing{.warmup_small = 1, .iters_small = 3, .warmup_large = 1,
+                      .iters_large = 3, .large_threshold = 1024};
+  const FlavorSeries r = run_collective(sim::thetagpu(), 1, cfg);
+  for (std::size_t i = 0; i < cfg.sizes.size(); ++i) {
+    const double ours = r.at(Flavor::PureXcclInMpi)[i].value;
+    const double vendor = r.at(Flavor::PureCcl)[i].value;
+    EXPECT_NEAR(ours, vendor, vendor * 0.05) << cfg.sizes[i];
+  }
+}
+
+TEST(Collective, HybridWinsSmallMessages) {
+  // Fig. 5(e)-style: hybrid reduces small-message latency versus the pure
+  // backend path (e.g. Reduce 23 -> 14 us below 8 KB).
+  CollectiveConfig cfg;
+  cfg.op = core::CollOp::Reduce;
+  cfg.flavors = {Flavor::HybridXccl, Flavor::PureXcclInMpi, Flavor::PureCcl};
+  cfg.sizes = {256, 4096};
+  cfg.timing = Timing{.warmup_small = 2, .iters_small = 5, .warmup_large = 1,
+                      .iters_large = 3, .large_threshold = 65536};
+  const FlavorSeries r = run_collective(sim::thetagpu(), 1, cfg);
+  for (std::size_t i = 0; i < cfg.sizes.size(); ++i) {
+    EXPECT_LT(r.at(Flavor::HybridXccl)[i].value,
+              r.at(Flavor::PureXcclInMpi)[i].value)
+        << cfg.sizes[i];
+    EXPECT_LT(r.at(Flavor::HybridXccl)[i].value, r.at(Flavor::PureCcl)[i].value)
+        << cfg.sizes[i];
+  }
+}
+
+TEST(Collective, BeatsUccAtFourKilobytes) {
+  // Fig. 5(a)/(m): 1.1x on Allreduce and 2.8x on Alltoall at 4 KB vs
+  // OMPI+UCX+UCC (we assert the direction and a sane magnitude).
+  Timing fast{.warmup_small = 2, .iters_small = 5, .warmup_large = 1,
+              .iters_large = 2, .large_threshold = 65536};
+  CollectiveConfig ar;
+  ar.op = core::CollOp::Allreduce;
+  ar.flavors = {Flavor::HybridXccl, Flavor::OmpiUcxUcc};
+  ar.sizes = {4096};
+  ar.timing = fast;
+  const FlavorSeries r1 = run_collective(sim::thetagpu(), 1, ar);
+  const double speedup_ar = r1.at(Flavor::OmpiUcxUcc)[0].value /
+                            r1.at(Flavor::HybridXccl)[0].value;
+  EXPECT_GT(speedup_ar, 1.05);
+
+  CollectiveConfig a2a = ar;
+  a2a.op = core::CollOp::Alltoall;
+  const FlavorSeries r2 = run_collective(sim::thetagpu(), 1, a2a);
+  const double speedup_a2a = r2.at(Flavor::OmpiUcxUcc)[0].value /
+                             r2.at(Flavor::HybridXccl)[0].value;
+  EXPECT_GT(speedup_a2a, 1.5);
+  EXPECT_GT(speedup_a2a, speedup_ar);  // alltoall gap is the bigger one
+}
+
+TEST(Collective, MultiNodeRuns) {
+  CollectiveConfig cfg;
+  cfg.op = core::CollOp::Allreduce;
+  cfg.flavors = {Flavor::HybridXccl, Flavor::PureCcl};
+  cfg.sizes = {64, 65536};
+  cfg.timing = Timing{.warmup_small = 1, .iters_small = 2, .warmup_large = 1,
+                      .iters_large = 2, .large_threshold = 1024};
+  const FlavorSeries r = run_collective(sim::mri(), 4, cfg);  // 8 GPUs
+  ASSERT_EQ(r.at(Flavor::HybridXccl).size(), 2u);
+  EXPECT_GT(r.at(Flavor::HybridXccl)[0].value, 0.0);
+  EXPECT_LT(r.at(Flavor::HybridXccl)[0].value, r.at(Flavor::PureCcl)[0].value);
+}
+
+TEST(Collective, PrintTableSmoke) {
+  Series a{{4, 1.25}, {8, 2.5}};
+  Series b{{4, 3.0}, {8, 6.0}};
+  print_series_table("smoke", "us", {{"one", a}, {"two", b}});
+}
+
+}  // namespace
+}  // namespace mpixccl::omb

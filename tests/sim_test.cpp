@@ -1,0 +1,114 @@
+// Unit tests for the sim layer: clock, link model, topology, profiles.
+// The profile tests pin the calibration to the paper's reported numbers so a
+// future edit cannot silently break the reproduction targets.
+
+#include <gtest/gtest.h>
+
+#include "sim/link.hpp"
+#include "sim/profiles.hpp"
+#include "sim/time.hpp"
+#include "sim/topology.hpp"
+
+namespace mpixccl::sim {
+namespace {
+
+TEST(VirtualClock, AdvanceAndSync) {
+  VirtualClock c;
+  EXPECT_EQ(c.now(), 0.0);
+  c.advance(5.0);
+  EXPECT_EQ(c.now(), 5.0);
+  c.advance_to(3.0);  // never backwards
+  EXPECT_EQ(c.now(), 5.0);
+  c.advance_to(9.0);
+  EXPECT_EQ(c.now(), 9.0);
+  c.reset();
+  EXPECT_EQ(c.now(), 0.0);
+}
+
+TEST(LinkModel, AlphaBetaCost) {
+  const LinkParams link{.alpha_us = 2.0, .bw_MBps = 1000.0, .bidir_factor = 0.5};
+  EXPECT_DOUBLE_EQ(link.cost_us(0), 2.0);
+  // 1 MB at 1000 MB/s = 1000 us.
+  EXPECT_DOUBLE_EQ(link.cost_us(1000000), 1002.0);
+  // Bidirectional load halves the per-direction bandwidth.
+  EXPECT_DOUBLE_EQ(link.bidir_cost_us(1000000), 2002.0);
+}
+
+TEST(Topology, RankMapping) {
+  const Topology t(4, 8, Vendor::Nvidia);
+  EXPECT_EQ(t.world_size(), 32);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(7), 0);
+  EXPECT_EQ(t.node_of(8), 1);
+  EXPECT_EQ(t.local_of(9), 1);
+  EXPECT_EQ(t.rank_of(2, 3), 19);
+  EXPECT_TRUE(t.same_node(16, 23));
+  EXPECT_FALSE(t.same_node(7, 8));
+  EXPECT_EQ(t.scope(0, 1), LinkScope::IntraNode);
+  EXPECT_EQ(t.scope(0, 31), LinkScope::InterNode);
+}
+
+// ---- Calibration pins (paper Sec. 4.2) ----------------------------------
+
+TEST(Profiles, ThetaGpuMatchesPaperP2p) {
+  const SystemProfile p = thetagpu();
+  EXPECT_EQ(p.vendor, Vendor::Nvidia);
+  EXPECT_EQ(p.devices_per_node, 8);
+  // NCCL: 20 us launch; 4 MB intra latency ~56 us.
+  EXPECT_DOUBLE_EQ(p.ccl.launch_us, 20.0);
+  const double lat4m = p.ccl.launch_us + p.ccl.p2p_intra.cost_us(4 << 20);
+  EXPECT_NEAR(lat4m, 56.0, 1.5);
+  // Inter-node 4 MB ~255 us.
+  const double lat4m_inter = p.ccl.launch_us + p.ccl.p2p_inter.cost_us(4 << 20);
+  EXPECT_NEAR(lat4m_inter, 255.0, 2.0);
+  // Bi-directional bandwidth ~181204 MB/s => factor ~0.661.
+  EXPECT_NEAR(p.ccl.p2p_intra.bw_MBps * 2 * p.ccl.p2p_intra.bidir_factor, 181204.0,
+              2000.0);
+  // MSCCL present on NVIDIA systems: 28 us launch, ~100 us at 4 MB.
+  ASSERT_TRUE(p.msccl.has_value());
+  EXPECT_DOUBLE_EQ(p.msccl->launch_us, 28.0);
+  EXPECT_NEAR(p.msccl->launch_us + p.msccl->p2p_intra.cost_us(4 << 20), 100.0, 2.0);
+}
+
+TEST(Profiles, MriMatchesPaperP2p) {
+  const SystemProfile p = mri();
+  EXPECT_EQ(p.vendor, Vendor::Amd);
+  EXPECT_EQ(p.devices_per_node, 2);
+  EXPECT_DOUBLE_EQ(p.ccl.launch_us, 25.0);
+  EXPECT_NEAR(p.ccl.launch_us + p.ccl.p2p_intra.cost_us(4 << 20), 836.0, 3.0);
+  EXPECT_NEAR(p.ccl.launch_us + p.ccl.p2p_inter.cost_us(4 << 20), 579.0, 3.0);
+  EXPECT_FALSE(p.msccl.has_value());
+}
+
+TEST(Profiles, VoyagerMatchesPaperP2p) {
+  const SystemProfile p = voyager();
+  EXPECT_EQ(p.vendor, Vendor::Habana);
+  EXPECT_DOUBLE_EQ(p.ccl.launch_us, 270.0);
+  EXPECT_NEAR(p.ccl.launch_us + p.ccl.p2p_intra.cost_us(4 << 20), 1651.0, 3.0);
+  EXPECT_NEAR(p.ccl.launch_us + p.ccl.p2p_inter.cost_us(4 << 20), 835.0, 3.0);
+  // HCCL step quirks at 16 and 64 bytes exist (Sec. 4.3 degradations).
+  ASSERT_EQ(p.ccl.inter_quirks.size(), 2u);
+  EXPECT_EQ(p.ccl.inter_quirks[0].min_bytes, 16u);
+  EXPECT_EQ(p.ccl.inter_quirks[1].min_bytes, 64u);
+}
+
+TEST(Profiles, MpiPathBeatsCclForSmallLosesForLarge) {
+  // The Fig. 1 motivation: MPI small-message latency < CCL launch overhead,
+  // while CCL large-message bandwidth > MPI device-path bandwidth.
+  for (const SystemProfile& p : {thetagpu(), mri(), voyager()}) {
+    const double mpi_small = p.mpi.per_op_us + p.mpi.dev_intra.cost_us(8);
+    const double ccl_small = p.ccl.launch_us + p.ccl.p2p_intra.cost_us(8);
+    EXPECT_LT(mpi_small, ccl_small) << p.name;
+    EXPECT_LT(p.mpi.dev_intra.bw_MBps, p.ccl.p2p_intra.bw_MBps) << p.name;
+  }
+}
+
+TEST(Profiles, ByNameLookup) {
+  EXPECT_EQ(profile_by_name("thetagpu").name, "thetagpu");
+  EXPECT_EQ(profile_by_name("mri").name, "mri");
+  EXPECT_EQ(profile_by_name("voyager").name, "voyager");
+  EXPECT_THROW(profile_by_name("frontier"), Error);
+}
+
+}  // namespace
+}  // namespace mpixccl::sim

@@ -1,0 +1,87 @@
+// Tests for the virtual-time trace collector and its Chrome JSON export,
+// including the XcclMpi integration (collectives appear as spans on per-rank
+// tracks with the engine as the category).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/xccl_mpi.hpp"
+#include "device/device.hpp"
+#include "fabric/world.hpp"
+#include "sim/profiles.hpp"
+#include "sim/trace.hpp"
+
+namespace mpixccl::sim {
+namespace {
+
+class TraceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Trace::instance().clear();
+    Trace::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    Trace::instance().set_enabled(false);
+    Trace::instance().clear();
+  }
+};
+
+TEST_F(TraceFixture, RecordsAndRendersJson) {
+  Trace::instance().record(0, "allreduce", "xccl", 10.0, 35.5);
+  Trace::instance().record(1, "bcast", "mpi", 40.0, 42.0);
+  EXPECT_EQ(Trace::instance().size(), 2u);
+
+  const std::string json = Trace::instance().to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"allreduce\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"mpi\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":25.5"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+}
+
+TEST_F(TraceFixture, DisabledMeansDropped) {
+  Trace::instance().set_enabled(false);
+  Trace::instance().record(0, "x", "y", 0.0, 1.0);
+  EXPECT_EQ(Trace::instance().size(), 0u);
+}
+
+TEST_F(TraceFixture, XcclMpiCollectivesAppear) {
+  fabric::run_world(thetagpu(), 1, [](fabric::RankContext& ctx) {
+    core::XcclMpi rt(ctx);
+    device::DeviceBuffer buf(ctx.device(), 4u << 20);
+    rt.allreduce(buf.get(), buf.get(), 64, mini::kFloat, ReduceOp::Sum,
+                 rt.comm_world());
+    rt.allreduce(buf.get(), buf.get(), 1 << 20, mini::kFloat, ReduceOp::Sum,
+                 rt.comm_world());
+  });
+  const auto events = Trace::instance().events();
+  // 8 ranks x 2 collectives.
+  EXPECT_EQ(events.size(), 16u);
+  int mpi_spans = 0;
+  int xccl_spans = 0;
+  for (const TraceEvent& e : events) {
+    EXPECT_EQ(e.name, "allreduce");
+    EXPECT_GE(e.end_us, e.begin_us);
+    (e.category == "mpi" ? mpi_spans : xccl_spans)++;
+  }
+  EXPECT_EQ(mpi_spans, 8);   // small message -> MPI engine on every rank
+  EXPECT_EQ(xccl_spans, 8);  // large -> NCCL
+}
+
+TEST_F(TraceFixture, SaveFile) {
+  Trace::instance().record(2, "reduce", "xccl", 1.0, 2.0);
+  const std::string path = "/tmp/mpixccl_trace_test.json";
+  Trace::instance().save_chrome_json(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("reduce"), std::string::npos);
+  std::remove(path.c_str());
+  EXPECT_THROW(Trace::instance().save_chrome_json("/no/such/dir/x.json"), Error);
+}
+
+}  // namespace
+}  // namespace mpixccl::sim

@@ -1,0 +1,426 @@
+// Tests for the simulated CCL backends: communicator bootstrap, collective
+// correctness on all four backends, capability rejection (the fallback
+// driver), group-call composition, and virtual-time/stream semantics.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "fabric/world.hpp"
+#include "sim/profiles.hpp"
+#include "xccl/backend.hpp"
+#include "xccl/msccl.hpp"
+
+namespace mpixccl::xccl {
+namespace {
+
+struct Harness {
+  fabric::RankContext* ctx;
+  std::unique_ptr<CclBackend> backend;
+  CclComm comm;
+};
+
+/// Run `body` on a world where every rank joined one CCL communicator.
+void with_ccl(const sim::SystemProfile& prof, int nodes, CclKind kind,
+              const std::function<void(Harness&)>& body, int dpn = 0) {
+  fabric::World world(fabric::WorldConfig{prof, nodes, dpn});
+  const UniqueId id = UniqueId::derive(7, 1);
+  world.run([&](fabric::RankContext& ctx) {
+    Harness h;
+    h.ctx = &ctx;
+    const sim::CclProfile& cp = (kind == CclKind::Msccl && prof.msccl.has_value())
+                                    ? *prof.msccl
+                                    : prof.ccl;
+    h.backend = make_backend(kind, ctx, cp);
+    ASSERT_EQ(h.backend->comm_init_rank(h.comm, ctx.size(), id, ctx.rank()),
+              XcclResult::Success);
+    body(h);
+  });
+}
+
+double oracle_sum(int p, int i) {
+  double s = 0.0;
+  for (int r = 0; r < p; ++r) s += (r + 1) * 100.0 + i;
+  return s;
+}
+
+TEST(CclComm, InitValidatesArguments) {
+  fabric::World world(fabric::WorldConfig{sim::thetagpu(), 1, 2});
+  world.run([](fabric::RankContext& ctx) {
+    auto b = make_backend(CclKind::Nccl, ctx, ctx.profile().ccl);
+    CclComm comm;
+    const UniqueId id = UniqueId::derive(1, 1);
+    EXPECT_EQ(b->comm_init_rank(comm, 0, id, 0), XcclResult::InvalidArgument);
+    EXPECT_EQ(b->comm_init_rank(comm, 2, id, 5), XcclResult::InvalidArgument);
+    EXPECT_EQ(b->comm_init_rank(comm, 2, id, ctx.rank(), {0}),
+              XcclResult::InvalidArgument);
+    EXPECT_EQ(b->comm_init_rank(comm, 2, id, ctx.rank()), XcclResult::Success);
+    EXPECT_TRUE(comm.valid());
+    EXPECT_EQ(comm.nranks(), 2);
+    EXPECT_EQ(comm.rank(), ctx.rank());
+  });
+}
+
+TEST(CclComm, SameIdSameChannel) {
+  const UniqueId a = UniqueId::derive(3, 9);
+  const UniqueId b = UniqueId::derive(3, 9);
+  const UniqueId c = UniqueId::derive(3, 10);
+  EXPECT_EQ(a.channel(), b.channel());
+  EXPECT_NE(a.channel(), c.channel());
+}
+
+class BackendSweep : public ::testing::TestWithParam<std::tuple<CclKind, std::size_t>> {};
+
+TEST_P(BackendSweep, AllReduceFloatMatchesOracle) {
+  const auto [kind, n] = GetParam();
+  const sim::SystemProfile prof =
+      (kind == CclKind::Rccl) ? sim::mri()
+      : (kind == CclKind::Hccl) ? sim::voyager()
+                                : sim::thetagpu();
+  with_ccl(prof, 2, kind, [&, count = n](Harness& h) {
+    std::vector<float> in(count);
+    std::vector<float> out(count, -1.0f);
+    for (std::size_t i = 0; i < count; ++i) {
+      in[i] = static_cast<float>((h.comm.rank() + 1) * 100.0 + i % 50);
+    }
+    ASSERT_EQ(h.backend->all_reduce(in.data(), out.data(), count,
+                                    DataType::Float32, ReduceOp::Sum, h.comm,
+                                    h.ctx->stream()),
+              XcclResult::Success);
+    h.ctx->stream().synchronize(h.ctx->clock());
+    for (std::size_t i = 0; i < count; i += 13) {
+      float expect = 0.0f;
+      for (int r = 0; r < h.comm.nranks(); ++r) {
+        expect += static_cast<float>((r + 1) * 100.0 + i % 50);
+      }
+      ASSERT_FLOAT_EQ(out[i], expect) << "i=" << i;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendSweep,
+    ::testing::Combine(::testing::Values(CclKind::Nccl, CclKind::Rccl,
+                                         CclKind::Hccl, CclKind::Msccl),
+                       // small (tree), medium (msccl allpairs window), large (ring)
+                       ::testing::Values<std::size_t>(1, 33, 5000, 300000)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(CclBackends, BroadcastSmallAndLarge) {
+  for (const std::size_t n : {64u, 2000000u}) {
+    with_ccl(sim::thetagpu(), 2, CclKind::Nccl, [n](Harness& h) {
+      std::vector<float> buf(n);
+      const int root = 3;
+      if (h.comm.rank() == root) {
+        for (std::size_t i = 0; i < n; ++i) buf[i] = static_cast<float>(i % 101);
+      }
+      ASSERT_EQ(h.backend->broadcast(buf.data(), n, DataType::Float32, root,
+                                     h.comm, h.ctx->stream()),
+                XcclResult::Success);
+      h.ctx->stream().synchronize(h.ctx->clock());
+      for (std::size_t i = 0; i < n; i += 997) {
+        ASSERT_FLOAT_EQ(buf[i], static_cast<float>(i % 101));
+      }
+    });
+  }
+}
+
+TEST(CclBackends, ReduceToRootSmallAndLarge) {
+  for (const std::size_t n : {100u, 500000u}) {
+    with_ccl(sim::thetagpu(), 1, CclKind::Nccl, [n](Harness& h) {
+      const int p = h.comm.nranks();
+      const int root = 1;
+      std::vector<double> in(n);
+      std::vector<double> out(n, -7.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        in[i] = (h.comm.rank() + 1) * 100.0 + static_cast<double>(i % 31);
+      }
+      ASSERT_EQ(h.backend->reduce(in.data(), out.data(), n, DataType::Float64,
+                                  ReduceOp::Sum, root, h.comm, h.ctx->stream()),
+                XcclResult::Success);
+      h.ctx->stream().synchronize(h.ctx->clock());
+      if (h.comm.rank() == root) {
+        for (std::size_t i = 0; i < n; i += 491) {
+          double expect = 0.0;
+          for (int r = 0; r < p; ++r) expect += (r + 1) * 100.0 + i % 31;
+          ASSERT_DOUBLE_EQ(out[i], expect);
+        }
+      } else {
+        EXPECT_EQ(out[0], -7.0);  // non-roots untouched
+      }
+    });
+  }
+}
+
+TEST(CclBackends, AllGatherRing) {
+  with_ccl(sim::mri(), 4, CclKind::Rccl, [](Harness& h) {
+    const int p = h.comm.nranks();
+    const std::size_t n = 777;
+    std::vector<float> mine(n, static_cast<float>(h.comm.rank() + 1));
+    std::vector<float> all(n * static_cast<std::size_t>(p), -1.0f);
+    ASSERT_EQ(h.backend->all_gather(mine.data(), all.data(), n, DataType::Float32,
+                                    h.comm, h.ctx->stream()),
+              XcclResult::Success);
+    h.ctx->stream().synchronize(h.ctx->clock());
+    for (int r = 0; r < p; ++r) {
+      ASSERT_FLOAT_EQ(all[static_cast<std::size_t>(r) * n + n / 2],
+                      static_cast<float>(r + 1));
+    }
+  });
+}
+
+TEST(CclBackends, ReduceScatter) {
+  with_ccl(sim::thetagpu(), 1, CclKind::Nccl, [](Harness& h) {
+    const int p = h.comm.nranks();
+    const std::size_t n = 512;  // per-rank output elements
+    std::vector<float> in(n * static_cast<std::size_t>(p));
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      in[i] = static_cast<float>(h.comm.rank() + 1) + static_cast<float>(i % 7);
+    }
+    std::vector<float> out(n, -1.0f);
+    ASSERT_EQ(h.backend->reduce_scatter(in.data(), out.data(), n,
+                                        DataType::Float32, ReduceOp::Sum, h.comm,
+                                        h.ctx->stream()),
+              XcclResult::Success);
+    h.ctx->stream().synchronize(h.ctx->clock());
+    const std::size_t base = static_cast<std::size_t>(h.comm.rank()) * n;
+    for (std::size_t i = 0; i < n; i += 73) {
+      float expect = 0.0f;
+      for (int r = 0; r < p; ++r) {
+        expect += static_cast<float>(r + 1) + static_cast<float>((base + i) % 7);
+      }
+      ASSERT_FLOAT_EQ(out[i], expect);
+    }
+  });
+}
+
+TEST(CclBackends, AvgAllReduce) {
+  with_ccl(sim::thetagpu(), 1, CclKind::Nccl, [](Harness& h) {
+    const float v = static_cast<float>(10 * (h.comm.rank() + 1));
+    float out = 0.0f;
+    ASSERT_EQ(h.backend->all_reduce(&v, &out, 1, DataType::Float32, ReduceOp::Avg,
+                                    h.comm, h.ctx->stream()),
+              XcclResult::Success);
+    h.ctx->stream().synchronize(h.ctx->clock());
+    EXPECT_FLOAT_EQ(out, 45.0f);  // mean of 10..80
+  });
+}
+
+// ---- Capability rejection (what drives the MPI fallback) -------------------
+
+TEST(CclCapabilities, NcclRejectsComplexAndLogicalOps) {
+  with_ccl(sim::thetagpu(), 1, CclKind::Nccl, [](Harness& h) {
+    std::vector<double> buf(8, 1.0);
+    // MPI_DOUBLE_COMPLEX (heFFTe workloads) is not an NCCL datatype.
+    EXPECT_EQ(h.backend->all_reduce(buf.data(), buf.data(), 4,
+                                    DataType::DoubleComplex, ReduceOp::Sum, h.comm,
+                                    h.ctx->stream()),
+              XcclResult::UnsupportedDatatype);
+    // Logical ops are MPI-only.
+    std::vector<std::int32_t> ints(8, 1);
+    EXPECT_EQ(h.backend->all_reduce(ints.data(), ints.data(), 8, DataType::Int32,
+                                    ReduceOp::Band, h.comm, h.ctx->stream()),
+              XcclResult::UnsupportedOperation);
+    // Rejection happens before communication: peers do not deadlock.
+  });
+}
+
+TEST(CclCapabilities, HcclIsFloatOnly) {
+  with_ccl(sim::voyager(), 1, CclKind::Hccl, [](Harness& h) {
+    std::vector<double> d(4, 1.0);
+    EXPECT_EQ(h.backend->all_reduce(d.data(), d.data(), 4, DataType::Float64,
+                                    ReduceOp::Sum, h.comm, h.ctx->stream()),
+              XcclResult::UnsupportedDatatype);
+    std::vector<float> f(4, 1.0f);
+    EXPECT_EQ(h.backend->all_reduce(f.data(), f.data(), 4, DataType::Float32,
+                                    ReduceOp::Avg, h.comm, h.ctx->stream()),
+              XcclResult::UnsupportedOperation);
+    EXPECT_EQ(h.backend->broadcast(d.data(), 4, DataType::Float64, 0, h.comm,
+                                   h.ctx->stream()),
+              XcclResult::UnsupportedDatatype);
+  });
+}
+
+TEST(CclCapabilities, ByteMovableNotReducible) {
+  with_ccl(sim::thetagpu(), 1, CclKind::Nccl, [](Harness& h) {
+    std::vector<std::byte> b(16, std::byte{1});
+    EXPECT_EQ(h.backend->broadcast(b.data(), 16, DataType::Byte, 0, h.comm,
+                                   h.ctx->stream()),
+              XcclResult::Success);
+    h.ctx->stream().synchronize(h.ctx->clock());
+    EXPECT_EQ(h.backend->all_reduce(b.data(), b.data(), 16, DataType::Byte,
+                                    ReduceOp::Sum, h.comm, h.ctx->stream()),
+              XcclResult::UnsupportedDatatype);
+  });
+}
+
+// ---- Group send/recv (the Listing 1 building block) -------------------------
+
+TEST(CclGroups, AlltoallComposition) {
+  // Exactly the paper's Listing 1: group(send to all, recv from all).
+  with_ccl(sim::thetagpu(), 1, CclKind::Nccl, [](Harness& h) {
+    const int p = h.comm.nranks();
+    const int me = h.comm.rank();
+    const std::size_t n = 256;
+    std::vector<float> sendbuf(n * static_cast<std::size_t>(p));
+    std::vector<float> recvbuf(n * static_cast<std::size_t>(p), -1.0f);
+    for (int d = 0; d < p; ++d) {
+      for (std::size_t j = 0; j < n; ++j) {
+        sendbuf[static_cast<std::size_t>(d) * n + j] =
+            static_cast<float>(me * 100 + d);
+      }
+    }
+    ASSERT_EQ(h.backend->group_start(), XcclResult::Success);
+    for (int r = 0; r < p; ++r) {
+      ASSERT_EQ(h.backend->send(sendbuf.data() + static_cast<std::size_t>(r) * n,
+                                n, DataType::Float32, r, h.comm, h.ctx->stream()),
+                XcclResult::Success);
+      ASSERT_EQ(h.backend->recv(recvbuf.data() + static_cast<std::size_t>(r) * n,
+                                n, DataType::Float32, r, h.comm, h.ctx->stream()),
+                XcclResult::Success);
+    }
+    ASSERT_EQ(h.backend->group_end(), XcclResult::Success);
+    h.ctx->stream().synchronize(h.ctx->clock());
+    for (int r = 0; r < p; ++r) {
+      ASSERT_FLOAT_EQ(recvbuf[static_cast<std::size_t>(r) * n],
+                      static_cast<float>(r * 100 + me));
+    }
+  });
+}
+
+TEST(CclGroups, NestedGroupsFlushOnce) {
+  with_ccl(sim::thetagpu(), 1, CclKind::Nccl, [](Harness& h) {
+    const int p = h.comm.nranks();
+    const int me = h.comm.rank();
+    const int right = (me + 1) % p;
+    const int left = (me - 1 + p) % p;
+    float in = static_cast<float>(me);
+    float out = -1.0f;
+    ASSERT_EQ(h.backend->group_start(), XcclResult::Success);
+    ASSERT_EQ(h.backend->group_start(), XcclResult::Success);  // nested
+    ASSERT_EQ(h.backend->send(&in, 1, DataType::Float32, right, h.comm,
+                              h.ctx->stream()),
+              XcclResult::Success);
+    ASSERT_EQ(h.backend->group_end(), XcclResult::Success);  // no flush yet
+    ASSERT_EQ(h.backend->recv(&out, 1, DataType::Float32, left, h.comm,
+                              h.ctx->stream()),
+              XcclResult::Success);
+    ASSERT_EQ(h.backend->group_end(), XcclResult::Success);  // flush
+    h.ctx->stream().synchronize(h.ctx->clock());
+    EXPECT_FLOAT_EQ(out, static_cast<float>(left));
+  });
+}
+
+TEST(CclGroups, UnbalancedGroupEndIsError) {
+  with_ccl(sim::thetagpu(), 1, CclKind::Nccl, [](Harness& h) {
+    EXPECT_EQ(h.backend->group_end(), XcclResult::InvalidUsage);
+  });
+}
+
+// ---- Virtual-time semantics --------------------------------------------------
+
+TEST(CclTiming, LaunchIsChargedSyncObservesTransfer) {
+  with_ccl(sim::thetagpu(), 1, CclKind::Nccl, [](Harness& h) {
+    if (h.comm.nranks() < 2) GTEST_SKIP();
+    const std::size_t n = 1 << 20;  // 4 MB of floats
+    std::vector<float> buf(n, 1.0f);
+    const double t_before = h.ctx->clock().now();
+    ASSERT_EQ(h.backend->broadcast(buf.data(), n, DataType::Float32, 0, h.comm,
+                                   h.ctx->stream()),
+              XcclResult::Success);
+    const double t_launched = h.ctx->clock().now();
+    // Async: only the 20 us launch hits the clock at call time.
+    EXPECT_NEAR(t_launched - t_before, 20.0, 1e-9);
+    h.ctx->stream().synchronize(h.ctx->clock());
+    EXPECT_GT(h.ctx->clock().now(), t_launched + 10.0);
+  });
+}
+
+TEST(CclTiming, P2pLatencyMatchesCalibration) {
+  // One ping between two intra-node ranks at 4 MB must land near the
+  // paper's 56 us NCCL number (launch 20 + alpha 5.4 + 4MB/137031MBps),
+  // plus the stream-sync overhead the measurement itself pays.
+  with_ccl(sim::thetagpu(), 1, CclKind::Nccl, [](Harness& h) {
+    const std::size_t bytes = 4u << 20;
+    std::vector<std::byte> buf(bytes);
+    h.ctx->sync_clocks();
+    const double t0 = h.ctx->clock().now();
+    if (h.comm.rank() == 0) {
+      ASSERT_EQ(h.backend->send(buf.data(), bytes, DataType::Byte, 1, h.comm,
+                                h.ctx->stream()),
+                XcclResult::Success);
+    } else {
+      ASSERT_EQ(h.backend->recv(buf.data(), bytes, DataType::Byte, 0, h.comm,
+                                h.ctx->stream()),
+                XcclResult::Success);
+    }
+    h.ctx->stream().synchronize(h.ctx->clock());
+    const double latency = h.ctx->clock().now() - t0;
+    const double expected = 20.0 + 5.4 + (4.0 * 1024 * 1024) / 137031.0 +
+                            h.ctx->profile().device.stream_sync_us;
+    EXPECT_NEAR(latency, expected, 1.0) << "rank " << h.comm.rank();
+  }, /*dpn=*/2);
+}
+
+TEST(CclTiming, HcclQuirkStepCurveOnMultiNode) {
+  // Paper Sec 4.3: multi-node HCCL Allreduce degrades by 7x-12x above 16 B
+  // and 64 B. Compare 8 B vs 128 B allreduce latency on 2 nodes.
+  const sim::SystemProfile prof = sim::voyager();
+  fabric::World world(fabric::WorldConfig{prof, 2, 4});
+  const UniqueId id = UniqueId::derive(1, 2);
+  world.run([&](fabric::RankContext& ctx) {
+    auto backend = make_backend(CclKind::Hccl, ctx, prof.ccl);
+    CclComm comm;
+    ASSERT_EQ(backend->comm_init_rank(comm, ctx.size(), id, ctx.rank()),
+              XcclResult::Success);
+    ctx.sync_clocks();
+
+    std::vector<float> buf(32, 1.0f);
+    const double t0 = ctx.clock().now();
+    ASSERT_EQ(backend->all_reduce(buf.data(), buf.data(), 2, DataType::Float32,
+                                  ReduceOp::Sum, comm, ctx.stream()),
+              XcclResult::Success);
+    ctx.stream().synchronize(ctx.clock());
+    const double small = ctx.clock().now() - t0;
+
+    ctx.sync_clocks();
+    const double t1 = ctx.clock().now();
+    ASSERT_EQ(backend->all_reduce(buf.data(), buf.data(), 32, DataType::Float32,
+                                  ReduceOp::Sum, comm, ctx.stream()),
+              XcclResult::Success);
+    ctx.stream().synchronize(ctx.clock());
+    const double large = ctx.clock().now() - t1;
+
+    EXPECT_GT(large, small * 5.0);  // the step curve
+  });
+}
+
+TEST(CclTiming, SingleRankCollectivesAreLocal) {
+  with_ccl(sim::thetagpu(), 1, CclKind::Nccl, [](Harness& h) {
+    if (h.comm.rank() != 0) return;
+    // nranks == world size here; build a second 1-rank comm instead.
+  });
+  // 1-rank world: allreduce degenerates to a copy.
+  fabric::World world(fabric::WorldConfig{sim::thetagpu(), 1, 1});
+  world.run([](fabric::RankContext& ctx) {
+    auto b = make_backend(CclKind::Nccl, ctx, ctx.profile().ccl);
+    CclComm comm;
+    ASSERT_EQ(b->comm_init_rank(comm, 1, UniqueId::derive(2, 2), 0),
+              XcclResult::Success);
+    float in = 5.0f;
+    float out = 0.0f;
+    ASSERT_EQ(b->all_reduce(&in, &out, 1, DataType::Float32, ReduceOp::Sum, comm,
+                            ctx.stream()),
+              XcclResult::Success);
+    ctx.stream().synchronize(ctx.clock());
+    EXPECT_FLOAT_EQ(out, 5.0f);
+  });
+}
+
+}  // namespace
+}  // namespace mpixccl::xccl

@@ -1,0 +1,150 @@
+// Tests for the xccl* C-style API — including the paper's Listing 1
+// (AlltoAllv composed from xcclSend/xcclRecv inside a group) written exactly
+// in the paper's style.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "fabric/world.hpp"
+#include "sim/profiles.hpp"
+#include "xccl/capi.hpp"
+
+namespace mpixccl::xccl {
+namespace {
+
+TEST(XcclCApi, RequiresBinding) {
+  // Unbound thread: the API refuses with a clear error.
+  EXPECT_THROW(xcclCurrentBackend(), Error);
+  EXPECT_THROW(xcclGroupStart(), Error);
+}
+
+TEST(XcclCApi, HandleValidation) {
+  fabric::run_world(sim::thetagpu(), 1, [](fabric::RankContext& ctx) {
+    xcclBindDevice(ctx);
+    float x = 0.0f;
+    device::Stream* stream = &ctx.stream();
+    EXPECT_EQ(xcclAllReduce(&x, &x, 1, xcclFloat, xcclSum, nullptr, stream),
+              XcclResult::InvalidArgument);
+    EXPECT_EQ(xcclGetUniqueId(nullptr), XcclResult::InvalidArgument);
+    EXPECT_EQ(xcclCommDestroy(nullptr), XcclResult::Success);  // like free()
+    // Run one collective so peers are not left hanging in any call above
+    // (none of the rejected calls communicated).
+    xcclUniqueId id = UniqueId::derive(9, 9);
+    xcclComm_t comm = nullptr;
+    ASSERT_EQ(xcclCommInitRank(&comm, ctx.size(), id, ctx.rank()),
+              XcclResult::Success);
+    int n = 0;
+    ASSERT_EQ(xcclCommCount(comm, &n), XcclResult::Success);
+    EXPECT_EQ(n, ctx.size());
+    int r = -1;
+    ASSERT_EQ(xcclCommUserRank(comm, &r), XcclResult::Success);
+    EXPECT_EQ(r, ctx.rank());
+    EXPECT_EQ(xcclCommDestroy(comm), XcclResult::Success);
+  });
+}
+
+TEST(XcclCApi, AllReduceMatchesOracle) {
+  fabric::run_world(sim::thetagpu(), 1, [](fabric::RankContext& ctx) {
+    xcclBindDevice(ctx);
+    xcclComm_t comm = nullptr;
+    const xcclUniqueId id = UniqueId::derive(4, 4);
+    ASSERT_EQ(xcclCommInitRank(&comm, ctx.size(), id, ctx.rank()),
+              XcclResult::Success);
+    std::vector<float> in(512, static_cast<float>(ctx.rank() + 1));
+    std::vector<float> out(512);
+    device::Stream* stream = &ctx.stream();
+    ASSERT_EQ(xcclAllReduce(in.data(), out.data(), 512, xcclFloat, xcclSum, comm,
+                            stream),
+              XcclResult::Success);
+    ASSERT_EQ(xcclStreamSynchronize(stream), XcclResult::Success);
+    const int p = ctx.size();
+    EXPECT_FLOAT_EQ(out[100], static_cast<float>(p * (p + 1) / 2));
+    xcclCommDestroy(comm);
+  });
+}
+
+// The paper's Listing 1, transcribed: "Pseudo code of xCCL AlltoAllv
+// designs".
+TEST(XcclCApi, PaperListing1Alltoallv) {
+  fabric::run_world(sim::thetagpu(), 1, [](fabric::RankContext& ctx) {
+    xcclBindDevice(ctx);
+    /* Create XCCL communicator (xccl_comm) */
+    xcclComm_t xccl_comm = nullptr;
+    ASSERT_EQ(xcclCommInitRank(&xccl_comm, ctx.size(),
+                               UniqueId::derive(11, 11), ctx.rank()),
+              XcclResult::Success);
+    device::Stream* xccl_stream = &ctx.stream();
+
+    /* Convert MPI datatype to XCCL datatype (xccl_dt) */
+    const xcclDataType_t xccl_dt = xcclFloat;
+    const std::size_t type_size = datatype_size(xccl_dt);
+
+    const int comm_size = ctx.size();
+    const int me = ctx.rank();
+    // Ragged counts: rank r sends (r + d + 1) elements to rank d.
+    std::vector<std::size_t> sendcnts;
+    std::vector<std::size_t> sdispls;
+    std::vector<std::size_t> recvcnts;
+    std::vector<std::size_t> rdispls;
+    std::size_t stotal = 0;
+    std::size_t rtotal = 0;
+    for (int d = 0; d < comm_size; ++d) {
+      sendcnts.push_back(static_cast<std::size_t>(me + d + 1));
+      sdispls.push_back(stotal);
+      stotal += sendcnts.back();
+      recvcnts.push_back(static_cast<std::size_t>(d + me + 1));
+      rdispls.push_back(rtotal);
+      rtotal += recvcnts.back();
+    }
+    std::vector<float> sendbuf(stotal);
+    for (int d = 0; d < comm_size; ++d) {
+      for (std::size_t i = 0; i < sendcnts[static_cast<std::size_t>(d)]; ++i) {
+        sendbuf[sdispls[static_cast<std::size_t>(d)] + i] =
+            static_cast<float>(me * 100 + d);
+      }
+    }
+    std::vector<float> recvbuf(rtotal, -1.0f);
+
+    xcclResult_t xccl_ret;
+    xcclGroupStart();
+    for (int r = 0; r < comm_size; ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      xccl_ret = xcclSend(reinterpret_cast<char*>(sendbuf.data()) +
+                              sdispls[ur] * type_size,
+                          sendcnts[ur], xccl_dt, r, xccl_comm, xccl_stream);
+      ASSERT_EQ(xccl_ret, XcclResult::Success);
+      xccl_ret = xcclRecv(reinterpret_cast<char*>(recvbuf.data()) +
+                              rdispls[ur] * type_size,
+                          recvcnts[ur], xccl_dt, r, xccl_comm, xccl_stream);
+      ASSERT_EQ(xccl_ret, XcclResult::Success);
+    }
+    xcclGroupEnd();
+    /* XCCL Stream Synchronization */
+    ASSERT_EQ(xcclStreamSynchronize(xccl_stream), XcclResult::Success);
+
+    for (int r = 0; r < comm_size; ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      for (std::size_t i = 0; i < recvcnts[ur]; ++i) {
+        ASSERT_FLOAT_EQ(recvbuf[rdispls[ur] + i],
+                        static_cast<float>(r * 100 + me));
+      }
+    }
+    xcclCommDestroy(xccl_comm);
+  });
+}
+
+TEST(XcclCApi, BindSelectsBackendByVendor) {
+  fabric::run_world(sim::voyager(), 1, [](fabric::RankContext& ctx) {
+    xcclBindDevice(ctx);
+    EXPECT_EQ(xcclCurrentBackend().kind(), CclKind::Hccl);
+  });
+  fabric::run_world(sim::thetagpu(), 1, [](fabric::RankContext& ctx) {
+    xcclBindDevice(ctx, CclKind::Msccl);
+    EXPECT_EQ(xcclCurrentBackend().kind(), CclKind::Msccl);
+  });
+}
+
+}  // namespace
+}  // namespace mpixccl::xccl

@@ -1,0 +1,180 @@
+// MSCCL-specific tests: the algorithm IR, the interpreter, the built-in
+// allpairs window, custom algorithm registration, and the medium-message
+// performance signature the paper reports (MSCCL beats NCCL-style rings for
+// 256 B - 256 KB).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fabric/world.hpp"
+#include "sim/profiles.hpp"
+#include "xccl/msccl.hpp"
+
+namespace mpixccl::xccl {
+namespace {
+
+TEST(MscclAlgorithm, AllpairsShape) {
+  const MscclAlgorithm a = MscclAlgorithm::allpairs_allreduce(4, 256, 262144);
+  EXPECT_EQ(a.nranks, 4);
+  EXPECT_EQ(a.programs.size(), 4u);
+  // Each rank: 3 sends (step 0) + 3 recv-reduces (step 1).
+  for (const auto& prog : a.programs) {
+    ASSERT_EQ(prog.size(), 6u);
+    EXPECT_EQ(prog[0].op, MscclInstr::Op::Send);
+    EXPECT_EQ(prog[5].op, MscclInstr::Op::RecvReduceCopy);
+  }
+  EXPECT_NO_THROW(a.validate());
+}
+
+TEST(MscclAlgorithm, ValidateRejectsMalformed) {
+  MscclAlgorithm a = MscclAlgorithm::allpairs_allreduce(2, 0, 1000);
+  a.programs[0][0].peer = 7;  // out of range
+  EXPECT_THROW(a.validate(), Error);
+
+  MscclAlgorithm b = MscclAlgorithm::allpairs_allreduce(2, 0, 1000);
+  b.programs.pop_back();  // wrong program count
+  EXPECT_THROW(b.validate(), Error);
+
+  MscclAlgorithm c = MscclAlgorithm::allpairs_allreduce(2, 0, 1000);
+  c.programs[0][0].src_chunk = 5;  // beyond scratch area (2*nchunks)
+  EXPECT_THROW(c.validate(), Error);
+}
+
+void with_msccl(int nodes, const std::function<void(fabric::RankContext&,
+                                                    MscclBackend&, CclComm&)>& body) {
+  const sim::SystemProfile prof = sim::thetagpu();
+  fabric::World world(fabric::WorldConfig{prof, nodes, 0});
+  const UniqueId id = UniqueId::derive(11, 3);
+  world.run([&](fabric::RankContext& ctx) {
+    MscclBackend backend(ctx, *prof.msccl);
+    CclComm comm;
+    ASSERT_EQ(backend.comm_init_rank(comm, ctx.size(), id, ctx.rank()),
+              XcclResult::Success);
+    body(ctx, backend, comm);
+  });
+}
+
+TEST(MscclBackend, AlgorithmSelectionWindow) {
+  with_msccl(1, [](fabric::RankContext& ctx, MscclBackend& b, CclComm& comm) {
+    if (ctx.rank() != 0) return;
+    // Inside the window: allpairs.
+    EXPECT_TRUE(b.algorithm_for(BuiltinColl::AllReduce, comm.nranks(), 4096)
+                    .has_value());
+    // Below and above: base NCCL path.
+    EXPECT_FALSE(b.algorithm_for(BuiltinColl::AllReduce, comm.nranks(), 64)
+                     .has_value());
+    EXPECT_FALSE(b.algorithm_for(BuiltinColl::AllReduce, comm.nranks(), 1 << 20)
+                     .has_value());
+    // Other collectives: no builtin program.
+    EXPECT_FALSE(b.algorithm_for(BuiltinColl::Broadcast, comm.nranks(), 4096)
+                     .has_value());
+    b.set_builtin_allpairs(false);
+    EXPECT_FALSE(b.algorithm_for(BuiltinColl::AllReduce, comm.nranks(), 4096)
+                     .has_value());
+  });
+}
+
+TEST(MscclBackend, AllpairsProducesCorrectSums) {
+  with_msccl(2, [](fabric::RankContext& ctx, MscclBackend& b, CclComm& comm) {
+    const std::size_t n = 1024;  // 4 KB of floats: inside the window
+    ASSERT_TRUE(b.algorithm_for(BuiltinColl::AllReduce, comm.nranks(),
+                                n * sizeof(float))
+                    .has_value());
+    std::vector<float> in(n);
+    std::vector<float> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      in[i] = static_cast<float>(comm.rank() + 1) * static_cast<float>(i % 17);
+    }
+    ASSERT_EQ(b.all_reduce(in.data(), out.data(), n, DataType::Float32,
+                           ReduceOp::Sum, comm, ctx.stream()),
+              XcclResult::Success);
+    ctx.stream().synchronize(ctx.clock());
+    const int p = comm.nranks();
+    for (std::size_t i = 0; i < n; i += 37) {
+      const float expect = static_cast<float>(p * (p + 1) / 2) *
+                           static_cast<float>(i % 17);
+      ASSERT_FLOAT_EQ(out[i], expect);
+    }
+  });
+}
+
+TEST(MscclBackend, CustomRegisteredAlgorithmWins) {
+  with_msccl(1, [](fabric::RankContext& ctx, MscclBackend& b, CclComm& comm) {
+    // A trivial custom "broadcast-from-0 style" allreduce replacement for a
+    // narrow window: reduce to rank 0 via direct sends, then fan out.
+    const int p = comm.nranks();
+    MscclAlgorithm custom;
+    custom.name = "star_allreduce";
+    custom.coll = BuiltinColl::AllReduce;
+    custom.nranks = p;
+    custom.nchunks = 1;
+    custom.min_bytes = 100000;
+    custom.max_bytes = 100100;
+    custom.programs.resize(static_cast<std::size_t>(p));
+    for (int r = 1; r < p; ++r) {
+      custom.programs[static_cast<std::size_t>(r)] = {
+          MscclInstr{MscclInstr::Op::Send, 0, 0, 0, 0},
+          MscclInstr{MscclInstr::Op::Recv, 0, 0, 0, 1},
+      };
+    }
+    auto& root = custom.programs[0];
+    for (int r = 1; r < p; ++r) {
+      root.push_back(MscclInstr{MscclInstr::Op::RecvReduceCopy, r, 0, 0, 0});
+    }
+    for (int r = 1; r < p; ++r) {
+      root.push_back(MscclInstr{MscclInstr::Op::Send, r, 0, 0, 1});
+    }
+    b.register_algorithm(custom);
+    if (ctx.rank() == 0) {
+      EXPECT_EQ(b.algorithm_for(BuiltinColl::AllReduce, p, 100040).value(),
+                "star_allreduce");
+    }
+
+    const std::size_t n = 25010;  // 100040 bytes: inside the custom window
+    std::vector<float> in(n, static_cast<float>(comm.rank() + 1));
+    std::vector<float> out(n);
+    ASSERT_EQ(b.all_reduce(in.data(), out.data(), n, DataType::Float32,
+                           ReduceOp::Sum, comm, ctx.stream()),
+              XcclResult::Success);
+    ctx.stream().synchronize(ctx.clock());
+    EXPECT_FLOAT_EQ(out[n - 1], static_cast<float>(p * (p + 1) / 2));
+  });
+}
+
+TEST(MscclBackend, AllpairsBeatsRingInWindow) {
+  // The paper's Fig. 5(d) signature: MSCCL < NCCL-path latency for medium
+  // messages. Compare the same backend with the builtin on vs off.
+  const sim::SystemProfile prof = sim::thetagpu();
+  for (const bool builtin : {true, false}) {
+    fabric::World world(fabric::WorldConfig{prof, 1, 0});
+    const UniqueId id = UniqueId::derive(5, 4);
+    static double with_algo = 0.0;
+    static double without_algo = 0.0;
+    world.run([&](fabric::RankContext& ctx) {
+      MscclBackend b(ctx, *prof.msccl);
+      b.set_builtin_allpairs(builtin);
+      CclComm comm;
+      ASSERT_EQ(b.comm_init_rank(comm, ctx.size(), id, ctx.rank()),
+                XcclResult::Success);
+      ctx.sync_clocks();
+      const std::size_t n = 4096;  // 16 KB
+      std::vector<float> buf(n, 1.0f);
+      const double t0 = ctx.clock().now();
+      ASSERT_EQ(b.all_reduce(buf.data(), buf.data(), n, DataType::Float32,
+                             ReduceOp::Sum, comm, ctx.stream()),
+                XcclResult::Success);
+      ctx.stream().synchronize(ctx.clock());
+      if (ctx.rank() == 0) {
+        (builtin ? with_algo : without_algo) = ctx.clock().now() - t0;
+      }
+    });
+    if (!builtin) {
+      EXPECT_LT(with_algo, without_algo);
+      EXPECT_GT(with_algo, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpixccl::xccl

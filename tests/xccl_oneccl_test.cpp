@@ -1,0 +1,80 @@
+// Tests for the oneCCL backend + Aurora-like Intel profile (the paper's
+// future-work extension).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/xccl_mpi.hpp"
+#include "device/device.hpp"
+#include "fabric/world.hpp"
+#include "sim/profiles.hpp"
+#include "xccl/backend.hpp"
+
+namespace mpixccl::xccl {
+namespace {
+
+TEST(OneCcl, ProfileAndNativeMapping) {
+  const sim::SystemProfile p = sim::aurora_like();
+  EXPECT_EQ(p.vendor, Vendor::Intel);
+  EXPECT_EQ(p.devices_per_node, 6);
+  EXPECT_EQ(native_ccl(Vendor::Intel), CclKind::OneCcl);
+  EXPECT_EQ(sim::profile_by_name("aurora-like").name, "aurora-like");
+  EXPECT_FALSE(p.msccl.has_value());
+}
+
+TEST(OneCcl, Capabilities) {
+  const Capabilities caps = oneccl_capabilities();
+  EXPECT_TRUE(caps.can_reduce(DataType::Float32, ReduceOp::Sum));
+  EXPECT_TRUE(caps.can_reduce(DataType::Float16, ReduceOp::Max));
+  // bfloat16 moves but does not reduce; no Avg at all.
+  EXPECT_TRUE(caps.can_move(DataType::BFloat16));
+  EXPECT_FALSE(caps.can_reduce(DataType::BFloat16, ReduceOp::Sum));
+  EXPECT_FALSE(caps.can_reduce(DataType::Float32, ReduceOp::Avg));
+}
+
+TEST(OneCcl, AllReduceOnAuroraWorld) {
+  fabric::run_world(sim::aurora_like(), 2, [](fabric::RankContext& ctx) {
+    auto backend = make_backend(CclKind::OneCcl, ctx, ctx.profile().ccl);
+    EXPECT_EQ(backend->kind(), CclKind::OneCcl);
+    CclComm comm;
+    ASSERT_EQ(backend->comm_init_rank(comm, ctx.size(), UniqueId::derive(3, 3),
+                                      ctx.rank()),
+              XcclResult::Success);
+    std::vector<float> buf(4096, static_cast<float>(ctx.rank()));
+    ASSERT_EQ(backend->all_reduce(buf.data(), buf.data(), buf.size(),
+                                  DataType::Float32, ReduceOp::Sum, comm,
+                                  ctx.stream()),
+              XcclResult::Success);
+    ctx.stream().synchronize(ctx.clock());
+    const int p = ctx.size();
+    EXPECT_FLOAT_EQ(buf[17], static_cast<float>(p * (p - 1) / 2));
+  });
+}
+
+TEST(OneCcl, XcclMpiEndToEndWithFallback) {
+  // Same MPI-xCCL code as every other system: hybrid dispatch, plus a
+  // bfloat16 reduction falling back to the MPI path (oneCCL can't reduce it).
+  fabric::run_world(sim::aurora_like(), 1, [](fabric::RankContext& ctx) {
+    core::XcclMpiOptions opts;
+    opts.mode = core::Mode::PureXccl;
+    core::XcclMpi rt(ctx, opts);
+    EXPECT_EQ(rt.backend().kind(), CclKind::OneCcl);
+
+    auto& dev = ctx.device();
+    device::DeviceBuffer f(dev, 1 << 20);
+    rt.allreduce(f.get(), f.get(), (1 << 20) / sizeof(float), mini::kFloat,
+                 ReduceOp::Sum, rt.comm_world());
+    EXPECT_EQ(rt.last_dispatch().engine, core::Engine::Xccl);
+
+    device::DeviceBuffer bf(dev, 256 * sizeof(BF16));
+    for (int i = 0; i < 256; ++i) bf.as<BF16>()[i] = BF16::from_float(1.0f);
+    rt.allreduce(bf.get(), bf.get(), 256, mini::kBFloat16, ReduceOp::Sum,
+                 rt.comm_world());
+    EXPECT_TRUE(rt.last_dispatch().fell_back);
+    EXPECT_FLOAT_EQ(bf.as<BF16>()[0].to_float(), static_cast<float>(ctx.size()));
+  });
+}
+
+}  // namespace
+}  // namespace mpixccl::xccl

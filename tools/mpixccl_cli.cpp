@@ -1,0 +1,233 @@
+// mpixccl — command-line driver for the simulated MPI-xCCL stack.
+//
+//   mpixccl profiles
+//   mpixccl p2p   --system=thetagpu [--backend=msccl] [--inter]
+//   mpixccl sweep --system=mri --nodes=4 --op=allgather [--backend=...]
+//   mpixccl train --system=thetagpu --nodes=2 --model=resnet50 --batch=64
+//   mpixccl tune  --system=voyager --out=/tmp/voyager.tbl
+//   mpixccl trace --system=thetagpu --out=/tmp/trace.json
+//
+// Every command runs entirely in-process (threads-as-ranks simulation) and
+// prints OMB-style tables; `tune` writes a tuning table consumable via
+// MPIXCCL_TUNING_FILE, and `trace` writes a chrome://tracing timeline.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/tuner.hpp"
+#include "core/xccl_mpi.hpp"
+#include "device/device.hpp"
+#include "dl/horovod.hpp"
+#include "fabric/world.hpp"
+#include "omb/harness.hpp"
+#include "sim/profiles.hpp"
+#include "sim/trace.hpp"
+
+using namespace mpixccl;
+
+namespace {
+
+using Args = std::map<std::string, std::string>;
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) throw Error("expected --key[=value], got " + a);
+    a = a.substr(2);
+    const auto eq = a.find('=');
+    if (eq == std::string::npos) {
+      args[a] = "1";
+    } else {
+      args[a.substr(0, eq)] = a.substr(eq + 1);
+    }
+  }
+  return args;
+}
+
+std::string get(const Args& args, const std::string& key,
+                const std::string& fallback) {
+  auto it = args.find(key);
+  return it == args.end() ? fallback : it->second;
+}
+
+std::optional<xccl::CclKind> backend_of(const Args& args) {
+  const std::string name = get(args, "backend", "");
+  if (name.empty()) return std::nullopt;
+  for (const xccl::CclKind k :
+       {xccl::CclKind::Nccl, xccl::CclKind::Rccl, xccl::CclKind::Hccl,
+        xccl::CclKind::Msccl, xccl::CclKind::OneCcl}) {
+    if (to_string(k) == name) return k;
+  }
+  throw Error("unknown backend: " + name);
+}
+
+core::CollOp coll_of(const std::string& name) {
+  for (const core::CollOp op : core::kAllCollOps) {
+    if (to_string(op) == name) return op;
+  }
+  throw Error("unknown collective: " + name);
+}
+
+int cmd_profiles() {
+  std::printf("%-12s %-8s %-10s %-10s %s\n", "name", "vendor", "devs/node",
+              "native CCL", "note");
+  for (const char* name : {"thetagpu", "mri", "voyager", "aurora-like"}) {
+    const sim::SystemProfile p = sim::profile_by_name(name);
+    std::printf("%-12s %-8s %-10d %-10s %s\n", p.name.c_str(),
+                std::string(to_string(p.vendor)).c_str(), p.devices_per_node,
+                std::string(to_string(xccl::native_ccl(p.vendor))).c_str(),
+                p.msccl ? "MSCCL available" : "");
+  }
+  return 0;
+}
+
+int cmd_p2p(const Args& args) {
+  const sim::SystemProfile prof =
+      sim::profile_by_name(get(args, "system", "thetagpu"));
+  omb::P2pConfig cfg;
+  cfg.backend = backend_of(args).value_or(xccl::native_ccl(prof.vendor));
+  cfg.scope = args.contains("inter") ? sim::LinkScope::InterNode
+                                     : sim::LinkScope::IntraNode;
+  const omb::P2pResult r = omb::run_p2p(prof, cfg);
+  omb::print_series_table(
+      "p2p " + std::string(to_string(cfg.backend)) + " on " + prof.name, "value",
+      {{"latency_us", r.latency}, {"bw_MBps", r.bw}, {"bibw_MBps", r.bibw}});
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const sim::SystemProfile prof =
+      sim::profile_by_name(get(args, "system", "thetagpu"));
+  const int nodes = std::stoi(get(args, "nodes", "1"));
+  omb::CollectiveConfig cfg;
+  cfg.op = coll_of(get(args, "op", "allreduce"));
+  cfg.backend = backend_of(args);
+  const omb::FlavorSeries r = omb::run_collective(prof, nodes, cfg);
+  std::vector<std::pair<std::string, omb::Series>> named;
+  for (const auto& [flavor, series] : r) {
+    named.emplace_back(std::string(to_string(flavor)), series);
+  }
+  omb::print_series_table(std::string(to_string(cfg.op)) + " on " + prof.name +
+                              " (" + std::to_string(nodes) + " nodes)",
+                          "us", named);
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const sim::SystemProfile prof =
+      sim::profile_by_name(get(args, "system", "thetagpu"));
+  dl::TrainerConfig cfg;
+  const std::string model = get(args, "model", "resnet50");
+  if (model == "resnet50") {
+    cfg.model = dl::Model::resnet50();
+  } else if (model == "vgg16") {
+    cfg.model = dl::Model::vgg16();
+  } else if (model == "bert") {
+    cfg.model = dl::Model::bert_base();
+  } else {
+    throw Error("unknown model: " + model);
+  }
+  cfg.batch_size = std::stoi(get(args, "batch", "32"));
+  cfg.backend = backend_of(args);
+  const std::string flavor = get(args, "flavor", "hybrid");
+  if (flavor == "hybrid") {
+    cfg.flavor = omb::Flavor::HybridXccl;
+  } else if (flavor == "pure-ccl") {
+    cfg.flavor = omb::Flavor::PureCcl;
+  } else if (flavor == "mpi") {
+    cfg.flavor = omb::Flavor::GpuAwareMpi;
+  } else if (flavor == "ucc") {
+    cfg.flavor = omb::Flavor::OmpiUcxUcc;
+  } else {
+    throw Error("unknown flavor: " + flavor);
+  }
+  const int nodes = std::stoi(get(args, "nodes", "1"));
+  const dl::TrainerResult r = dl::run_training(prof, nodes, cfg);
+  std::printf("%s on %s, %d nodes, batch %d, flavor %s:\n", model.c_str(),
+              prof.name.c_str(), nodes, cfg.batch_size, flavor.c_str());
+  std::printf("  %.0f img/sec, %.2f ms/step, %.2f ms comm wait, %d buckets\n",
+              r.images_per_sec, r.step_time_us / 1000.0,
+              r.comm_wait_us / 1000.0, r.buckets_per_step);
+  return 0;
+}
+
+int cmd_tune(const Args& args) {
+  const sim::SystemProfile prof =
+      sim::profile_by_name(get(args, "system", "thetagpu"));
+  const int nodes = std::stoi(get(args, "nodes", "1"));
+  const std::string out = get(args, "out", "");
+  fabric::World world(fabric::WorldConfig{prof, nodes, 0});
+  std::string serialized;
+  world.run([&](fabric::RankContext& ctx) {
+    core::XcclMpi rt(ctx);
+    const core::TuningTable tuned = core::tune_offline(rt, rt.comm_world());
+    if (ctx.rank() == 0) serialized = tuned.serialize();
+  });
+  std::printf("tuned table for %s (%d nodes):\n%s\n", prof.name.c_str(), nodes,
+              serialized.c_str());
+  if (!out.empty()) {
+    core::TuningTable::deserialize(serialized).save_file(out);
+    std::printf("written to %s (use MPIXCCL_TUNING_FILE=%s)\n", out.c_str(),
+                out.c_str());
+  }
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  const sim::SystemProfile prof =
+      sim::profile_by_name(get(args, "system", "thetagpu"));
+  const std::string out = get(args, "out", "/tmp/mpixccl_trace.json");
+  sim::Trace::instance().clear();
+  sim::Trace::instance().set_enabled(true);
+  fabric::run_world(prof, 1, [](fabric::RankContext& ctx) {
+    core::XcclMpi rt(ctx);
+    device::DeviceBuffer buf(ctx.device(), 4u << 20);
+    for (const std::size_t n : {64u, 4096u, 262144u, 1048576u}) {
+      rt.allreduce(buf.get(), buf.get(), n, mini::kFloat, ReduceOp::Sum,
+                   rt.comm_world());
+      rt.bcast(buf.get(), n, mini::kFloat, 0, rt.comm_world());
+    }
+  });
+  sim::Trace::instance().set_enabled(false);
+  sim::Trace::instance().save_chrome_json(out);
+  std::printf("wrote %zu spans to %s (open in chrome://tracing)\n",
+              sim::Trace::instance().size(), out.c_str());
+  sim::Trace::instance().clear();
+  return 0;
+}
+
+int usage() {
+  std::printf(
+      "usage: mpixccl <command> [--key=value ...]\n"
+      "  profiles                               list simulated systems\n"
+      "  p2p    --system=S [--backend=B] [--inter]\n"
+      "  sweep  --system=S --nodes=N --op=OP [--backend=B]\n"
+      "  train  --system=S --nodes=N --model=M --batch=B --flavor=F\n"
+      "  tune   --system=S [--nodes=N] [--out=FILE]\n"
+      "  trace  --system=S [--out=FILE]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args args = parse_args(argc, argv, 2);
+    if (cmd == "profiles") return cmd_profiles();
+    if (cmd == "p2p") return cmd_p2p(args);
+    if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "tune") return cmd_tune(args);
+    if (cmd == "trace") return cmd_trace(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mpixccl: %s\n", e.what());
+    return 1;
+  }
+}
