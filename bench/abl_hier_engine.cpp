@@ -1,0 +1,131 @@
+// Ablation: the hierarchical collective engine (src/hier/) vs both flat
+// engines. Sweeps Allreduce across message sizes and node counts on all four
+// vendor profiles and prints the three-way latency table plus the crossover
+// size where the topology-aware composition starts winning. The interesting
+// regime is >= 2 nodes and >= 1 MB, where hier keeps the big exchanges on
+// intra-node links and pipelines the shard-sized inter-node traffic.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/tuner.hpp"
+#include "fabric/world.hpp"
+#include "sim/profiles.hpp"
+
+using namespace mpixccl;
+
+namespace {
+
+struct Cell {
+  double mpi = 0.0;
+  double xccl = 0.0;
+  double hier = 0.0;  ///< < 0 when the engine is not applicable (1 node)
+};
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation: hierarchical engine vs flat engines",
+                "topology-aware third dispatch path");
+
+  const std::vector<sim::SystemProfile> profiles = {
+      sim::thetagpu(), sim::mri(), sim::voyager(), sim::aurora_like()};
+  std::vector<int> node_counts = bench::fast_mode() ? std::vector<int>{1, 2}
+                                                    : std::vector<int>{1, 2, 4};
+  if (bench::full_mode()) node_counts.push_back(16);
+  const std::vector<std::size_t> sizes =
+      bench::fast_mode()
+          ? std::vector<std::size_t>{65536, 1048576}
+          : std::vector<std::size_t>{4096, 65536, 1048576, 4194304};
+  const int iters = bench::fast_mode() ? 1 : 2;
+
+  // (profile name, nodes) -> size -> latencies; written by rank 0 only.
+  std::map<std::pair<std::string, int>, std::map<std::size_t, Cell>> results;
+
+  for (const sim::SystemProfile& prof : profiles) {
+    for (const int nodes : node_counts) {
+      fabric::World world(fabric::WorldConfig{prof, nodes, 0});
+      world.run([&](fabric::RankContext& ctx) {
+        core::XcclMpi rt(ctx);
+        auto& comm = rt.comm_world();
+        const bool hier_ok = rt.hier().applicable(comm);
+        for (const std::size_t bytes : sizes) {
+          Cell cell;
+          cell.mpi = core::measure_collective(rt, comm, core::CollOp::Allreduce,
+                                              bytes, core::Engine::Mpi, 1, iters);
+          cell.xccl = core::measure_collective(rt, comm, core::CollOp::Allreduce,
+                                               bytes, core::Engine::Xccl, 1,
+                                               iters);
+          cell.hier = hier_ok
+                          ? core::measure_collective(rt, comm,
+                                                     core::CollOp::Allreduce,
+                                                     bytes, core::Engine::Hier, 1,
+                                                     iters)
+                          : -1.0;
+          if (ctx.rank() == 0) {
+            results[{prof.name, nodes}][bytes] = cell;
+          }
+        }
+      });
+    }
+  }
+
+  for (const auto& [key, by_size] : results) {
+    const auto& [name, nodes] = key;
+    std::printf("\nAllreduce on %s (%d node%s, %d GPUs/node) — latency us\n",
+                name.c_str(), nodes, nodes == 1 ? "" : "s",
+                sim::profile_by_name(name).devices_per_node);
+    std::printf("%12s %12s %12s %12s %10s\n", "bytes", "flat-mpi", "flat-xccl",
+                "hier", "winner");
+    std::size_t crossover = 0;
+    for (const auto& [bytes, cell] : by_size) {
+      const char* winner = "mpi";
+      double best = cell.mpi;
+      if (cell.xccl < best) {
+        best = cell.xccl;
+        winner = "xccl";
+      }
+      if (cell.hier >= 0.0 && cell.hier < best) {
+        best = cell.hier;
+        winner = "hier";
+        if (crossover == 0) crossover = bytes;
+      }
+      if (cell.hier >= 0.0) {
+        std::printf("%12zu %12.1f %12.1f %12.1f %10s\n", bytes, cell.mpi,
+                    cell.xccl, cell.hier, winner);
+      } else {
+        std::printf("%12zu %12.1f %12.1f %12s %10s\n", bytes, cell.mpi,
+                    cell.xccl, "n/a", winner);
+      }
+    }
+    if (crossover != 0) {
+      std::printf("  hier crossover: %zu bytes\n", crossover);
+    } else if (nodes > 1) {
+      std::printf("  hier crossover: none in sweep\n");
+    }
+  }
+
+  // The acceptance shape: at >= 1 MB on >= 2 nodes, the hierarchical engine
+  // beats both flat engines on the NVIDIA and AMD profiles.
+  const std::size_t mb = 1048576;
+  bool nvidia_ok = true;
+  bool amd_ok = true;
+  for (const auto& [key, by_size] : results) {
+    const auto& [name, nodes] = key;
+    if (nodes < 2) continue;
+    for (const auto& [bytes, cell] : by_size) {
+      if (bytes < mb || cell.hier < 0.0) continue;
+      const bool wins = cell.hier < cell.mpi && cell.hier < cell.xccl;
+      if (name == sim::thetagpu().name) nvidia_ok = nvidia_ok && wins;
+      if (name == sim::mri().name) amd_ok = amd_ok && wins;
+    }
+  }
+  bench::shape_check("hier wins >= 1 MB allreduce on multi-node NVIDIA",
+                     nvidia_ok);
+  bench::shape_check("hier wins >= 1 MB allreduce on multi-node AMD", amd_ok);
+  return 0;
+}

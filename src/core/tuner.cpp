@@ -1,6 +1,7 @@
 #include "core/tuner.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/log.hpp"
 #include "device/device.hpp"
@@ -73,7 +74,23 @@ double measure_collective(XcclMpi& rt, mini::Comm& comm, CollOp op,
                           int timed_iters) {
   require(timed_iters > 0, "measure_collective: timed_iters must be > 0");
   const Mode saved = rt.options().mode;
-  rt.set_mode(engine == Engine::Mpi ? Mode::PureMpi : Mode::PureXccl);
+  std::optional<TuningTable> saved_table;
+  switch (engine) {
+    case Engine::Mpi:
+      rt.set_mode(Mode::PureMpi);
+      break;
+    case Engine::Xccl:
+      rt.set_mode(Mode::PureXccl);
+      break;
+    case Engine::Hier:
+      // No pure-hier mode: force the hybrid path through an all-hier table
+      // (unsupported ops and non-blocked communicators still fall back, so
+      // the measurement honestly includes the dispatch behavior).
+      saved_table = rt.tuning();
+      rt.set_mode(Mode::Hybrid);
+      rt.set_tuning(TuningTable::uniform(Engine::Hier));
+      break;
+  }
 
   const std::size_t scale = buffer_scale(op, comm.size());
   auto& dev = rt.context().device();
@@ -87,6 +104,7 @@ double measure_collective(XcclMpi& rt, mini::Comm& comm, CollOp op,
   const double local = (rt.context().clock().now() - t0) / timed_iters;
 
   rt.set_mode(saved);
+  if (saved_table) rt.set_tuning(std::move(*saved_table));
   return rt.mpi().max_over_ranks(local, comm);
 }
 
@@ -107,9 +125,20 @@ TuningTable tune_offline(XcclMpi& rt, mini::Comm& comm, const TunerConfig& confi
                                                  Engine::Xccl,
                                                  config.warmup_iters,
                                                  config.timed_iters);
-      winner.push_back(mpi_lat <= xccl_lat ? Engine::Mpi : Engine::Xccl);
+      Engine best = mpi_lat <= xccl_lat ? Engine::Mpi : Engine::Xccl;
+      double best_lat = std::min(mpi_lat, xccl_lat);
+      double hier_lat = -1.0;
+      if (engine_hier_supports(op) && rt.hier().applicable(comm)) {
+        hier_lat = measure_collective(rt, comm, op, bytes, Engine::Hier,
+                                      config.warmup_iters, config.timed_iters);
+        if (hier_lat < best_lat) {
+          best = Engine::Hier;
+          best_lat = hier_lat;
+        }
+      }
+      winner.push_back(best);
       MPIXCCL_LOG_DEBUG("tuner", to_string(op), " ", bytes, "B: mpi=", mpi_lat,
-                        "us xccl=", xccl_lat, "us -> ",
+                        "us xccl=", xccl_lat, "us hier=", hier_lat, "us -> ",
                         to_string(winner.back()));
     }
     // Merge consecutive same-engine sizes into breakpoints.

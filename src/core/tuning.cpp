@@ -20,7 +20,24 @@ CollOp coll_from_string(const std::string& s) {
 Engine engine_from_string(const std::string& s) {
   if (s == "mpi") return Engine::Mpi;
   if (s == "xccl") return Engine::Xccl;
+  if (s == "hier") return Engine::Hier;
   throw Error("TuningTable: unknown engine '" + s + "'");
+}
+
+/// Strict breakpoint parse: every character must be a digit and the value
+/// must fit std::size_t. std::stoull would accept "12xy" (silently dropping
+/// the tail) and throw std:: exceptions on garbage; tables come from files,
+/// so malformed input must surface as a clear Error instead.
+std::size_t breakpoint_from_string(const std::string& s) {
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+    throw Error("TuningTable: malformed breakpoint '" + s +
+                "' (expected a byte count or 'max')");
+  }
+  try {
+    return std::stoull(s);
+  } catch (const std::out_of_range&) {
+    throw Error("TuningTable: breakpoint out of range '" + s + "'");
+  }
 }
 
 }  // namespace
@@ -144,7 +161,7 @@ TuningTable TuningTable::deserialize(const std::string& text) {
       require(eq != std::string::npos, "TuningTable: missing '=' in " + rule);
       const std::string size_text = rule.substr(0, eq);
       const std::size_t max_bytes =
-          (size_text == "max") ? SIZE_MAX : std::stoull(size_text);
+          (size_text == "max") ? SIZE_MAX : breakpoint_from_string(size_text);
       entries.push_back(Entry{max_bytes, engine_from_string(rule.substr(eq + 1))});
     }
     t.set_rules(op, std::move(entries));

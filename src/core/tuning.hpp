@@ -56,11 +56,30 @@ inline constexpr CollOp kAllCollOps[] = {
     CollOp::Alltoallv,  CollOp::Gather,   CollOp::Scatter,  CollOp::Scan,
 };
 
-/// Which engine serves a call.
-enum class Engine : std::uint8_t { Mpi, Xccl };
+/// Which engine serves a call: the flat MiniMPI algorithms, the flat xCCL
+/// backend, or the topology-aware hierarchical engine (src/hier/).
+enum class Engine : std::uint8_t { Mpi, Xccl, Hier };
 
 constexpr std::string_view to_string(Engine e) {
-  return e == Engine::Mpi ? "mpi" : "xccl";
+  switch (e) {
+    case Engine::Mpi: return "mpi";
+    case Engine::Xccl: return "xccl";
+    case Engine::Hier: return "hier";
+  }
+  return "?";
+}
+
+/// True for the collectives the hierarchical engine implements. Tables may
+/// still name `hier` for other ops; the dispatcher remaps those to Xccl.
+constexpr bool engine_hier_supports(CollOp op) {
+  switch (op) {
+    case CollOp::Allreduce:
+    case CollOp::Bcast:
+    case CollOp::Reduce:
+    case CollOp::Allgather:
+    case CollOp::ReduceScatter: return true;
+    default: return false;
+  }
 }
 
 /// Per-collective sorted breakpoints: a message of `bytes` is served by the

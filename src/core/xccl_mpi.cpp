@@ -40,6 +40,7 @@ XcclMpi::XcclMpi(fabric::RankContext& ctx, XcclMpiOptions options)
           ? *ctx.profile().msccl
           : ctx.profile().ccl;
   backend_ = xccl::make_backend(kind, ctx, cp);
+  hier_ = std::make_unique<hier::HierEngine>(mpi_);
   MPIXCCL_LOG_INFO("core", "rank ", ctx.rank(), ": MPI-xCCL over ",
                    backend_->name(), " (", ctx.profile().name, ")");
 }
@@ -57,7 +58,11 @@ Engine XcclMpi::pick_engine(CollOp op, std::size_t bytes, const void* a,
   // always take the MPI path regardless of mode.
   if (!any_device_buffer(a, b)) return Engine::Mpi;
   if (options_.mode == Mode::PureXccl) return Engine::Xccl;
-  return tuning_.select(op, bytes);
+  Engine e = tuning_.select(op, bytes);
+  // A table may route an op the hierarchical engine does not implement;
+  // remap to the flat CCL rather than failing.
+  if (e == Engine::Hier && !engine_hier_supports(op)) e = Engine::Xccl;
+  return e;
 }
 
 Engine XcclMpi::pick_engine_agreed(CollOp op, std::size_t local_bytes,
@@ -68,7 +73,9 @@ Engine XcclMpi::pick_engine_agreed(CollOp op, std::size_t local_bytes,
   if (options_.mode == Mode::PureXccl) return Engine::Xccl;
   const double agreed =
       mpi_.max_over_ranks(static_cast<double>(local_bytes), comm);
-  return tuning_.select(op, static_cast<std::size_t>(agreed));
+  Engine e = tuning_.select(op, static_cast<std::size_t>(agreed));
+  if (e == Engine::Hier && !engine_hier_supports(op)) e = Engine::Xccl;
+  return e;
 }
 
 xccl::CclComm& XcclMpi::ccl_comm(mini::Comm& comm) {
@@ -100,12 +107,19 @@ XcclMpi::ScopedOpTimer::~ScopedOpTimer() {
   const double now = rt_->context().clock().now();
   const double elapsed = now - t0_;
   OpProfile& prof = rt_->op_profiles_[op_];
-  if (rt_->last_.engine == Engine::Xccl) {
-    ++prof.xccl_calls;
-    prof.xccl_us += elapsed;
-  } else {
-    ++prof.mpi_calls;
-    prof.mpi_us += elapsed;
+  switch (rt_->last_.engine) {
+    case Engine::Xccl:
+      ++prof.xccl_calls;
+      prof.xccl_us += elapsed;
+      break;
+    case Engine::Hier:
+      ++prof.hier_calls;
+      prof.hier_us += elapsed;
+      break;
+    case Engine::Mpi:
+      ++prof.mpi_calls;
+      prof.mpi_us += elapsed;
+      break;
   }
   sim::Trace::instance().record(rt_->rank(), to_string(op_),
                                 to_string(rt_->last_.engine), t0_, now);
@@ -113,14 +127,17 @@ XcclMpi::ScopedOpTimer::~ScopedOpTimer() {
 
 std::string XcclMpi::profile_report() const {
   std::ostringstream os;
-  os << "collective        mpi-calls   mpi-us   xccl-calls  xccl-us\n";
+  os << "collective        mpi-calls   mpi-us   xccl-calls  xccl-us  "
+        "hier-calls  hier-us\n";
   for (const auto& [op, prof] : op_profiles_) {
-    char line[160];
-    std::snprintf(line, sizeof(line), "%-16s %10llu %10.1f %10llu %10.1f\n",
+    char line[200];
+    std::snprintf(line, sizeof(line),
+                  "%-16s %10llu %10.1f %10llu %10.1f %10llu %10.1f\n",
                   std::string(to_string(op)).c_str(),
                   static_cast<unsigned long long>(prof.mpi_calls), prof.mpi_us,
-                  static_cast<unsigned long long>(prof.xccl_calls),
-                  prof.xccl_us);
+                  static_cast<unsigned long long>(prof.xccl_calls), prof.xccl_us,
+                  static_cast<unsigned long long>(prof.hier_calls),
+                  prof.hier_us);
     os << line;
   }
   return os.str();
@@ -128,10 +145,10 @@ std::string XcclMpi::profile_report() const {
 
 void XcclMpi::note(Engine engine, bool fell_back, bool composed) {
   last_ = Dispatch{engine, fell_back, composed};
-  if (engine == Engine::Xccl) {
-    ++stats_.xccl_calls;
-  } else {
-    ++stats_.mpi_calls;
+  switch (engine) {
+    case Engine::Xccl: ++stats_.xccl_calls; break;
+    case Engine::Hier: ++stats_.hier_calls; break;
+    case Engine::Mpi: ++stats_.mpi_calls; break;
   }
   if (fell_back) ++stats_.fallbacks;
 }
@@ -169,7 +186,15 @@ void XcclMpi::allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
   ScopedOpTimer op_timer_(*this, CollOp::Allreduce);
   if (sendbuf == mini::kInPlace) sendbuf = recvbuf;
   const std::size_t bytes = count * dt.size();
-  if (pick_engine(CollOp::Allreduce, bytes, sendbuf, recvbuf) == Engine::Xccl) {
+  const Engine pick = pick_engine(CollOp::Allreduce, bytes, sendbuf, recvbuf);
+  if (pick == Engine::Hier) {
+    if (hier_->allreduce(sendbuf, recvbuf, count, dt, op, comm)) {
+      note(Engine::Hier, false, true);
+      return;
+    }
+    // Not node-blocked (or op/type outside hier's set): flat MPI.
+    note(Engine::Mpi, true, false);
+  } else if (pick == Engine::Xccl) {
     auto run = [&]() -> bool {
       MPIXCCL_TRY_XCCL(backend_->all_reduce(sendbuf, recvbuf, count * dt.count,
                                             dt.base, op, ccl_comm(comm),
@@ -187,7 +212,14 @@ void XcclMpi::bcast(void* buf, std::size_t count, mini::Datatype dt, int root,
                     mini::Comm& comm) {
   ScopedOpTimer op_timer_(*this, CollOp::Bcast);
   const std::size_t bytes = count * dt.size();
-  if (pick_engine(CollOp::Bcast, bytes, buf, nullptr) == Engine::Xccl) {
+  const Engine pick = pick_engine(CollOp::Bcast, bytes, buf, nullptr);
+  if (pick == Engine::Hier) {
+    if (hier_->bcast(buf, count, dt, root, comm)) {
+      note(Engine::Hier, false, true);
+      return;
+    }
+    note(Engine::Mpi, true, false);
+  } else if (pick == Engine::Xccl) {
     auto run = [&]() -> bool {
       MPIXCCL_TRY_XCCL(backend_->broadcast(buf, count * dt.count, dt.base, root,
                                            ccl_comm(comm), context().stream()),
@@ -205,7 +237,14 @@ void XcclMpi::reduce(const void* sendbuf, void* recvbuf, std::size_t count,
   ScopedOpTimer op_timer_(*this, CollOp::Reduce);
   if (sendbuf == mini::kInPlace && comm.rank() == root) sendbuf = recvbuf;
   const std::size_t bytes = count * dt.size();
-  if (pick_engine(CollOp::Reduce, bytes, sendbuf, recvbuf) == Engine::Xccl) {
+  const Engine pick = pick_engine(CollOp::Reduce, bytes, sendbuf, recvbuf);
+  if (pick == Engine::Hier) {
+    if (hier_->reduce(sendbuf, recvbuf, count, dt, op, root, comm)) {
+      note(Engine::Hier, false, true);
+      return;
+    }
+    note(Engine::Mpi, true, false);
+  } else if (pick == Engine::Xccl) {
     auto run = [&]() -> bool {
       MPIXCCL_TRY_XCCL(backend_->reduce(sendbuf, recvbuf, count * dt.count,
                                         dt.base, op, root, ccl_comm(comm),
@@ -230,8 +269,14 @@ void XcclMpi::allgather(const void* sendbuf, std::size_t sendcount,
     st = rt;
   }
   const std::size_t bytes = sendcount * st.size();
-  if (pick_engine(CollOp::Allgather, bytes, sendbuf, recvbuf) == Engine::Xccl &&
-      st.size() == rt.size()) {
+  const Engine pick = pick_engine(CollOp::Allgather, bytes, sendbuf, recvbuf);
+  if (pick == Engine::Hier) {
+    if (hier_->allgather(sendbuf, sendcount, st, recvbuf, recvcount, rt, comm)) {
+      note(Engine::Hier, false, true);
+      return;
+    }
+    note(Engine::Mpi, true, false);
+  } else if (pick == Engine::Xccl && st.size() == rt.size()) {
     auto run = [&]() -> bool {
       MPIXCCL_TRY_XCCL(backend_->all_gather(sendbuf, recvbuf,
                                             sendcount * st.count, st.base,
@@ -250,8 +295,14 @@ void XcclMpi::reduce_scatter_block(const void* sendbuf, void* recvbuf,
                                    ReduceOp op, mini::Comm& comm) {
   ScopedOpTimer op_timer_(*this, CollOp::ReduceScatter);
   const std::size_t bytes = recvcount * dt.size();
-  if (pick_engine(CollOp::ReduceScatter, bytes, sendbuf, recvbuf) ==
-      Engine::Xccl) {
+  const Engine pick = pick_engine(CollOp::ReduceScatter, bytes, sendbuf, recvbuf);
+  if (pick == Engine::Hier) {
+    if (hier_->reduce_scatter_block(sendbuf, recvbuf, recvcount, dt, op, comm)) {
+      note(Engine::Hier, false, true);
+      return;
+    }
+    note(Engine::Mpi, true, false);
+  } else if (pick == Engine::Xccl) {
     auto run = [&]() -> bool {
       MPIXCCL_TRY_XCCL(backend_->reduce_scatter(sendbuf, recvbuf,
                                                 recvcount * dt.count, dt.base, op,
@@ -593,7 +644,16 @@ mini::Request XcclMpi::iallreduce(const void* sendbuf, void* recvbuf,
                                   std::size_t count, mini::Datatype dt,
                                   ReduceOp op, mini::Comm& comm) {
   const std::size_t bytes = count * dt.size();
-  if (pick_engine(CollOp::Allreduce, bytes, sendbuf, recvbuf) == Engine::Xccl) {
+  const Engine pick = pick_engine(CollOp::Allreduce, bytes, sendbuf, recvbuf);
+  if (pick == Engine::Hier) {
+    // The hierarchical engine is host-driven (its stages block on MiniMPI),
+    // so like the MPI engine it completes before returning.
+    if (hier_->allreduce(sendbuf, recvbuf, count, dt, op, comm)) {
+      note(Engine::Hier, false, true);
+      return mini::Request::completed(context().clock().now());
+    }
+    note(Engine::Mpi, true, false);
+  } else if (pick == Engine::Xccl) {
     device::Stream& stream = context().stream();
     const XcclResult r = backend_->all_reduce(
         sendbuf, recvbuf, count * dt.count, dt.base, op, ccl_comm(comm), stream);
@@ -615,7 +675,14 @@ mini::Request XcclMpi::iallreduce(const void* sendbuf, void* recvbuf,
 mini::Request XcclMpi::ibcast(void* buf, std::size_t count, mini::Datatype dt,
                               int root, mini::Comm& comm) {
   const std::size_t bytes = count * dt.size();
-  if (pick_engine(CollOp::Bcast, bytes, buf, nullptr) == Engine::Xccl) {
+  const Engine pick = pick_engine(CollOp::Bcast, bytes, buf, nullptr);
+  if (pick == Engine::Hier) {
+    if (hier_->bcast(buf, count, dt, root, comm)) {
+      note(Engine::Hier, false, true);
+      return mini::Request::completed(context().clock().now());
+    }
+    note(Engine::Mpi, true, false);
+  } else if (pick == Engine::Xccl) {
     device::Stream& stream = context().stream();
     const XcclResult r = backend_->broadcast(buf, count * dt.count, dt.base, root,
                                              ccl_comm(comm), stream);
@@ -630,6 +697,76 @@ mini::Request XcclMpi::ibcast(void* buf, std::size_t count, mini::Datatype dt,
     note(Engine::Mpi, false, false);
   }
   return mpi_.ibcast(buf, count, dt, root, comm);
+}
+
+mini::Request XcclMpi::iallgather(const void* sendbuf, std::size_t sendcount,
+                                  mini::Datatype st, void* recvbuf,
+                                  std::size_t recvcount, mini::Datatype rt,
+                                  mini::Comm& comm) {
+  if (sendbuf == mini::kInPlace) {
+    sendbuf = cat(recvbuf, static_cast<std::size_t>(comm.rank()) * recvcount *
+                               rt.size());
+    sendcount = recvcount;
+    st = rt;
+  }
+  const std::size_t bytes = sendcount * st.size();
+  const Engine pick = pick_engine(CollOp::Allgather, bytes, sendbuf, recvbuf);
+  if (pick == Engine::Hier) {
+    if (hier_->allgather(sendbuf, sendcount, st, recvbuf, recvcount, rt, comm)) {
+      note(Engine::Hier, false, true);
+      return mini::Request::completed(context().clock().now());
+    }
+    note(Engine::Mpi, true, false);
+  } else if (pick == Engine::Xccl && st.size() == rt.size()) {
+    device::Stream& stream = context().stream();
+    const XcclResult r =
+        backend_->all_gather(sendbuf, recvbuf, sendcount * st.count, st.base,
+                             ccl_comm(comm), stream);
+    if (ok(r)) {
+      note(Engine::Xccl, false, false);
+      return mini::Request::completed(stream.tail());
+    }
+    require(options_.allow_fallback && is_fallback_result(r),
+            "XcclMpi::iallgather: xccl path failed");
+    note(Engine::Mpi, true, false);
+  } else {
+    note(Engine::Mpi, false, false);
+  }
+  // MiniMPI has no nonblocking allgather; complete eagerly like its other
+  // i-collectives do.
+  mpi_.allgather(sendbuf, sendcount, st, recvbuf, recvcount, rt, comm);
+  return mini::Request::completed(context().clock().now());
+}
+
+mini::Request XcclMpi::ireduce(const void* sendbuf, void* recvbuf,
+                               std::size_t count, mini::Datatype dt, ReduceOp op,
+                               int root, mini::Comm& comm) {
+  if (sendbuf == mini::kInPlace && comm.rank() == root) sendbuf = recvbuf;
+  const std::size_t bytes = count * dt.size();
+  const Engine pick = pick_engine(CollOp::Reduce, bytes, sendbuf, recvbuf);
+  if (pick == Engine::Hier) {
+    if (hier_->reduce(sendbuf, recvbuf, count, dt, op, root, comm)) {
+      note(Engine::Hier, false, true);
+      return mini::Request::completed(context().clock().now());
+    }
+    note(Engine::Mpi, true, false);
+  } else if (pick == Engine::Xccl) {
+    device::Stream& stream = context().stream();
+    const XcclResult r =
+        backend_->reduce(sendbuf, recvbuf, count * dt.count, dt.base, op, root,
+                         ccl_comm(comm), stream);
+    if (ok(r)) {
+      note(Engine::Xccl, false, false);
+      return mini::Request::completed(stream.tail());
+    }
+    require(options_.allow_fallback && is_fallback_result(r),
+            "XcclMpi::ireduce: xccl path failed");
+    note(Engine::Mpi, true, false);
+  } else {
+    note(Engine::Mpi, false, false);
+  }
+  mpi_.reduce(sendbuf, recvbuf, count, dt, op, root, comm);
+  return mini::Request::completed(context().clock().now());
 }
 
 }  // namespace mpixccl::core

@@ -29,6 +29,7 @@
 #include <optional>
 
 #include "core/tuning.hpp"
+#include "hier/hier.hpp"
 #include "mpi/mpi.hpp"
 #include "xccl/backend.hpp"
 
@@ -45,14 +46,15 @@ enum class Mode : std::uint8_t {
 /// benches).
 struct Dispatch {
   Engine engine = Engine::Mpi;
-  bool fell_back = false;   ///< chose xccl, bounced off capabilities to MPI
-  bool composed = false;    ///< served by group send/recv composition
+  bool fell_back = false;   ///< chose xccl/hier, bounced back to MPI
+  bool composed = false;    ///< served by group send/recv or staged composition
 };
 
 /// Per-engine call counters.
 struct PathStats {
   std::uint64_t mpi_calls = 0;
   std::uint64_t xccl_calls = 0;
+  std::uint64_t hier_calls = 0;
   std::uint64_t fallbacks = 0;
 };
 
@@ -61,8 +63,10 @@ struct PathStats {
 struct OpProfile {
   std::uint64_t mpi_calls = 0;
   std::uint64_t xccl_calls = 0;
+  std::uint64_t hier_calls = 0;
   double mpi_us = 0.0;
   double xccl_us = 0.0;
+  double hier_us = 0.0;
 };
 
 struct XcclMpiOptions {
@@ -91,6 +95,7 @@ class XcclMpi {
   [[nodiscard]] fabric::RankContext& context() { return mpi_.context(); }
   [[nodiscard]] mini::Mpi& mpi() { return mpi_; }
   [[nodiscard]] xccl::CclBackend& backend() { return *backend_; }
+  [[nodiscard]] hier::HierEngine& hier() { return *hier_; }
   [[nodiscard]] const XcclMpiOptions& options() const { return options_; }
   [[nodiscard]] const TuningTable& tuning() const { return tuning_; }
   void set_tuning(TuningTable t) { tuning_ = std::move(t); }
@@ -175,6 +180,13 @@ class XcclMpi {
                            mini::Datatype dt, ReduceOp op, mini::Comm& comm);
   mini::Request ibcast(void* buf, std::size_t count, mini::Datatype dt, int root,
                        mini::Comm& comm);
+  mini::Request iallgather(const void* sendbuf, std::size_t sendcount,
+                           mini::Datatype st, void* recvbuf,
+                           std::size_t recvcount, mini::Datatype rt,
+                           mini::Comm& comm);
+  mini::Request ireduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                        mini::Datatype dt, ReduceOp op, int root,
+                        mini::Comm& comm);
 
   // ---- Introspection ---------------------------------------------------------
   [[nodiscard]] Dispatch last_dispatch() const { return last_; }
@@ -252,6 +264,7 @@ class XcclMpi {
   XcclMpiOptions options_;
   TuningTable tuning_;
   std::unique_ptr<xccl::CclBackend> backend_;
+  std::unique_ptr<hier::HierEngine> hier_;
   std::map<fabric::ChannelId, xccl::CclComm> ccl_comms_;
   std::uint64_t ccl_comm_seq_ = 0;
   Dispatch last_;

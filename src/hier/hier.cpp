@@ -1,0 +1,536 @@
+#include "hier/hier.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/reduce.hpp"
+#include "common/status.hpp"
+
+namespace mpixccl::hier {
+
+namespace {
+
+constexpr bool is_pof2(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+constexpr std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+const std::byte* cat(const void* p, std::size_t off) {
+  return static_cast<const std::byte*>(p) + off;
+}
+std::byte* mat(void* p, std::size_t off) { return static_cast<std::byte*>(p) + off; }
+
+/// Avg accumulates as Sum through the stages; the caller divides once at the
+/// end (the same convention the flat paths use, so results stay comparable).
+ReduceOp stage_op(ReduceOp op) { return op == ReduceOp::Avg ? ReduceOp::Sum : op; }
+
+bool avg_supported(DataType dt) { return is_floating(dt) || is_complex(dt); }
+
+}  // namespace
+
+HierEngine::HierComms& HierEngine::comms_for(mini::Comm& comm) {
+  const fabric::ChannelId key = comm.p2p_channel();
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  HierComms hc;
+  const sim::Topology& topo = mpi_->context().topology();
+  const int p = comm.size();
+
+  // Node-blocked regular layout: members grouped contiguously by node, the
+  // same member count L on every node, distinct nodes per block, and at
+  // least two nodes of at least two ranks. The verdict is pure local
+  // arithmetic over state every member shares, so all ranks agree without
+  // communicating — which is what lets the split below stay collective.
+  int L = 0;
+  const int first_node = topo.node_of(comm.world_rank(0));
+  while (L < p && topo.node_of(comm.world_rank(L)) == first_node) ++L;
+  bool blocked = L >= 2 && p % L == 0 && p / L >= 2;
+  if (blocked) {
+    const int n_nodes = p / L;
+    std::vector<int> block_node(static_cast<std::size_t>(n_nodes));
+    for (int b = 0; b < n_nodes && blocked; ++b) {
+      const int node = topo.node_of(comm.world_rank(b * L));
+      block_node[static_cast<std::size_t>(b)] = node;
+      for (int i = 1; i < L && blocked; ++i) {
+        blocked = topo.node_of(comm.world_rank(b * L + i)) == node;
+      }
+      for (int prev = 0; prev < b && blocked; ++prev) {
+        blocked = block_node[static_cast<std::size_t>(prev)] != node;
+      }
+    }
+  }
+
+  if (blocked) {
+    const int me = comm.rank();
+    hc.per_node = L;
+    hc.nodes = p / L;
+    hc.node = mpi_->split(comm, me / L, me);
+    hc.cross = mpi_->split(comm, me % L, me);
+    hc.usable = true;
+    MPIXCCL_LOG_DEBUG("hier", "rank ", me, ": hierarchical comms over ",
+                      hc.nodes, " nodes x ", hc.per_node, " ranks");
+  }
+  return cache_.emplace(key, std::move(hc)).first->second;
+}
+
+bool HierEngine::applicable(mini::Comm& comm) { return comms_for(comm).usable; }
+
+std::byte* HierEngine::scratch(device::DeviceBuffer& buf, std::size_t bytes) {
+  if (buf.size() < bytes) {
+    buf = device::DeviceBuffer(mpi_->context().device(), bytes);
+  }
+  return static_cast<std::byte*>(buf.get());
+}
+
+// ---- Allreduce --------------------------------------------------------------
+
+bool HierEngine::allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                           mini::Datatype dt, ReduceOp op, mini::Comm& comm) {
+  if (sendbuf == mini::kInPlace) sendbuf = recvbuf;
+  if (!reduce_defined(dt.base, stage_op(op))) return false;
+  if (op == ReduceOp::Avg && !avg_supported(dt.base)) return false;
+  HierComms& hc = comms_for(comm);
+  if (!hc.usable) return false;
+  if (count == 0) return true;
+
+  const std::size_t elems = count * dt.count;
+  const std::size_t esz = datatype_size(dt.base);
+  const std::size_t bytes = elems * esz;
+  const auto grain =
+      static_cast<std::size_t>(hc.per_node) * static_cast<std::size_t>(hc.nodes);
+
+  const bool two_level =
+      is_pof2(hc.per_node) && is_pof2(hc.nodes) && elems >= grain;
+
+  std::size_t chunks = 1;
+  std::size_t unit;
+  if (two_level) {
+    if (bytes >= kPipelineMinBytes) {
+      chunks = std::min(kMaxPipelineChunks,
+                        std::max<std::size_t>(2, bytes / kPipelineChunkBytes));
+    }
+    unit = ceil_div(ceil_div(elems, chunks), grain) * grain;
+    chunks = ceil_div(elems, unit);  // drop now-empty tail chunks
+  } else {
+    unit = ceil_div(elems, static_cast<std::size_t>(hc.per_node)) *
+           static_cast<std::size_t>(hc.per_node);
+  }
+  const std::size_t padded = two_level ? unit * chunks : unit;
+
+  // Padded working copy. Every rank pads identically and the pad region is
+  // never copied out, so whatever the reduction leaves there is irrelevant.
+  std::byte* ws = scratch(ws_, padded * esz);
+  std::memcpy(ws, sendbuf, bytes);
+  if (padded > elems) std::memset(ws + bytes, 0, (padded - elems) * esz);
+
+  if (two_level) {
+    two_level_allreduce(ws, unit, chunks, dt.base, stage_op(op), hc, comm);
+  } else {
+    staged_allreduce(ws, padded, dt.base, stage_op(op), hc);
+  }
+
+  std::memcpy(recvbuf, ws, bytes);
+  if (op == ReduceOp::Avg) {
+    throw_if_error(scale_inplace(dt.base, recvbuf, elems,
+                                 1.0 / static_cast<double>(comm.size())),
+                   "HierEngine::allreduce avg");
+  }
+  return true;
+}
+
+void HierEngine::staged_allreduce(std::byte* ws, std::size_t padded,
+                                  DataType base, ReduceOp op, HierComms& hc) {
+  const std::size_t esz = datatype_size(base);
+  const std::size_t shard = padded / static_cast<std::size_t>(hc.per_node);
+  const mini::Datatype dtb{base, 1};
+  std::byte* s0 = scratch(stage_, 2 * shard * esz);
+  std::byte* s1 = s0 + shard * esz;
+  mpi_->reduce_scatter_block(ws, s0, shard, dtb, op, *hc.node);
+  mpi_->allreduce(s0, s1, shard, dtb, op, *hc.cross);
+  mpi_->allgather(s1, shard, dtb, ws, shard, dtb, *hc.node);
+}
+
+void HierEngine::two_level_allreduce(std::byte* ws, std::size_t unit,
+                                     std::size_t chunks, DataType base,
+                                     ReduceOp op, HierComms& hc,
+                                     mini::Comm& comm) {
+  (void)comm;
+  const std::size_t esz = datatype_size(base);
+  const mini::Datatype dtb{base, 1};
+  const int L = hc.per_node;
+  const int N = hc.nodes;
+  const int l = hc.node->rank();
+  const int n = hc.cross->rank();
+  const std::size_t inbox_stride = (unit / 2) * esz;
+  std::byte* inbox = scratch(inbox_, chunks * inbox_stride);
+
+  // Per-chunk recursive halving/doubling over the composite (local, node)
+  // rank: intra halving first, inter halving/doubling on the 1/L shard, and
+  // intra doubling last. This is the flat Rabenseifner exchange volume with
+  // the schedule reordered so the large halves stay on intra-node links and
+  // only shard-sized segments cross nodes — and because every local rank
+  // drives its own cross-node column, all L NICs carry traffic at once
+  // (multi-root).
+  //
+  // Chunks pipeline: the intra-node fabric and the NIC are distinct
+  // hardware, so one exchange stays in flight on EACH link class while the
+  // other progresses — one chunk's inter-node shard exchange overlaps
+  // another chunk's intra-node halving/doubling. At most one exchange per
+  // class is outstanding, so neither link's bandwidth is double-booked.
+  enum class Phase { IntraRs, InterRs, InterAg, IntraAg, Done };
+  struct Chunk {
+    std::size_t base = 0;  ///< chunk origin in ws, elems
+    std::size_t off = 0;   ///< current segment offset within the chunk, elems
+    std::size_t len = 0;   ///< current segment length, elems
+    Phase phase = Phase::IntraRs;
+    int mask = 0;
+    int tag = 0;
+    mini::Request sreq, rreq;      ///< the in-flight exchange (either class)
+    std::size_t keep_off = 0, keep_len = 0;
+    std::size_t grow_off = 0, grow_len = 0;
+    bool pending = false;
+  };
+
+  std::vector<Chunk> cs(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    cs[c].base = c * unit;
+    cs[c].len = unit;
+    cs[c].mask = L >> 1;
+    cs[c].tag = static_cast<int>(c) * 1000;
+  }
+
+  auto chunk_inbox = [&](const Chunk& c) {
+    return inbox + (c.base / unit) * inbox_stride;
+  };
+
+  // Estimated one-way exchange cost, used only to order completions. It is
+  // computed from the shared profile constants, so every rank derives the
+  // same schedule — symmetry is what makes the waits deadlock-free.
+  const sim::MpiProfile& prof = mpi_->profile();
+  auto est_cost = [&](std::size_t xfer_elems, bool intra) {
+    const std::size_t b = xfer_elems * esz;
+    const sim::LinkParams& link = intra ? prof.dev_intra : prof.dev_inter;
+    double cost = link.cost_us(b) + 2.0 * prof.per_op_us;
+    if (b > prof.eager_threshold) cost += prof.rndv_rtt_us;
+    return cost;
+  };
+
+  auto post_intra = [&](Chunk& c) -> double {
+    std::byte* cb = ws + c.base * esz;
+    const int partner = l ^ c.mask;
+    if (c.phase == Phase::IntraRs) {
+      const std::size_t half = c.len / 2;
+      c.keep_off = ((l & c.mask) == 0) ? c.off : c.off + half;
+      c.keep_len = half;
+      const std::size_t send = ((l & c.mask) == 0) ? c.off + half : c.off;
+      c.rreq = mpi_->irecv(chunk_inbox(c), half, dtb, partner, c.tag, *hc.node);
+      c.sreq =
+          mpi_->isend(cb + send * esz, half, dtb, partner, c.tag, *hc.node);
+      ++c.tag;
+      c.pending = true;
+      return est_cost(half, true);
+    }
+    // IntraAg: receive the partner's segment straight into place.
+    const std::size_t poff = ((l & c.mask) == 0) ? c.off + c.len : c.off - c.len;
+    c.grow_off = std::min(c.off, poff);
+    c.grow_len = c.len * 2;
+    c.rreq = mpi_->irecv(cb + poff * esz, c.len, dtb, partner, c.tag, *hc.node);
+    c.sreq = mpi_->isend(cb + c.off * esz, c.len, dtb, partner, c.tag, *hc.node);
+    ++c.tag;
+    c.pending = true;
+    return est_cost(c.len, true);
+  };
+
+  auto complete_intra = [&](Chunk& c) {
+    std::byte* cb = ws + c.base * esz;
+    mpi_->wait(c.sreq);
+    mpi_->wait(c.rreq);
+    c.pending = false;
+    if (c.phase == Phase::IntraRs) {
+      throw_if_error(apply_reduce(base, op, chunk_inbox(c),
+                                  cb + c.keep_off * esz, c.keep_len),
+                     "HierEngine intra reduce-scatter");
+      c.off = c.keep_off;
+      c.len = c.keep_len;
+      c.mask >>= 1;
+      if (c.mask == 0) {
+        c.phase = Phase::InterRs;
+        c.mask = N >> 1;
+      }
+    } else {
+      c.off = c.grow_off;
+      c.len = c.grow_len;
+      c.mask <<= 1;
+      if (c.mask == L) c.phase = Phase::Done;
+    }
+  };
+
+  auto post_inter = [&](Chunk& c) -> double {
+    std::byte* cb = ws + c.base * esz;
+    const int partner = n ^ c.mask;
+    if (c.phase == Phase::InterRs) {
+      const std::size_t half = c.len / 2;
+      c.keep_off = ((n & c.mask) == 0) ? c.off : c.off + half;
+      c.keep_len = half;
+      const std::size_t send = ((n & c.mask) == 0) ? c.off + half : c.off;
+      c.rreq = mpi_->irecv(chunk_inbox(c), half, dtb, partner, c.tag, *hc.cross);
+      c.sreq = mpi_->isend(cb + send * esz, half, dtb, partner, c.tag, *hc.cross);
+      ++c.tag;
+      c.pending = true;
+      return est_cost(half, false);
+    }
+    // InterAg
+    const std::size_t poff = ((n & c.mask) == 0) ? c.off + c.len : c.off - c.len;
+    c.grow_off = std::min(c.off, poff);
+    c.grow_len = c.len * 2;
+    c.rreq = mpi_->irecv(cb + poff * esz, c.len, dtb, partner, c.tag, *hc.cross);
+    c.sreq = mpi_->isend(cb + c.off * esz, c.len, dtb, partner, c.tag, *hc.cross);
+    ++c.tag;
+    c.pending = true;
+    return est_cost(c.len, false);
+  };
+
+  auto complete_inter = [&](Chunk& c) {
+    std::byte* cb = ws + c.base * esz;
+    mpi_->wait(c.sreq);
+    mpi_->wait(c.rreq);
+    c.pending = false;
+    if (c.phase == Phase::InterRs) {
+      throw_if_error(apply_reduce(base, op, chunk_inbox(c),
+                                  cb + c.keep_off * esz, c.keep_len),
+                     "HierEngine inter reduce-scatter");
+      c.off = c.keep_off;
+      c.len = c.keep_len;
+      c.mask >>= 1;
+      if (c.mask == 0) {
+        c.phase = Phase::InterAg;
+        c.mask = 1;
+      }
+    } else {
+      c.off = c.grow_off;
+      c.len = c.grow_len;
+      c.mask <<= 1;
+      if (c.mask == N) {
+        c.phase = Phase::IntraAg;
+        c.mask = 1;
+      }
+    }
+  };
+
+  // Scheduler. Chunk phases evolve identically on every rank (the loop only
+  // branches on shared deterministic state — phases and profile-derived cost
+  // estimates), so partners always meet at the same exchange in the same
+  // order: no handshake is needed and no deadlock is possible.
+  auto next_intra = [&]() -> Chunk* {
+    // Drain tails (IntraAg) before opening new heads, keeping in-flight
+    // scratch bounded and the pipeline short.
+    for (auto& c : cs) {
+      if (!c.pending && c.phase == Phase::IntraAg) return &c;
+    }
+    for (auto& c : cs) {
+      if (!c.pending && c.phase == Phase::IntraRs) return &c;
+    }
+    return nullptr;
+  };
+  auto next_inter = [&]() -> Chunk* {
+    for (auto& c : cs) {
+      if (!c.pending && (c.phase == Phase::InterRs || c.phase == Phase::InterAg)) {
+        return &c;
+      }
+    }
+    return nullptr;
+  };
+
+  // Post as soon as a step is enabled; complete whichever in-flight
+  // exchange is estimated to finish first, so neither link class goes idle
+  // while the other still has work queued.
+  Chunk* xi = nullptr;  // chunk with an intra exchange in flight
+  Chunk* xx = nullptr;  // chunk with an inter exchange in flight
+  double now = 0.0;
+  double intra_done = 0.0;
+  double inter_done = 0.0;
+  for (;;) {
+    if (xx == nullptr) {
+      xx = next_inter();
+      if (xx != nullptr) inter_done = now + post_inter(*xx);
+    }
+    if (xi == nullptr) {
+      xi = next_intra();
+      if (xi != nullptr) intra_done = now + post_intra(*xi);
+    }
+    if (xi == nullptr && xx == nullptr) break;  // all chunks Done
+    const bool take_intra =
+        xi != nullptr && (xx == nullptr || intra_done <= inter_done);
+    if (take_intra) {
+      now = std::max(now, intra_done);
+      complete_intra(*xi);
+      xi = nullptr;
+    } else {
+      now = std::max(now, inter_done);
+      complete_inter(*xx);
+      xx = nullptr;
+    }
+  }
+}
+
+// ---- Bcast ------------------------------------------------------------------
+
+bool HierEngine::bcast(void* buf, std::size_t count, mini::Datatype dt, int root,
+                       mini::Comm& comm) {
+  HierComms& hc = comms_for(comm);
+  if (!hc.usable) return false;
+  if (count == 0) return true;
+
+  const std::size_t elems = count * dt.count;
+  const std::size_t esz = datatype_size(dt.base);
+  const std::size_t bytes = elems * esz;
+  const mini::Datatype dtb{dt.base, 1};
+  const auto L = static_cast<std::size_t>(hc.per_node);
+  const int l_root = root % hc.per_node;
+  const int n_root = root / hc.per_node;
+
+  if (bytes < kBcastScatterMinBytes) {
+    // Leader bcast: the root's cross-node column carries the message between
+    // nodes, then every node fans out locally.
+    if (hc.node->rank() == l_root) mpi_->bcast(buf, count, dt, n_root, *hc.cross);
+    mpi_->bcast(buf, count, dt, l_root, *hc.node);
+    return true;
+  }
+
+  // Multi-root: the root scatters L segments across its node, each local
+  // rank broadcasts its own segment down its cross-node column (keeping all
+  // L NICs busy at once), and nodes reassemble with an intra allgather.
+  const std::size_t seg_elems = ceil_div(elems, L);
+  const std::size_t padded = seg_elems * L;
+  std::byte* ws = scratch(ws_, padded * esz);
+  std::byte* seg = scratch(stage_, seg_elems * esz);
+  if (comm.rank() == root) {
+    std::memcpy(ws, buf, bytes);
+    std::memset(ws + bytes, 0, (padded - elems) * esz);
+  }
+  if (hc.cross->rank() == n_root) {
+    mpi_->scatter(ws, seg_elems, dtb, seg, seg_elems, dtb, l_root, *hc.node);
+  }
+  mpi_->bcast(seg, seg_elems, dtb, n_root, *hc.cross);
+  mpi_->allgather(seg, seg_elems, dtb, ws, seg_elems, dtb, *hc.node);
+  std::memcpy(buf, ws, bytes);
+  return true;
+}
+
+// ---- Reduce -----------------------------------------------------------------
+
+bool HierEngine::reduce(const void* sendbuf, void* recvbuf, std::size_t count,
+                        mini::Datatype dt, ReduceOp op, int root,
+                        mini::Comm& comm) {
+  if (sendbuf == mini::kInPlace) {
+    if (comm.rank() != root) return false;  // invalid; let the flat path report
+    sendbuf = recvbuf;
+  }
+  if (!reduce_defined(dt.base, stage_op(op))) return false;
+  if (op == ReduceOp::Avg && !avg_supported(dt.base)) return false;
+  HierComms& hc = comms_for(comm);
+  if (!hc.usable) return false;
+  if (count == 0) return true;
+
+  const std::size_t bytes = count * dt.size();
+  const int l_root = root % hc.per_node;
+  const int n_root = root / hc.per_node;
+  const int me = comm.rank();
+
+  // Stage 1: every node reduces to its member at the root's local index;
+  // stage 2: those leaders reduce across nodes to the root. The true root
+  // accumulates straight into recvbuf, other leaders stage into scratch.
+  std::byte* tmp = (me == root) ? static_cast<std::byte*>(recvbuf)
+                                : scratch(stage_, bytes);
+  mpi_->reduce(sendbuf, tmp, count, dt, stage_op(op), l_root, *hc.node);
+  if (hc.node->rank() == l_root) {
+    mpi_->reduce(tmp, recvbuf, count, dt, stage_op(op), n_root, *hc.cross);
+  }
+  if (me == root && op == ReduceOp::Avg) {
+    throw_if_error(scale_inplace(dt.base, recvbuf, count * dt.count,
+                                 1.0 / static_cast<double>(comm.size())),
+                   "HierEngine::reduce avg");
+  }
+  return true;
+}
+
+// ---- Allgather --------------------------------------------------------------
+
+bool HierEngine::allgather(const void* sendbuf, std::size_t sendcount,
+                           mini::Datatype st, void* recvbuf,
+                           std::size_t recvcount, mini::Datatype rt,
+                           mini::Comm& comm) {
+  if (sendbuf == mini::kInPlace) return false;  // caller resolves in-place
+  const std::size_t blk = sendcount * st.size();
+  if (blk != recvcount * rt.size()) return false;
+  HierComms& hc = comms_for(comm);
+  if (!hc.usable) return false;
+  if (blk == 0) return true;
+
+  const auto L = static_cast<std::size_t>(hc.per_node);
+  const auto N = static_cast<std::size_t>(hc.nodes);
+  const std::size_t selems = sendcount * st.count;
+  const mini::Datatype stb{st.base, 1};
+
+  std::byte* col = scratch(stage_, N * blk);
+  std::byte* full = scratch(ws_, L * N * blk);
+  // Stage 1 (inter): gather my local-index column across nodes — each rank
+  // moves only its own block over the network.
+  mpi_->allgather(sendbuf, selems, stb, col, selems, stb, *hc.cross);
+  // Stage 2 (intra): exchange whole columns within the node.
+  mpi_->allgather(col, selems * N, stb, full, selems * N, stb, *hc.node);
+  // Stage 3: local reorder from (local, node)-major to comm-rank-major.
+  for (std::size_t i = 0; i < L; ++i) {
+    for (std::size_t j = 0; j < N; ++j) {
+      std::memcpy(mat(recvbuf, (j * L + i) * blk), full + (i * N + j) * blk, blk);
+    }
+  }
+  return true;
+}
+
+// ---- ReduceScatter ----------------------------------------------------------
+
+bool HierEngine::reduce_scatter_block(const void* sendbuf, void* recvbuf,
+                                      std::size_t recvcount, mini::Datatype dt,
+                                      ReduceOp op, mini::Comm& comm) {
+  if (sendbuf == mini::kInPlace) return false;  // mini rejects it; let it report
+  if (!reduce_defined(dt.base, stage_op(op))) return false;
+  if (op == ReduceOp::Avg && !avg_supported(dt.base)) return false;
+  HierComms& hc = comms_for(comm);
+  if (!hc.usable) return false;
+  if (recvcount == 0) return true;
+
+  const std::size_t relems = recvcount * dt.count;
+  const std::size_t blk = relems * datatype_size(dt.base);
+  const auto L = static_cast<std::size_t>(hc.per_node);
+  const auto N = static_cast<std::size_t>(hc.nodes);
+  const mini::Datatype dtb{dt.base, 1};
+
+  // Permute the p input blocks so destinations sharing a local index are
+  // contiguous: tmp[(l, n)] = block for comm rank n*L+l.
+  std::byte* tmp = scratch(ws_, L * N * blk);
+  for (std::size_t j = 0; j < N; ++j) {
+    for (std::size_t i = 0; i < L; ++i) {
+      std::memcpy(tmp + (i * N + j) * blk, cat(sendbuf, (j * L + i) * blk), blk);
+    }
+  }
+
+  // Stage 1 (intra): each node reduces and scatters whole columns; stage 2
+  // (inter): each column finishes the reduction across nodes, delivering my
+  // block — only 1/L of the flat engines' inter-node volume.
+  std::byte* part = scratch(stage_, N * blk);
+  mpi_->reduce_scatter_block(tmp, part, relems * N, dtb, stage_op(op), *hc.node);
+  mpi_->reduce_scatter_block(part, recvbuf, relems, dtb, stage_op(op), *hc.cross);
+  if (op == ReduceOp::Avg) {
+    throw_if_error(scale_inplace(dt.base, recvbuf, relems,
+                                 1.0 / static_cast<double>(comm.size())),
+                   "HierEngine::reduce_scatter_block avg");
+  }
+  return true;
+}
+
+}  // namespace mpixccl::hier

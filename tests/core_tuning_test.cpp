@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/tuner.hpp"
@@ -53,6 +55,48 @@ TEST(TuningTable, SerializeRoundTrip) {
   EXPECT_THROW(TuningTable::deserialize("allreduce:broken"), Error);
   EXPECT_THROW(TuningTable::deserialize("nosuchcoll:8=mpi"), Error);
   EXPECT_THROW(TuningTable::deserialize("allreduce:8=nosuchengine"), Error);
+}
+
+TEST(TuningTable, ThreeEngineRoundTripThroughFile) {
+  // A table that routes small to mpi, medium to xccl, and large to the
+  // hierarchical engine must survive serialize -> save -> load intact.
+  TuningTable t;
+  t.set_rules(CollOp::Allreduce, {{16384, Engine::Mpi},
+                                  {1048576, Engine::Xccl},
+                                  {SIZE_MAX, Engine::Hier}});
+  t.set_rules(CollOp::Bcast, {{65536, Engine::Mpi}, {SIZE_MAX, Engine::Hier}});
+  const TuningTable back = TuningTable::deserialize(t.serialize());
+  EXPECT_EQ(back.select(CollOp::Allreduce, 1024), Engine::Mpi);
+  EXPECT_EQ(back.select(CollOp::Allreduce, 65536), Engine::Xccl);
+  EXPECT_EQ(back.select(CollOp::Allreduce, 4u << 20), Engine::Hier);
+  EXPECT_EQ(back.select(CollOp::Bcast, 1u << 20), Engine::Hier);
+
+  const std::string path = testing::TempDir() + "mpixccl_three_engine.table";
+  t.save_file(path);
+  const TuningTable loaded = TuningTable::load_file(path);
+  for (const CollOp op : kAllCollOps) {
+    for (const std::size_t bytes : {8u, 16384u, 65536u, 1048576u, 8u << 20}) {
+      EXPECT_EQ(t.select(op, bytes), loaded.select(op, bytes))
+          << to_string(op) << " " << bytes;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TuningTable, DeserializeRejectsMalformedBreakpoints) {
+  // Unknown engine tokens and non-numeric or overflowing breakpoints must
+  // fail loudly instead of silently truncating the table.
+  EXPECT_THROW(TuningTable::deserialize("allreduce:12xy=mpi"), Error);
+  EXPECT_THROW(TuningTable::deserialize("allreduce:=mpi"), Error);
+  EXPECT_THROW(TuningTable::deserialize("allreduce:0x10=xccl"), Error);
+  EXPECT_THROW(TuningTable::deserialize("allreduce:-4=hier"), Error);
+  EXPECT_THROW(
+      TuningTable::deserialize("allreduce:99999999999999999999999999=mpi"),
+      Error);
+  EXPECT_THROW(TuningTable::deserialize("allreduce:1024=hierx"), Error);
+  // "hier" itself is a valid token.
+  const TuningTable ok = TuningTable::deserialize("allreduce:1024=mpi,max=hier");
+  EXPECT_EQ(ok.select(CollOp::Allreduce, 4096), Engine::Hier);
 }
 
 TEST(TuningTable, UniformTables) {

@@ -5,6 +5,7 @@
 //   mpixccl sweep --system=mri --nodes=4 --op=allgather [--backend=...]
 //   mpixccl train --system=thetagpu --nodes=2 --model=resnet50 --batch=64
 //   mpixccl tune  --system=voyager --out=/tmp/voyager.tbl
+//   mpixccl hier  --system=mri --nodes=4 --op=allreduce
 //   mpixccl trace --system=thetagpu --out=/tmp/trace.json
 //
 // Every command runs entirely in-process (threads-as-ranks simulation) and
@@ -16,6 +17,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/tuner.hpp"
 #include "core/xccl_mpi.hpp"
@@ -177,6 +179,57 @@ int cmd_tune(const Args& args) {
   return 0;
 }
 
+int cmd_hier(const Args& args) {
+  // Three-way engine comparison on one system: flat MPI vs flat xCCL vs the
+  // hierarchical engine (src/hier/), the same sweep bench/abl_hier_engine
+  // runs at full scale.
+  const sim::SystemProfile prof =
+      sim::profile_by_name(get(args, "system", "thetagpu"));
+  const int nodes = std::stoi(get(args, "nodes", "2"));
+  const core::CollOp op = coll_of(get(args, "op", "allreduce"));
+  struct Row {
+    std::size_t bytes;
+    double mpi, xccl, hier;
+  };
+  std::vector<Row> rows;
+  fabric::World world(fabric::WorldConfig{prof, nodes, 0});
+  world.run([&](fabric::RankContext& ctx) {
+    core::XcclMpi rt(ctx);
+    auto& comm = rt.comm_world();
+    const bool hier_ok =
+        core::engine_hier_supports(op) && rt.hier().applicable(comm);
+    for (const std::size_t bytes :
+         {std::size_t{4096}, std::size_t{65536}, std::size_t{1048576},
+          std::size_t{4194304}}) {
+      Row row{bytes,
+              core::measure_collective(rt, comm, op, bytes, core::Engine::Mpi,
+                                       1, 2),
+              core::measure_collective(rt, comm, op, bytes, core::Engine::Xccl,
+                                       1, 2),
+              hier_ok ? core::measure_collective(rt, comm, op, bytes,
+                                                 core::Engine::Hier, 1, 2)
+                      : -1.0};
+      if (ctx.rank() == 0) rows.push_back(row);
+    }
+  });
+  std::printf("%s on %s (%d nodes) — engine latency, us\n",
+              std::string(to_string(op)).c_str(), prof.name.c_str(), nodes);
+  std::printf("%12s %12s %12s %12s\n", "bytes", "flat-mpi", "flat-xccl", "hier");
+  for (const Row& r : rows) {
+    if (r.hier >= 0.0) {
+      std::printf("%12zu %12.1f %12.1f %12.1f\n", r.bytes, r.mpi, r.xccl,
+                  r.hier);
+    } else {
+      std::printf("%12zu %12.1f %12.1f %12s\n", r.bytes, r.mpi, r.xccl, "n/a");
+    }
+  }
+  if (!rows.empty() && rows.front().hier < 0.0) {
+    std::printf("hier n/a: needs >= 2 nodes x >= 2 devices and a hier-capable "
+                "collective\n");
+  }
+  return 0;
+}
+
 int cmd_trace(const Args& args) {
   const sim::SystemProfile prof =
       sim::profile_by_name(get(args, "system", "thetagpu"));
@@ -208,6 +261,7 @@ int usage() {
       "  sweep  --system=S --nodes=N --op=OP [--backend=B]\n"
       "  train  --system=S --nodes=N --model=M --batch=B --flavor=F\n"
       "  tune   --system=S [--nodes=N] [--out=FILE]\n"
+      "  hier   --system=S [--nodes=N] [--op=OP]    compare engines incl. hier\n"
       "  trace  --system=S [--out=FILE]\n");
   return 2;
 }
@@ -224,6 +278,7 @@ int main(int argc, char** argv) {
     if (cmd == "sweep") return cmd_sweep(args);
     if (cmd == "train") return cmd_train(args);
     if (cmd == "tune") return cmd_tune(args);
+    if (cmd == "hier") return cmd_hier(args);
     if (cmd == "trace") return cmd_trace(args);
     return usage();
   } catch (const std::exception& e) {
