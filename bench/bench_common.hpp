@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/obs.hpp"
 #include "omb/harness.hpp"
 
 namespace mpixccl::bench {
@@ -51,6 +52,9 @@ inline std::vector<std::size_t> default_sizes(std::size_t max_bytes = 4u << 20,
 }
 
 inline void header(const std::string& what, const std::string& paper_ref) {
+  // Every bench binary goes through here first, so the MPIXCCL_OBS_LEVEL /
+  // MPIXCCL_*_FILE environment takes effect (and flushes at exit) for free.
+  obs::init_from_env();
   std::printf("==========================================================\n");
   std::printf("%s\n", what.c_str());
   std::printf("(reproduces %s)\n", paper_ref.c_str());

@@ -80,12 +80,17 @@ TuningTable TuningTable::default_for(const sim::SystemProfile& profile) {
 }
 
 Engine TuningTable::select(CollOp op, std::size_t bytes) const {
+  return select_entry(op, bytes).engine;
+}
+
+TuningTable::Entry TuningTable::select_entry(CollOp op, std::size_t bytes) const {
   auto it = rules_.find(op);
-  if (it == rules_.end()) return Engine::Xccl;
-  for (const Entry& e : it->second) {
-    if (bytes <= e.max_bytes) return e.engine;
+  if (it != rules_.end()) {
+    for (const Entry& e : it->second) {
+      if (bytes <= e.max_bytes) return e;
+    }
   }
-  return Engine::Xccl;
+  return Entry{SIZE_MAX, Engine::Xccl};
 }
 
 void TuningTable::set_rules(CollOp op, std::vector<Entry> entries) {

@@ -60,6 +60,23 @@ inline constexpr CollOp kAllCollOps[] = {
 /// backend, or the topology-aware hierarchical engine (src/hier/).
 enum class Engine : std::uint8_t { Mpi, Xccl, Hier };
 
+/// Runtime dispatch mode (lives here, beside the enums every layer shares,
+/// so the observability records can name it without a core dependency).
+enum class Mode : std::uint8_t {
+  Hybrid,    ///< tuning-table selection (the paper's "Proposed Hybrid xCCL")
+  PureXccl,  ///< always CCL when legal (the paper's "Proposed xCCL w/ Pure ...")
+  PureMpi,   ///< never CCL (a traditional GPU-aware MPI)
+};
+
+constexpr std::string_view to_string(Mode m) {
+  switch (m) {
+    case Mode::Hybrid: return "hybrid";
+    case Mode::PureXccl: return "pure_xccl";
+    case Mode::PureMpi: return "pure_mpi";
+  }
+  return "?";
+}
+
 constexpr std::string_view to_string(Engine e) {
   switch (e) {
     case Engine::Mpi: return "mpi";
@@ -101,6 +118,11 @@ class TuningTable {
 
   /// Engine for (op, message bytes). Ops without rules default to Xccl.
   [[nodiscard]] Engine select(CollOp op, std::size_t bytes) const;
+
+  /// Like select(), but also report the matching rule itself (its max_bytes
+  /// is the breakpoint the decision log records). Ops without rules yield
+  /// the implicit catch-all {SIZE_MAX, Xccl}.
+  [[nodiscard]] Entry select_entry(CollOp op, std::size_t bytes) const;
 
   /// Replace the rule list for one collective (entries will be sorted; the
   /// final entry is extended to SIZE_MAX).

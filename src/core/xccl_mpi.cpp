@@ -6,6 +6,8 @@
 
 #include "common/log.hpp"
 #include "device/buffer_registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "sim/trace.hpp"
 
 namespace mpixccl::core {
@@ -51,31 +53,50 @@ bool XcclMpi::any_device_buffer(const void* a, const void* b) const {
          (b != nullptr && reg.lookup(b).has_value());
 }
 
-Engine XcclMpi::pick_engine(CollOp op, std::size_t bytes, const void* a,
-                            const void* b) {
-  if (options_.mode == Mode::PureMpi) return Engine::Mpi;
-  // Device Buffer Identify: CCLs only accept device memory; host buffers
-  // always take the MPI path regardless of mode.
-  if (!any_device_buffer(a, b)) return Engine::Mpi;
-  if (options_.mode == Mode::PureXccl) return Engine::Xccl;
-  Engine e = tuning_.select(op, bytes);
+XcclMpi::EnginePick XcclMpi::pick_from_table(const TuningTable& tuning,
+                                             CollOp op, std::size_t bytes) {
+  const TuningTable::Entry e = tuning.select_entry(op, bytes);
+  XcclMpi::EnginePick pick;
+  pick.table_choice = e.engine;
+  pick.breakpoint = e.max_bytes;
+  pick.engine = e.engine;
   // A table may route an op the hierarchical engine does not implement;
-  // remap to the flat CCL rather than failing.
-  if (e == Engine::Hier && !engine_hier_supports(op)) e = Engine::Xccl;
-  return e;
+  // remap to the flat CCL rather than failing (recorded as a redirect).
+  if (pick.engine == Engine::Hier && !engine_hier_supports(op)) {
+    pick.engine = Engine::Xccl;
+    pick.reason = obs::FallbackReason::HierOpUnsupported;
+  }
+  return pick;
 }
 
-Engine XcclMpi::pick_engine_agreed(CollOp op, std::size_t local_bytes,
-                                   const void* a, const void* b,
-                                   mini::Comm& comm) {
-  if (options_.mode == Mode::PureMpi) return Engine::Mpi;
-  if (!any_device_buffer(a, b)) return Engine::Mpi;
-  if (options_.mode == Mode::PureXccl) return Engine::Xccl;
+XcclMpi::EnginePick XcclMpi::pick_engine(CollOp op, std::size_t bytes,
+                                         const void* a, const void* b) {
+  if (options_.mode == Mode::PureMpi) return {};
+  // Device Buffer Identify: CCLs only accept device memory; host buffers
+  // always take the MPI path regardless of mode.
+  if (!any_device_buffer(a, b)) {
+    return {Engine::Mpi, Engine::Mpi, 0, obs::FallbackReason::HostBuffer};
+  }
+  if (options_.mode == Mode::PureXccl) {
+    return {Engine::Xccl, Engine::Xccl, 0, obs::FallbackReason::None};
+  }
+  return pick_from_table(tuning_, op, bytes);
+}
+
+XcclMpi::EnginePick XcclMpi::pick_engine_agreed(CollOp op,
+                                                std::size_t local_bytes,
+                                                const void* a, const void* b,
+                                                mini::Comm& comm) {
+  if (options_.mode == Mode::PureMpi) return {};
+  if (!any_device_buffer(a, b)) {
+    return {Engine::Mpi, Engine::Mpi, 0, obs::FallbackReason::HostBuffer};
+  }
+  if (options_.mode == Mode::PureXccl) {
+    return {Engine::Xccl, Engine::Xccl, 0, obs::FallbackReason::None};
+  }
   const double agreed =
       mpi_.max_over_ranks(static_cast<double>(local_bytes), comm);
-  Engine e = tuning_.select(op, static_cast<std::size_t>(agreed));
-  if (e == Engine::Hier && !engine_hier_supports(op)) e = Engine::Xccl;
-  return e;
+  return pick_from_table(tuning_, op, static_cast<std::size_t>(agreed));
 }
 
 xccl::CclComm& XcclMpi::ccl_comm(mini::Comm& comm) {
@@ -107,44 +128,93 @@ XcclMpi::ScopedOpTimer::~ScopedOpTimer() {
   const double now = rt_->context().clock().now();
   const double elapsed = now - t0_;
   OpProfile& prof = rt_->op_profiles_[op_];
+  const std::uint64_t bytes = rt_->last_bytes_;
   switch (rt_->last_.engine) {
     case Engine::Xccl:
       ++prof.xccl_calls;
+      prof.xccl_bytes += bytes;
       prof.xccl_us += elapsed;
       break;
     case Engine::Hier:
       ++prof.hier_calls;
+      prof.hier_bytes += bytes;
       prof.hier_us += elapsed;
       break;
     case Engine::Mpi:
       ++prof.mpi_calls;
+      prof.mpi_bytes += bytes;
       prof.mpi_us += elapsed;
       break;
   }
+  obs::Registry::instance().record_latency(op_, rt_->last_.engine, elapsed);
   sim::Trace::instance().record(rt_->rank(), to_string(op_),
                                 to_string(rt_->last_.engine), t0_, now);
 }
 
 std::string XcclMpi::profile_report() const {
   std::ostringstream os;
-  os << "collective        mpi-calls   mpi-us   xccl-calls  xccl-us  "
-        "hier-calls  hier-us\n";
+  os << "collective        mpi-calls   mpi-us  mpi-bytes  xccl-calls  xccl-us "
+        "xccl-bytes  hier-calls  hier-us hier-bytes\n";
   for (const auto& [op, prof] : op_profiles_) {
-    char line[200];
-    std::snprintf(line, sizeof(line),
-                  "%-16s %10llu %10.1f %10llu %10.1f %10llu %10.1f\n",
-                  std::string(to_string(op)).c_str(),
-                  static_cast<unsigned long long>(prof.mpi_calls), prof.mpi_us,
-                  static_cast<unsigned long long>(prof.xccl_calls), prof.xccl_us,
-                  static_cast<unsigned long long>(prof.hier_calls),
-                  prof.hier_us);
+    char line[240];
+    std::snprintf(
+        line, sizeof(line),
+        "%-16s %10llu %10.1f %10llu %10llu %10.1f %10llu %10llu %10.1f "
+        "%10llu\n",
+        std::string(to_string(op)).c_str(),
+        static_cast<unsigned long long>(prof.mpi_calls), prof.mpi_us,
+        static_cast<unsigned long long>(prof.mpi_bytes),
+        static_cast<unsigned long long>(prof.xccl_calls), prof.xccl_us,
+        static_cast<unsigned long long>(prof.xccl_bytes),
+        static_cast<unsigned long long>(prof.hier_calls), prof.hier_us,
+        static_cast<unsigned long long>(prof.hier_bytes));
     os << line;
   }
   return os.str();
 }
 
+void XcclMpi::note(CollOp op, std::size_t bytes, const EnginePick& pick,
+                   Engine engine, bool fell_back, bool composed,
+                   obs::FallbackReason reason) {
+  last_ = Dispatch{engine, fell_back, composed};
+  last_bytes_ = bytes;
+  switch (engine) {
+    case Engine::Xccl:
+      ++stats_.xccl_calls;
+      stats_.xccl_bytes += bytes;
+      break;
+    case Engine::Hier:
+      ++stats_.hier_calls;
+      stats_.hier_bytes += bytes;
+      break;
+    case Engine::Mpi:
+      ++stats_.mpi_calls;
+      stats_.mpi_bytes += bytes;
+      break;
+  }
+  if (fell_back) ++stats_.fallbacks;
+
+  obs::DispatchDecision d;
+  d.rank = rank();
+  d.op = op;
+  d.bytes = bytes;
+  d.mode = options_.mode;
+  d.breakpoint = pick.breakpoint;
+  d.table_choice = pick.table_choice;
+  d.engine = engine;
+  d.reason = reason;
+  d.fell_back = fell_back;
+  d.composed = composed;
+  d.time_us = context().clock().now();
+  d.seq = obs::DecisionLog::instance().push(d);
+  last_decision_ = d;
+
+  obs::Registry::instance().record_call(op, engine, rank(), bytes);
+}
+
 void XcclMpi::note(Engine engine, bool fell_back, bool composed) {
   last_ = Dispatch{engine, fell_back, composed};
+  last_bytes_ = 0;
   switch (engine) {
     case Engine::Xccl: ++stats_.xccl_calls; break;
     case Engine::Hier: ++stats_.hier_calls; break;
@@ -154,20 +224,25 @@ void XcclMpi::note(Engine engine, bool fell_back, bool composed) {
 }
 
 // Shared tail for builtin-backed collectives: run the xccl op; on success
-// synchronize (blocking MPI semantics); on a capability error fall back.
+// synchronize (blocking MPI semantics); on a capability error fall back
+// (recording the machine-readable reason the result code maps to). Success
+// keeps the pick's own reason: a hier->xccl remap made at pick time (e.g.
+// HierOpUnsupported) stays visible in the decision log as a redirect.
 // Returns true when the xccl path handled the call.
-#define MPIXCCL_TRY_XCCL(op_expr, composed_flag)                          \
+#define MPIXCCL_TRY_XCCL(op_, bytes_, pick_, op_expr, composed_flag)      \
   do {                                                                    \
     device::Stream& stream_ = context().stream();                        \
     const XcclResult r_ = (op_expr);                                      \
     if (ok(r_)) {                                                         \
       stream_.synchronize(context().clock());                            \
-      note(Engine::Xccl, false, composed_flag);                          \
+      note(op_, bytes_, pick_, Engine::Xccl, false, composed_flag,        \
+           (pick_).reason);                                               \
       return true;                                                        \
     }                                                                     \
     if (options_.allow_fallback && is_fallback_result(r_)) {              \
       MPIXCCL_LOG_DEBUG("core", "fallback to MPI: ", to_string(r_));      \
-      note(Engine::Mpi, true, false);                                     \
+      note(op_, bytes_, pick_, Engine::Mpi, true, false,                  \
+           obs::fallback_reason_of(r_));                                  \
       return false;                                                       \
     }                                                                     \
     throw_if_error(r_, "XcclMpi xccl path"); /* always throws here */     \
@@ -186,24 +261,30 @@ void XcclMpi::allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
   ScopedOpTimer op_timer_(*this, CollOp::Allreduce);
   if (sendbuf == mini::kInPlace) sendbuf = recvbuf;
   const std::size_t bytes = count * dt.size();
-  const Engine pick = pick_engine(CollOp::Allreduce, bytes, sendbuf, recvbuf);
-  if (pick == Engine::Hier) {
+  const EnginePick pick =
+      pick_engine(CollOp::Allreduce, bytes, sendbuf, recvbuf);
+  if (pick.engine == Engine::Hier) {
     if (hier_->allreduce(sendbuf, recvbuf, count, dt, op, comm)) {
-      note(Engine::Hier, false, true);
+      note(CollOp::Allreduce, bytes, pick, Engine::Hier, false, true,
+           obs::FallbackReason::None);
       return;
     }
     // Not node-blocked (or op/type outside hier's set): flat MPI.
-    note(Engine::Mpi, true, false);
-  } else if (pick == Engine::Xccl) {
+    note(CollOp::Allreduce, bytes, pick, Engine::Mpi, true, false,
+         hier_->applicable(comm) ? obs::FallbackReason::HierOpUnsupported
+                                 : obs::FallbackReason::HierTopoMismatch);
+  } else if (pick.engine == Engine::Xccl) {
     auto run = [&]() -> bool {
-      MPIXCCL_TRY_XCCL(backend_->all_reduce(sendbuf, recvbuf, count * dt.count,
+      MPIXCCL_TRY_XCCL(CollOp::Allreduce, bytes, pick,
+                       backend_->all_reduce(sendbuf, recvbuf, count * dt.count,
                                             dt.base, op, ccl_comm(comm),
                                             context().stream()),
                        false);
     };
     if (run()) return;
   } else {
-    note(Engine::Mpi, false, false);
+    note(CollOp::Allreduce, bytes, pick, Engine::Mpi, false, false,
+         pick.reason);
   }
   mpi_.allreduce(sendbuf, recvbuf, count, dt, op, comm);
 }
@@ -212,22 +293,26 @@ void XcclMpi::bcast(void* buf, std::size_t count, mini::Datatype dt, int root,
                     mini::Comm& comm) {
   ScopedOpTimer op_timer_(*this, CollOp::Bcast);
   const std::size_t bytes = count * dt.size();
-  const Engine pick = pick_engine(CollOp::Bcast, bytes, buf, nullptr);
-  if (pick == Engine::Hier) {
+  const EnginePick pick = pick_engine(CollOp::Bcast, bytes, buf, nullptr);
+  if (pick.engine == Engine::Hier) {
     if (hier_->bcast(buf, count, dt, root, comm)) {
-      note(Engine::Hier, false, true);
+      note(CollOp::Bcast, bytes, pick, Engine::Hier, false, true,
+           obs::FallbackReason::None);
       return;
     }
-    note(Engine::Mpi, true, false);
-  } else if (pick == Engine::Xccl) {
+    note(CollOp::Bcast, bytes, pick, Engine::Mpi, true, false,
+         hier_->applicable(comm) ? obs::FallbackReason::HierOpUnsupported
+                                 : obs::FallbackReason::HierTopoMismatch);
+  } else if (pick.engine == Engine::Xccl) {
     auto run = [&]() -> bool {
-      MPIXCCL_TRY_XCCL(backend_->broadcast(buf, count * dt.count, dt.base, root,
+      MPIXCCL_TRY_XCCL(CollOp::Bcast, bytes, pick,
+                       backend_->broadcast(buf, count * dt.count, dt.base, root,
                                            ccl_comm(comm), context().stream()),
                        false);
     };
     if (run()) return;
   } else {
-    note(Engine::Mpi, false, false);
+    note(CollOp::Bcast, bytes, pick, Engine::Mpi, false, false, pick.reason);
   }
   mpi_.bcast(buf, count, dt, root, comm);
 }
@@ -237,23 +322,27 @@ void XcclMpi::reduce(const void* sendbuf, void* recvbuf, std::size_t count,
   ScopedOpTimer op_timer_(*this, CollOp::Reduce);
   if (sendbuf == mini::kInPlace && comm.rank() == root) sendbuf = recvbuf;
   const std::size_t bytes = count * dt.size();
-  const Engine pick = pick_engine(CollOp::Reduce, bytes, sendbuf, recvbuf);
-  if (pick == Engine::Hier) {
+  const EnginePick pick = pick_engine(CollOp::Reduce, bytes, sendbuf, recvbuf);
+  if (pick.engine == Engine::Hier) {
     if (hier_->reduce(sendbuf, recvbuf, count, dt, op, root, comm)) {
-      note(Engine::Hier, false, true);
+      note(CollOp::Reduce, bytes, pick, Engine::Hier, false, true,
+           obs::FallbackReason::None);
       return;
     }
-    note(Engine::Mpi, true, false);
-  } else if (pick == Engine::Xccl) {
+    note(CollOp::Reduce, bytes, pick, Engine::Mpi, true, false,
+         hier_->applicable(comm) ? obs::FallbackReason::HierOpUnsupported
+                                 : obs::FallbackReason::HierTopoMismatch);
+  } else if (pick.engine == Engine::Xccl) {
     auto run = [&]() -> bool {
-      MPIXCCL_TRY_XCCL(backend_->reduce(sendbuf, recvbuf, count * dt.count,
+      MPIXCCL_TRY_XCCL(CollOp::Reduce, bytes, pick,
+                       backend_->reduce(sendbuf, recvbuf, count * dt.count,
                                         dt.base, op, root, ccl_comm(comm),
                                         context().stream()),
                        false);
     };
     if (run()) return;
   } else {
-    note(Engine::Mpi, false, false);
+    note(CollOp::Reduce, bytes, pick, Engine::Mpi, false, false, pick.reason);
   }
   mpi_.reduce(sendbuf, recvbuf, count, dt, op, root, comm);
 }
@@ -269,23 +358,32 @@ void XcclMpi::allgather(const void* sendbuf, std::size_t sendcount,
     st = rt;
   }
   const std::size_t bytes = sendcount * st.size();
-  const Engine pick = pick_engine(CollOp::Allgather, bytes, sendbuf, recvbuf);
-  if (pick == Engine::Hier) {
+  const EnginePick pick =
+      pick_engine(CollOp::Allgather, bytes, sendbuf, recvbuf);
+  if (pick.engine == Engine::Hier) {
     if (hier_->allgather(sendbuf, sendcount, st, recvbuf, recvcount, rt, comm)) {
-      note(Engine::Hier, false, true);
+      note(CollOp::Allgather, bytes, pick, Engine::Hier, false, true,
+           obs::FallbackReason::None);
       return;
     }
-    note(Engine::Mpi, true, false);
-  } else if (pick == Engine::Xccl && st.size() == rt.size()) {
+    note(CollOp::Allgather, bytes, pick, Engine::Mpi, true, false,
+         hier_->applicable(comm) ? obs::FallbackReason::HierOpUnsupported
+                                 : obs::FallbackReason::HierTopoMismatch);
+  } else if (pick.engine == Engine::Xccl && st.size() == rt.size()) {
     auto run = [&]() -> bool {
-      MPIXCCL_TRY_XCCL(backend_->all_gather(sendbuf, recvbuf,
+      MPIXCCL_TRY_XCCL(CollOp::Allgather, bytes, pick,
+                       backend_->all_gather(sendbuf, recvbuf,
                                             sendcount * st.count, st.base,
                                             ccl_comm(comm), context().stream()),
                        false);
     };
     if (run()) return;
   } else {
-    note(Engine::Mpi, false, false);
+    // pick==Xccl with differing element sizes means the 1:1 builtin cannot
+    // serve the call (mixed datatypes); the table's Mpi picks land here too.
+    note(CollOp::Allgather, bytes, pick, Engine::Mpi, false, false,
+         pick.engine == Engine::Xccl ? obs::FallbackReason::MixedDatatype
+                                     : pick.reason);
   }
   mpi_.allgather(sendbuf, sendcount, st, recvbuf, recvcount, rt, comm);
 }
@@ -295,16 +393,21 @@ void XcclMpi::reduce_scatter_block(const void* sendbuf, void* recvbuf,
                                    ReduceOp op, mini::Comm& comm) {
   ScopedOpTimer op_timer_(*this, CollOp::ReduceScatter);
   const std::size_t bytes = recvcount * dt.size();
-  const Engine pick = pick_engine(CollOp::ReduceScatter, bytes, sendbuf, recvbuf);
-  if (pick == Engine::Hier) {
+  const EnginePick pick =
+      pick_engine(CollOp::ReduceScatter, bytes, sendbuf, recvbuf);
+  if (pick.engine == Engine::Hier) {
     if (hier_->reduce_scatter_block(sendbuf, recvbuf, recvcount, dt, op, comm)) {
-      note(Engine::Hier, false, true);
+      note(CollOp::ReduceScatter, bytes, pick, Engine::Hier, false, true,
+           obs::FallbackReason::None);
       return;
     }
-    note(Engine::Mpi, true, false);
-  } else if (pick == Engine::Xccl) {
+    note(CollOp::ReduceScatter, bytes, pick, Engine::Mpi, true, false,
+         hier_->applicable(comm) ? obs::FallbackReason::HierOpUnsupported
+                                 : obs::FallbackReason::HierTopoMismatch);
+  } else if (pick.engine == Engine::Xccl) {
     auto run = [&]() -> bool {
-      MPIXCCL_TRY_XCCL(backend_->reduce_scatter(sendbuf, recvbuf,
+      MPIXCCL_TRY_XCCL(CollOp::ReduceScatter, bytes, pick,
+                       backend_->reduce_scatter(sendbuf, recvbuf,
                                                 recvcount * dt.count, dt.base, op,
                                                 ccl_comm(comm),
                                                 context().stream()),
@@ -312,7 +415,8 @@ void XcclMpi::reduce_scatter_block(const void* sendbuf, void* recvbuf,
     };
     if (run()) return;
   } else {
-    note(Engine::Mpi, false, false);
+    note(CollOp::ReduceScatter, bytes, pick, Engine::Mpi, false, false,
+         pick.reason);
   }
   mpi_.reduce_scatter_block(sendbuf, recvbuf, recvcount, dt, op, comm);
 }
@@ -336,6 +440,7 @@ XcclResult XcclMpi::x_alltoallv(const void* sendbuf,
   const std::size_t rsz = rt.size();
 
   // Listing 1: one group enclosing a send and a recv per peer.
+  obs::Span span(rank(), context().clock(), "alltoallv.group", "xccl.stage");
   throw_if_error(backend_->group_start(), "x_alltoallv group_start");
   for (int r = 0; r < comm.size(); ++r) {
     const auto ur = static_cast<std::size_t>(r);
@@ -359,12 +464,14 @@ void XcclMpi::alltoall(const void* sendbuf, std::size_t sendcount,
   if (sendbuf == mini::kInPlace) {
     // In-place alltoall reads and writes the same blocks; the MPI engine
     // snapshots the buffer, the grouped xCCL composition cannot.
-    note(Engine::Mpi, false, false);
+    note(CollOp::Alltoall, recvcount * rt.size(), EnginePick{}, Engine::Mpi,
+         false, false, obs::FallbackReason::InPlace);
     mpi_.alltoall(sendbuf, sendcount, st, recvbuf, recvcount, rt, comm);
     return;
   }
   const std::size_t bytes = sendcount * st.size();
-  if (pick_engine(CollOp::Alltoall, bytes, sendbuf, recvbuf) == Engine::Xccl) {
+  const EnginePick pick = pick_engine(CollOp::Alltoall, bytes, sendbuf, recvbuf);
+  if (pick.engine == Engine::Xccl) {
     const auto up = static_cast<std::size_t>(comm.size());
     std::vector<std::size_t> counts(up, sendcount);
     std::vector<std::size_t> sdispls(up);
@@ -377,14 +484,16 @@ void XcclMpi::alltoall(const void* sendbuf, std::size_t sendcount,
                                      counts, rdispls, rt, comm);
     if (ok(r)) {
       context().stream().synchronize(context().clock());
-      note(Engine::Xccl, false, true);
+      note(CollOp::Alltoall, bytes, pick, Engine::Xccl, false, true,
+           pick.reason);
       return;
     }
     require(options_.allow_fallback && is_fallback_result(r),
             "XcclMpi::alltoall: xccl path failed");
-    note(Engine::Mpi, true, false);
+    note(CollOp::Alltoall, bytes, pick, Engine::Mpi, true, false,
+         obs::fallback_reason_of(r));
   } else {
-    note(Engine::Mpi, false, false);
+    note(CollOp::Alltoall, bytes, pick, Engine::Mpi, false, false, pick.reason);
   }
   mpi_.alltoall(sendbuf, sendcount, st, recvbuf, recvcount, rt, comm);
 }
@@ -398,20 +507,24 @@ void XcclMpi::alltoallv(const void* sendbuf,
   ScopedOpTimer op_timer_(*this, CollOp::Alltoallv);
   std::size_t max_block = 0;
   for (std::size_t c : sendcounts) max_block = std::max(max_block, c * st.size());
-  if (pick_engine_agreed(CollOp::Alltoallv, max_block, sendbuf, recvbuf, comm) ==
-      Engine::Xccl) {
+  const EnginePick pick =
+      pick_engine_agreed(CollOp::Alltoallv, max_block, sendbuf, recvbuf, comm);
+  if (pick.engine == Engine::Xccl) {
     const XcclResult r = x_alltoallv(sendbuf, sendcounts, sdispls, st, recvbuf,
                                      recvcounts, rdispls, rt, comm);
     if (ok(r)) {
       context().stream().synchronize(context().clock());
-      note(Engine::Xccl, false, true);
+      note(CollOp::Alltoallv, max_block, pick, Engine::Xccl, false, true,
+           pick.reason);
       return;
     }
     require(options_.allow_fallback && is_fallback_result(r),
             "XcclMpi::alltoallv: xccl path failed");
-    note(Engine::Mpi, true, false);
+    note(CollOp::Alltoallv, max_block, pick, Engine::Mpi, true, false,
+         obs::fallback_reason_of(r));
   } else {
-    note(Engine::Mpi, false, false);
+    note(CollOp::Alltoallv, max_block, pick, Engine::Mpi, false, false,
+         pick.reason);
   }
   mpi_.alltoallv(sendbuf, sendcounts, sdispls, st, recvbuf, recvcounts, rdispls,
                  rt, comm);
@@ -429,6 +542,7 @@ XcclResult XcclMpi::x_gatherv(const void* sendbuf, std::size_t sendcount,
   xccl::CclComm& cc = ccl_comm(comm);
   device::Stream& stream = context().stream();
 
+  obs::Span span(rank(), context().clock(), "gatherv.group", "xccl.stage");
   throw_if_error(backend_->group_start(), "x_gatherv group_start");
   throw_if_error(backend_->send(sendbuf, sendcount * st.count, st.base, root, cc,
                                 stream),
@@ -452,7 +566,8 @@ void XcclMpi::gather(const void* sendbuf, std::size_t sendcount, mini::Datatype 
                      int root, mini::Comm& comm) {
   ScopedOpTimer op_timer_(*this, CollOp::Gather);
   const std::size_t bytes = sendcount * st.size();
-  if (pick_engine(CollOp::Gather, bytes, sendbuf, recvbuf) == Engine::Xccl) {
+  const EnginePick pick = pick_engine(CollOp::Gather, bytes, sendbuf, recvbuf);
+  if (pick.engine == Engine::Xccl) {
     const auto up = static_cast<std::size_t>(comm.size());
     std::vector<std::size_t> counts(up, recvcount);
     std::vector<std::size_t> displs(up);
@@ -461,14 +576,16 @@ void XcclMpi::gather(const void* sendbuf, std::size_t sendcount, mini::Datatype 
         x_gatherv(sendbuf, sendcount, st, recvbuf, counts, displs, rt, root, comm);
     if (ok(r)) {
       context().stream().synchronize(context().clock());
-      note(Engine::Xccl, false, true);
+      note(CollOp::Gather, bytes, pick, Engine::Xccl, false, true,
+           pick.reason);
       return;
     }
     require(options_.allow_fallback && is_fallback_result(r),
             "XcclMpi::gather: xccl path failed");
-    note(Engine::Mpi, true, false);
+    note(CollOp::Gather, bytes, pick, Engine::Mpi, true, false,
+         obs::fallback_reason_of(r));
   } else {
-    note(Engine::Mpi, false, false);
+    note(CollOp::Gather, bytes, pick, Engine::Mpi, false, false, pick.reason);
   }
   mpi_.gather(sendbuf, sendcount, st, recvbuf, recvcount, rt, root, comm);
 }
@@ -480,21 +597,24 @@ void XcclMpi::gatherv(const void* sendbuf, std::size_t sendcount,
                       int root, mini::Comm& comm) {
   ScopedOpTimer op_timer_(*this, CollOp::Gather);
   const std::size_t bytes = sendcount * st.size();
-  if (pick_engine_agreed(CollOp::Gather, bytes, sendbuf, recvbuf, comm) ==
-      Engine::Xccl) {
+  const EnginePick pick =
+      pick_engine_agreed(CollOp::Gather, bytes, sendbuf, recvbuf, comm);
+  if (pick.engine == Engine::Xccl) {
     const XcclResult r =
         x_gatherv(sendbuf, sendcount, st, recvbuf, recvcounts, displs, rt, root,
                   comm);
     if (ok(r)) {
       context().stream().synchronize(context().clock());
-      note(Engine::Xccl, false, true);
+      note(CollOp::Gather, bytes, pick, Engine::Xccl, false, true,
+           pick.reason);
       return;
     }
     require(options_.allow_fallback && is_fallback_result(r),
             "XcclMpi::gatherv: xccl path failed");
-    note(Engine::Mpi, true, false);
+    note(CollOp::Gather, bytes, pick, Engine::Mpi, true, false,
+         obs::fallback_reason_of(r));
   } else {
-    note(Engine::Mpi, false, false);
+    note(CollOp::Gather, bytes, pick, Engine::Mpi, false, false, pick.reason);
   }
   mpi_.gatherv(sendbuf, sendcount, st, recvbuf, recvcounts, displs, rt, root,
                comm);
@@ -513,6 +633,7 @@ XcclResult XcclMpi::x_scatterv(const void* sendbuf,
   xccl::CclComm& cc = ccl_comm(comm);
   device::Stream& stream = context().stream();
 
+  obs::Span span(rank(), context().clock(), "scatterv.group", "xccl.stage");
   throw_if_error(backend_->group_start(), "x_scatterv group_start");
   if (comm.rank() == root) {
     const std::size_t ssz = st.size();
@@ -536,7 +657,8 @@ void XcclMpi::scatter(const void* sendbuf, std::size_t sendcount,
                       mini::Datatype rt, int root, mini::Comm& comm) {
   ScopedOpTimer op_timer_(*this, CollOp::Scatter);
   const std::size_t bytes = recvcount * rt.size();
-  if (pick_engine(CollOp::Scatter, bytes, sendbuf, recvbuf) == Engine::Xccl) {
+  const EnginePick pick = pick_engine(CollOp::Scatter, bytes, sendbuf, recvbuf);
+  if (pick.engine == Engine::Xccl) {
     const auto up = static_cast<std::size_t>(comm.size());
     std::vector<std::size_t> counts(up, sendcount);
     std::vector<std::size_t> displs(up);
@@ -546,14 +668,16 @@ void XcclMpi::scatter(const void* sendbuf, std::size_t sendcount,
                    comm);
     if (ok(r)) {
       context().stream().synchronize(context().clock());
-      note(Engine::Xccl, false, true);
+      note(CollOp::Scatter, bytes, pick, Engine::Xccl, false, true,
+           pick.reason);
       return;
     }
     require(options_.allow_fallback && is_fallback_result(r),
             "XcclMpi::scatter: xccl path failed");
-    note(Engine::Mpi, true, false);
+    note(CollOp::Scatter, bytes, pick, Engine::Mpi, true, false,
+         obs::fallback_reason_of(r));
   } else {
-    note(Engine::Mpi, false, false);
+    note(CollOp::Scatter, bytes, pick, Engine::Mpi, false, false, pick.reason);
   }
   mpi_.scatter(sendbuf, sendcount, st, recvbuf, recvcount, rt, root, comm);
 }
@@ -565,20 +689,23 @@ void XcclMpi::scatterv(const void* sendbuf,
                        int root, mini::Comm& comm) {
   ScopedOpTimer op_timer_(*this, CollOp::Scatter);
   const std::size_t bytes = recvcount * rt.size();
-  if (pick_engine_agreed(CollOp::Scatter, bytes, sendbuf, recvbuf, comm) ==
-      Engine::Xccl) {
+  const EnginePick pick =
+      pick_engine_agreed(CollOp::Scatter, bytes, sendbuf, recvbuf, comm);
+  if (pick.engine == Engine::Xccl) {
     const XcclResult r = x_scatterv(sendbuf, sendcounts, displs, st, recvbuf,
                                     recvcount, rt, root, comm);
     if (ok(r)) {
       context().stream().synchronize(context().clock());
-      note(Engine::Xccl, false, true);
+      note(CollOp::Scatter, bytes, pick, Engine::Xccl, false, true,
+           pick.reason);
       return;
     }
     require(options_.allow_fallback && is_fallback_result(r),
             "XcclMpi::scatterv: xccl path failed");
-    note(Engine::Mpi, true, false);
+    note(CollOp::Scatter, bytes, pick, Engine::Mpi, true, false,
+         obs::fallback_reason_of(r));
   } else {
-    note(Engine::Mpi, false, false);
+    note(CollOp::Scatter, bytes, pick, Engine::Mpi, false, false, pick.reason);
   }
   mpi_.scatterv(sendbuf, sendcounts, displs, st, recvbuf, recvcount, rt, root,
                 comm);
@@ -591,8 +718,9 @@ void XcclMpi::allgatherv(const void* sendbuf, std::size_t sendcount,
                          mini::Comm& comm) {
   ScopedOpTimer op_timer_(*this, CollOp::Allgatherv);
   const std::size_t bytes = sendcount * st.size();
-  if (pick_engine_agreed(CollOp::Allgatherv, bytes, sendbuf, recvbuf, comm) ==
-      Engine::Xccl) {
+  const EnginePick pick =
+      pick_engine_agreed(CollOp::Allgatherv, bytes, sendbuf, recvbuf, comm);
+  if (pick.engine == Engine::Xccl) {
     // Composed: every rank sends its block to everyone and receives all
     // blocks (no CCL builtin handles ragged blocks).
     const auto& caps = backend_->capabilities();
@@ -600,6 +728,8 @@ void XcclMpi::allgatherv(const void* sendbuf, std::size_t sendcount,
       xccl::CclComm& cc = ccl_comm(comm);
       device::Stream& stream = context().stream();
       const std::size_t rsz = rt.size();
+      obs::Span span(rank(), context().clock(), "allgatherv.group",
+                     "xccl.stage");
       throw_if_error(backend_->group_start(), "allgatherv group_start");
       for (int r = 0; r < comm.size(); ++r) {
         const auto ur = static_cast<std::size_t>(r);
@@ -613,12 +743,15 @@ void XcclMpi::allgatherv(const void* sendbuf, std::size_t sendcount,
       }
       throw_if_error(backend_->group_end(), "allgatherv group_end");
       stream.synchronize(context().clock());
-      note(Engine::Xccl, false, true);
+      note(CollOp::Allgatherv, bytes, pick, Engine::Xccl, false, true,
+           pick.reason);
       return;
     }
-    note(Engine::Mpi, true, false);
+    note(CollOp::Allgatherv, bytes, pick, Engine::Mpi, true, false,
+         obs::FallbackReason::DtypeUnsupported);
   } else {
-    note(Engine::Mpi, false, false);
+    note(CollOp::Allgatherv, bytes, pick, Engine::Mpi, false, false,
+         pick.reason);
   }
   mpi_.allgatherv(sendbuf, sendcount, st, recvbuf, recvcounts, displs, rt, comm);
 }
@@ -627,14 +760,16 @@ void XcclMpi::scan(const void* sendbuf, void* recvbuf, std::size_t count,
                    mini::Datatype dt, ReduceOp op, mini::Comm& comm) {
   ScopedOpTimer op_timer_(*this, CollOp::Scan);
   // No CCL builtin and a serial dependency chain: always MPI.
-  note(Engine::Mpi, false, false);
+  note(CollOp::Scan, count * dt.size(), EnginePick{}, Engine::Mpi, false, false,
+       obs::FallbackReason::None);
   mpi_.scan(sendbuf, recvbuf, count, dt, op, comm);
 }
 
 void XcclMpi::exscan(const void* sendbuf, void* recvbuf, std::size_t count,
                      mini::Datatype dt, ReduceOp op, mini::Comm& comm) {
   ScopedOpTimer op_timer_(*this, CollOp::Scan);
-  note(Engine::Mpi, false, false);
+  note(CollOp::Scan, count * dt.size(), EnginePick{}, Engine::Mpi, false, false,
+       obs::FallbackReason::None);
   mpi_.exscan(sendbuf, recvbuf, count, dt, op, comm);
 }
 
@@ -644,30 +779,37 @@ mini::Request XcclMpi::iallreduce(const void* sendbuf, void* recvbuf,
                                   std::size_t count, mini::Datatype dt,
                                   ReduceOp op, mini::Comm& comm) {
   const std::size_t bytes = count * dt.size();
-  const Engine pick = pick_engine(CollOp::Allreduce, bytes, sendbuf, recvbuf);
-  if (pick == Engine::Hier) {
+  const EnginePick pick =
+      pick_engine(CollOp::Allreduce, bytes, sendbuf, recvbuf);
+  if (pick.engine == Engine::Hier) {
     // The hierarchical engine is host-driven (its stages block on MiniMPI),
     // so like the MPI engine it completes before returning.
     if (hier_->allreduce(sendbuf, recvbuf, count, dt, op, comm)) {
-      note(Engine::Hier, false, true);
+      note(CollOp::Allreduce, bytes, pick, Engine::Hier, false, true,
+           obs::FallbackReason::None);
       return mini::Request::completed(context().clock().now());
     }
-    note(Engine::Mpi, true, false);
-  } else if (pick == Engine::Xccl) {
+    note(CollOp::Allreduce, bytes, pick, Engine::Mpi, true, false,
+         hier_->applicable(comm) ? obs::FallbackReason::HierOpUnsupported
+                                 : obs::FallbackReason::HierTopoMismatch);
+  } else if (pick.engine == Engine::Xccl) {
     device::Stream& stream = context().stream();
     const XcclResult r = backend_->all_reduce(
         sendbuf, recvbuf, count * dt.count, dt.base, op, ccl_comm(comm), stream);
     if (ok(r)) {
-      note(Engine::Xccl, false, false);
+      note(CollOp::Allreduce, bytes, pick, Engine::Xccl, false, false,
+           obs::FallbackReason::None);
       // No stream sync: the request completes at the stream tail, so the
       // caller can overlap compute until wait().
       return mini::Request::completed(stream.tail());
     }
     require(options_.allow_fallback && is_fallback_result(r),
             "XcclMpi::iallreduce: xccl path failed");
-    note(Engine::Mpi, true, false);
+    note(CollOp::Allreduce, bytes, pick, Engine::Mpi, true, false,
+         obs::fallback_reason_of(r));
   } else {
-    note(Engine::Mpi, false, false);
+    note(CollOp::Allreduce, bytes, pick, Engine::Mpi, false, false,
+         pick.reason);
   }
   return mpi_.iallreduce(sendbuf, recvbuf, count, dt, op, comm);
 }
@@ -675,26 +817,31 @@ mini::Request XcclMpi::iallreduce(const void* sendbuf, void* recvbuf,
 mini::Request XcclMpi::ibcast(void* buf, std::size_t count, mini::Datatype dt,
                               int root, mini::Comm& comm) {
   const std::size_t bytes = count * dt.size();
-  const Engine pick = pick_engine(CollOp::Bcast, bytes, buf, nullptr);
-  if (pick == Engine::Hier) {
+  const EnginePick pick = pick_engine(CollOp::Bcast, bytes, buf, nullptr);
+  if (pick.engine == Engine::Hier) {
     if (hier_->bcast(buf, count, dt, root, comm)) {
-      note(Engine::Hier, false, true);
+      note(CollOp::Bcast, bytes, pick, Engine::Hier, false, true,
+           obs::FallbackReason::None);
       return mini::Request::completed(context().clock().now());
     }
-    note(Engine::Mpi, true, false);
-  } else if (pick == Engine::Xccl) {
+    note(CollOp::Bcast, bytes, pick, Engine::Mpi, true, false,
+         hier_->applicable(comm) ? obs::FallbackReason::HierOpUnsupported
+                                 : obs::FallbackReason::HierTopoMismatch);
+  } else if (pick.engine == Engine::Xccl) {
     device::Stream& stream = context().stream();
     const XcclResult r = backend_->broadcast(buf, count * dt.count, dt.base, root,
                                              ccl_comm(comm), stream);
     if (ok(r)) {
-      note(Engine::Xccl, false, false);
+      note(CollOp::Bcast, bytes, pick, Engine::Xccl, false, false,
+           obs::FallbackReason::None);
       return mini::Request::completed(stream.tail());
     }
     require(options_.allow_fallback && is_fallback_result(r),
             "XcclMpi::ibcast: xccl path failed");
-    note(Engine::Mpi, true, false);
+    note(CollOp::Bcast, bytes, pick, Engine::Mpi, true, false,
+         obs::fallback_reason_of(r));
   } else {
-    note(Engine::Mpi, false, false);
+    note(CollOp::Bcast, bytes, pick, Engine::Mpi, false, false, pick.reason);
   }
   return mpi_.ibcast(buf, count, dt, root, comm);
 }
@@ -710,27 +857,35 @@ mini::Request XcclMpi::iallgather(const void* sendbuf, std::size_t sendcount,
     st = rt;
   }
   const std::size_t bytes = sendcount * st.size();
-  const Engine pick = pick_engine(CollOp::Allgather, bytes, sendbuf, recvbuf);
-  if (pick == Engine::Hier) {
+  const EnginePick pick =
+      pick_engine(CollOp::Allgather, bytes, sendbuf, recvbuf);
+  if (pick.engine == Engine::Hier) {
     if (hier_->allgather(sendbuf, sendcount, st, recvbuf, recvcount, rt, comm)) {
-      note(Engine::Hier, false, true);
+      note(CollOp::Allgather, bytes, pick, Engine::Hier, false, true,
+           obs::FallbackReason::None);
       return mini::Request::completed(context().clock().now());
     }
-    note(Engine::Mpi, true, false);
-  } else if (pick == Engine::Xccl && st.size() == rt.size()) {
+    note(CollOp::Allgather, bytes, pick, Engine::Mpi, true, false,
+         hier_->applicable(comm) ? obs::FallbackReason::HierOpUnsupported
+                                 : obs::FallbackReason::HierTopoMismatch);
+  } else if (pick.engine == Engine::Xccl && st.size() == rt.size()) {
     device::Stream& stream = context().stream();
     const XcclResult r =
         backend_->all_gather(sendbuf, recvbuf, sendcount * st.count, st.base,
                              ccl_comm(comm), stream);
     if (ok(r)) {
-      note(Engine::Xccl, false, false);
+      note(CollOp::Allgather, bytes, pick, Engine::Xccl, false, false,
+           obs::FallbackReason::None);
       return mini::Request::completed(stream.tail());
     }
     require(options_.allow_fallback && is_fallback_result(r),
             "XcclMpi::iallgather: xccl path failed");
-    note(Engine::Mpi, true, false);
+    note(CollOp::Allgather, bytes, pick, Engine::Mpi, true, false,
+         obs::fallback_reason_of(r));
   } else {
-    note(Engine::Mpi, false, false);
+    note(CollOp::Allgather, bytes, pick, Engine::Mpi, false, false,
+         pick.engine == Engine::Xccl ? obs::FallbackReason::MixedDatatype
+                                     : pick.reason);
   }
   // MiniMPI has no nonblocking allgather; complete eagerly like its other
   // i-collectives do.
@@ -743,27 +898,32 @@ mini::Request XcclMpi::ireduce(const void* sendbuf, void* recvbuf,
                                int root, mini::Comm& comm) {
   if (sendbuf == mini::kInPlace && comm.rank() == root) sendbuf = recvbuf;
   const std::size_t bytes = count * dt.size();
-  const Engine pick = pick_engine(CollOp::Reduce, bytes, sendbuf, recvbuf);
-  if (pick == Engine::Hier) {
+  const EnginePick pick = pick_engine(CollOp::Reduce, bytes, sendbuf, recvbuf);
+  if (pick.engine == Engine::Hier) {
     if (hier_->reduce(sendbuf, recvbuf, count, dt, op, root, comm)) {
-      note(Engine::Hier, false, true);
+      note(CollOp::Reduce, bytes, pick, Engine::Hier, false, true,
+           obs::FallbackReason::None);
       return mini::Request::completed(context().clock().now());
     }
-    note(Engine::Mpi, true, false);
-  } else if (pick == Engine::Xccl) {
+    note(CollOp::Reduce, bytes, pick, Engine::Mpi, true, false,
+         hier_->applicable(comm) ? obs::FallbackReason::HierOpUnsupported
+                                 : obs::FallbackReason::HierTopoMismatch);
+  } else if (pick.engine == Engine::Xccl) {
     device::Stream& stream = context().stream();
     const XcclResult r =
         backend_->reduce(sendbuf, recvbuf, count * dt.count, dt.base, op, root,
                          ccl_comm(comm), stream);
     if (ok(r)) {
-      note(Engine::Xccl, false, false);
+      note(CollOp::Reduce, bytes, pick, Engine::Xccl, false, false,
+           obs::FallbackReason::None);
       return mini::Request::completed(stream.tail());
     }
     require(options_.allow_fallback && is_fallback_result(r),
             "XcclMpi::ireduce: xccl path failed");
-    note(Engine::Mpi, true, false);
+    note(CollOp::Reduce, bytes, pick, Engine::Mpi, true, false,
+         obs::fallback_reason_of(r));
   } else {
-    note(Engine::Mpi, false, false);
+    note(CollOp::Reduce, bytes, pick, Engine::Mpi, false, false, pick.reason);
   }
   mpi_.reduce(sendbuf, recvbuf, count, dt, op, root, comm);
   return mini::Request::completed(context().clock().now());

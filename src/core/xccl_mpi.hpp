@@ -31,16 +31,13 @@
 #include "core/tuning.hpp"
 #include "hier/hier.hpp"
 #include "mpi/mpi.hpp"
+#include "obs/decision.hpp"
 #include "xccl/backend.hpp"
 
 namespace mpixccl::core {
 
-/// Runtime dispatch mode.
-enum class Mode : std::uint8_t {
-  Hybrid,    ///< tuning-table selection (the paper's "Proposed Hybrid xCCL")
-  PureXccl,  ///< always CCL when legal (the paper's "Proposed xCCL w/ Pure ...")
-  PureMpi,   ///< never CCL (a traditional GPU-aware MPI)
-};
+// Mode (Hybrid / PureXccl / PureMpi) lives in core/tuning.hpp alongside the
+// other enums the observability layer shares.
 
 /// What actually served the last collective (introspection for tests and
 /// benches).
@@ -50,20 +47,27 @@ struct Dispatch {
   bool composed = false;    ///< served by group send/recv or staged composition
 };
 
-/// Per-engine call counters.
+/// Per-engine call and byte counters (one XcclMpi instance = one rank's
+/// view; the process-wide merge lives in obs::Registry).
 struct PathStats {
   std::uint64_t mpi_calls = 0;
   std::uint64_t xccl_calls = 0;
   std::uint64_t hier_calls = 0;
   std::uint64_t fallbacks = 0;
+  std::uint64_t mpi_bytes = 0;
+  std::uint64_t xccl_bytes = 0;
+  std::uint64_t hier_bytes = 0;
 };
 
-/// Per-collective profile: call counts and *virtual* microseconds spent, per
-/// engine (the analog of MV2/NCCL debug summaries).
+/// Per-collective profile: call counts, message bytes and *virtual*
+/// microseconds spent, per engine (the analog of MV2/NCCL debug summaries).
 struct OpProfile {
   std::uint64_t mpi_calls = 0;
   std::uint64_t xccl_calls = 0;
   std::uint64_t hier_calls = 0;
+  std::uint64_t mpi_bytes = 0;
+  std::uint64_t xccl_bytes = 0;
+  std::uint64_t hier_bytes = 0;
   double mpi_us = 0.0;
   double xccl_us = 0.0;
   double hier_us = 0.0;
@@ -190,10 +194,22 @@ class XcclMpi {
 
   // ---- Introspection ---------------------------------------------------------
   [[nodiscard]] Dispatch last_dispatch() const { return last_; }
+  /// Fully explained record of the last collective dispatch on this rank
+  /// (breakpoint consulted, table answer, fallback reason). Unlike the
+  /// process-wide obs::DecisionLog, this is always populated.
+  [[nodiscard]] const obs::DispatchDecision& last_decision() const {
+    return last_decision_;
+  }
   [[nodiscard]] const PathStats& stats() const { return stats_; }
+  /// Reset every per-instance view in one motion: path stats, per-op
+  /// profiles AND the last-dispatch records (a stale `last_` outliving the
+  /// counters it summarized was a long-standing asymmetry). Process-wide
+  /// state (obs::Registry, obs::DecisionLog) is reset separately.
   void reset_stats() {
     stats_ = {};
     op_profiles_.clear();
+    last_ = {};
+    last_decision_ = {};
   }
 
   /// Per-collective virtual-time profile accumulated since construction (or
@@ -208,23 +224,46 @@ class XcclMpi {
   [[nodiscard]] std::size_t ccl_comm_cache_size() const { return ccl_comms_.size(); }
 
  private:
+  /// Engine selection outcome, with the evidence the decision log records:
+  /// the raw table/mode answer, the tuning-table breakpoint consulted (0
+  /// when the table was bypassed) and any pre-dispatch fallback reason
+  /// (host buffer, hier remap).
+  struct EnginePick {
+    Engine engine = Engine::Mpi;        ///< engine to attempt
+    Engine table_choice = Engine::Mpi;  ///< what the mode/table said first
+    std::size_t breakpoint = 0;
+    obs::FallbackReason reason = obs::FallbackReason::None;
+  };
+
+  /// Shared tail of both pick paths once the decided byte count is known:
+  /// consult the tuning table and remap unsupported hier picks to Xccl.
+  static EnginePick pick_from_table(const TuningTable& tuning, CollOp op,
+                                    std::size_t bytes);
+
   /// Decide the engine for a collective touching `bytes` bytes with the
   /// given buffers (nullptr buffers are ignored for classification). `bytes`
   /// must be identical on every rank (true for the uniform collectives).
-  Engine pick_engine(CollOp op, std::size_t bytes, const void* a, const void* b);
+  EnginePick pick_engine(CollOp op, std::size_t bytes, const void* a,
+                         const void* b);
 
   /// Engine selection for ragged (v-) collectives, whose per-rank byte
   /// counts differ: in Hybrid mode the ranks agree on max(bytes) via a tiny
   /// MPI allreduce so every member picks the same engine (a divergent pick
   /// would deadlock across engine channels).
-  Engine pick_engine_agreed(CollOp op, std::size_t local_bytes, const void* a,
-                            const void* b, mini::Comm& comm);
+  EnginePick pick_engine_agreed(CollOp op, std::size_t local_bytes,
+                                const void* a, const void* b, mini::Comm& comm);
   [[nodiscard]] bool any_device_buffer(const void* a, const void* b) const;
 
   /// Get or create (collectively!) the CCL communicator for `comm`.
   xccl::CclComm& ccl_comm(mini::Comm& comm);
 
-  /// Record dispatch result and bump counters.
+  /// Record one fully-explained dispatch: updates last_/last_decision_,
+  /// bumps the per-instance counters, and feeds the process-wide metrics
+  /// registry and (when enabled) the decision log.
+  void note(CollOp op, std::size_t bytes, const EnginePick& pick, Engine engine,
+            bool fell_back, bool composed, obs::FallbackReason reason);
+  /// Barrier-only variant (no CollOp for barrier; excluded from the
+  /// decision log and the per-op registry, counted in PathStats only).
   void note(Engine engine, bool fell_back, bool composed);
 
   /// Scope guard timing one public collective call in virtual time.
@@ -268,6 +307,8 @@ class XcclMpi {
   std::map<fabric::ChannelId, xccl::CclComm> ccl_comms_;
   std::uint64_t ccl_comm_seq_ = 0;
   Dispatch last_;
+  obs::DispatchDecision last_decision_;
+  std::size_t last_bytes_ = 0;  ///< message bytes of the last noted dispatch
   PathStats stats_;
   std::map<CollOp, OpProfile> op_profiles_;
 };

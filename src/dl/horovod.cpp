@@ -8,6 +8,7 @@
 #include "device/device.hpp"
 #include "fabric/world.hpp"
 #include "mpi/mpi.hpp"
+#include "obs/obs.hpp"
 #include "xccl/backend.hpp"
 
 namespace mpixccl::dl {
@@ -161,6 +162,7 @@ std::unique_ptr<CommRuntime> make_comm(fabric::RankContext& ctx,
 
 TrainerResult run_training(const sim::SystemProfile& profile, int nodes,
                            const TrainerConfig& config) {
+  obs::init_from_env();
   fabric::World world(fabric::WorldConfig{profile, nodes, 0});
   TrainerResult result;
 
@@ -185,8 +187,11 @@ TrainerResult run_training(const sim::SystemProfile& profile, int nodes,
     device::Stream compute(profile.device.stream_sync_us);
 
     double comm_wait_total = 0.0;
+    auto& registry = obs::Registry::instance();
     auto train_step = [&] {
       auto& clock = ctx.clock();
+      const double step_t0 = clock.now();
+      obs::Span step_span(ctx.rank(), clock, "train_step", "dl");
       // Forward pass (one fused kernel).
       ctx.device().launch_kernel(
           config.model.fwd_us_per_image * config.batch_size, compute, clock,
@@ -203,10 +208,14 @@ TrainerResult run_training(const sim::SystemProfile& profile, int nodes,
       }
       const double before_wait = clock.now();
       comm->wait_all();
-      comm_wait_total += clock.now() - before_wait;
+      const double wait_us = clock.now() - before_wait;
+      comm_wait_total += wait_us;
       // Optimizer update.
       ctx.device().launch_kernel(config.model.optimizer_us, compute, clock, {});
       compute.synchronize(clock);
+      registry.counter("dl.steps").add(1, ctx.rank());
+      registry.histogram("dl.step_us").observe(clock.now() - step_t0);
+      registry.histogram("dl.comm_wait_us").observe(wait_us);
     };
 
     for (int s = 0; s < config.warmup_steps; ++s) train_step();

@@ -7,6 +7,7 @@
 #include "common/log.hpp"
 #include "common/reduce.hpp"
 #include "common/status.hpp"
+#include "obs/obs.hpp"
 
 namespace mpixccl::hier {
 
@@ -128,6 +129,10 @@ bool HierEngine::allreduce(const void* sendbuf, void* recvbuf, std::size_t count
   if (padded > elems) std::memset(ws + bytes, 0, (padded - elems) * esz);
 
   if (two_level) {
+    // One span for the whole pipelined schedule: its intra/inter exchanges
+    // interleave, so per-stage spans would overlap and mislead.
+    obs::Span span(mpi_->rank(), mpi_->context().clock(),
+                   "allreduce.pipelined", "hier.stage");
     two_level_allreduce(ws, unit, chunks, dt.base, stage_op(op), hc, comm);
   } else {
     staged_allreduce(ws, padded, dt.base, stage_op(op), hc);
@@ -147,11 +152,22 @@ void HierEngine::staged_allreduce(std::byte* ws, std::size_t padded,
   const std::size_t esz = datatype_size(base);
   const std::size_t shard = padded / static_cast<std::size_t>(hc.per_node);
   const mini::Datatype dtb{base, 1};
+  const int rank = mpi_->rank();
+  const sim::VirtualClock& clock = mpi_->context().clock();
   std::byte* s0 = scratch(stage_, 2 * shard * esz);
   std::byte* s1 = s0 + shard * esz;
-  mpi_->reduce_scatter_block(ws, s0, shard, dtb, op, *hc.node);
-  mpi_->allreduce(s0, s1, shard, dtb, op, *hc.cross);
-  mpi_->allgather(s1, shard, dtb, ws, shard, dtb, *hc.node);
+  {
+    obs::Span span(rank, clock, "allreduce.intra_rs", "hier.stage");
+    mpi_->reduce_scatter_block(ws, s0, shard, dtb, op, *hc.node);
+  }
+  {
+    obs::Span span(rank, clock, "allreduce.inter_ar", "hier.stage");
+    mpi_->allreduce(s0, s1, shard, dtb, op, *hc.cross);
+  }
+  {
+    obs::Span span(rank, clock, "allreduce.intra_ag", "hier.stage");
+    mpi_->allgather(s1, shard, dtb, ws, shard, dtb, *hc.node);
+  }
 }
 
 void HierEngine::two_level_allreduce(std::byte* ws, std::size_t unit,
@@ -393,10 +409,19 @@ bool HierEngine::bcast(void* buf, std::size_t count, mini::Datatype dt, int root
   const int l_root = root % hc.per_node;
   const int n_root = root / hc.per_node;
 
+  const int rank = mpi_->rank();
+  const sim::VirtualClock& clock = mpi_->context().clock();
+
   if (bytes < kBcastScatterMinBytes) {
     // Leader bcast: the root's cross-node column carries the message between
     // nodes, then every node fans out locally.
-    if (hc.node->rank() == l_root) mpi_->bcast(buf, count, dt, n_root, *hc.cross);
+    {
+      obs::Span span(rank, clock, "bcast.leader_cross", "hier.stage");
+      if (hc.node->rank() == l_root) {
+        mpi_->bcast(buf, count, dt, n_root, *hc.cross);
+      }
+    }
+    obs::Span span(rank, clock, "bcast.intra", "hier.stage");
     mpi_->bcast(buf, count, dt, l_root, *hc.node);
     return true;
   }
@@ -412,11 +437,20 @@ bool HierEngine::bcast(void* buf, std::size_t count, mini::Datatype dt, int root
     std::memcpy(ws, buf, bytes);
     std::memset(ws + bytes, 0, (padded - elems) * esz);
   }
-  if (hc.cross->rank() == n_root) {
-    mpi_->scatter(ws, seg_elems, dtb, seg, seg_elems, dtb, l_root, *hc.node);
+  {
+    obs::Span span(rank, clock, "bcast.scatter", "hier.stage");
+    if (hc.cross->rank() == n_root) {
+      mpi_->scatter(ws, seg_elems, dtb, seg, seg_elems, dtb, l_root, *hc.node);
+    }
   }
-  mpi_->bcast(seg, seg_elems, dtb, n_root, *hc.cross);
-  mpi_->allgather(seg, seg_elems, dtb, ws, seg_elems, dtb, *hc.node);
+  {
+    obs::Span span(rank, clock, "bcast.cross", "hier.stage");
+    mpi_->bcast(seg, seg_elems, dtb, n_root, *hc.cross);
+  }
+  {
+    obs::Span span(rank, clock, "bcast.intra_ag", "hier.stage");
+    mpi_->allgather(seg, seg_elems, dtb, ws, seg_elems, dtb, *hc.node);
+  }
   std::memcpy(buf, ws, bytes);
   return true;
 }
@@ -446,9 +480,16 @@ bool HierEngine::reduce(const void* sendbuf, void* recvbuf, std::size_t count,
   // accumulates straight into recvbuf, other leaders stage into scratch.
   std::byte* tmp = (me == root) ? static_cast<std::byte*>(recvbuf)
                                 : scratch(stage_, bytes);
-  mpi_->reduce(sendbuf, tmp, count, dt, stage_op(op), l_root, *hc.node);
-  if (hc.node->rank() == l_root) {
-    mpi_->reduce(tmp, recvbuf, count, dt, stage_op(op), n_root, *hc.cross);
+  const sim::VirtualClock& clock = mpi_->context().clock();
+  {
+    obs::Span span(mpi_->rank(), clock, "reduce.intra", "hier.stage");
+    mpi_->reduce(sendbuf, tmp, count, dt, stage_op(op), l_root, *hc.node);
+  }
+  {
+    obs::Span span(mpi_->rank(), clock, "reduce.cross", "hier.stage");
+    if (hc.node->rank() == l_root) {
+      mpi_->reduce(tmp, recvbuf, count, dt, stage_op(op), n_root, *hc.cross);
+    }
   }
   if (me == root && op == ReduceOp::Avg) {
     throw_if_error(scale_inplace(dt.base, recvbuf, count * dt.count,
@@ -478,11 +519,18 @@ bool HierEngine::allgather(const void* sendbuf, std::size_t sendcount,
 
   std::byte* col = scratch(stage_, N * blk);
   std::byte* full = scratch(ws_, L * N * blk);
-  // Stage 1 (inter): gather my local-index column across nodes — each rank
-  // moves only its own block over the network.
-  mpi_->allgather(sendbuf, selems, stb, col, selems, stb, *hc.cross);
-  // Stage 2 (intra): exchange whole columns within the node.
-  mpi_->allgather(col, selems * N, stb, full, selems * N, stb, *hc.node);
+  const sim::VirtualClock& clock = mpi_->context().clock();
+  {
+    // Stage 1 (inter): gather my local-index column across nodes — each rank
+    // moves only its own block over the network.
+    obs::Span span(mpi_->rank(), clock, "allgather.cross", "hier.stage");
+    mpi_->allgather(sendbuf, selems, stb, col, selems, stb, *hc.cross);
+  }
+  {
+    // Stage 2 (intra): exchange whole columns within the node.
+    obs::Span span(mpi_->rank(), clock, "allgather.intra", "hier.stage");
+    mpi_->allgather(col, selems * N, stb, full, selems * N, stb, *hc.node);
+  }
   // Stage 3: local reorder from (local, node)-major to comm-rank-major.
   for (std::size_t i = 0; i < L; ++i) {
     for (std::size_t j = 0; j < N; ++j) {
@@ -523,8 +571,17 @@ bool HierEngine::reduce_scatter_block(const void* sendbuf, void* recvbuf,
   // (inter): each column finishes the reduction across nodes, delivering my
   // block — only 1/L of the flat engines' inter-node volume.
   std::byte* part = scratch(stage_, N * blk);
-  mpi_->reduce_scatter_block(tmp, part, relems * N, dtb, stage_op(op), *hc.node);
-  mpi_->reduce_scatter_block(part, recvbuf, relems, dtb, stage_op(op), *hc.cross);
+  const sim::VirtualClock& clock = mpi_->context().clock();
+  {
+    obs::Span span(mpi_->rank(), clock, "rs.intra", "hier.stage");
+    mpi_->reduce_scatter_block(tmp, part, relems * N, dtb, stage_op(op),
+                               *hc.node);
+  }
+  {
+    obs::Span span(mpi_->rank(), clock, "rs.cross", "hier.stage");
+    mpi_->reduce_scatter_block(part, recvbuf, relems, dtb, stage_op(op),
+                               *hc.cross);
+  }
   if (op == ReduceOp::Avg) {
     throw_if_error(scale_inplace(dt.base, recvbuf, relems,
                                  1.0 / static_cast<double>(comm.size())),

@@ -1,0 +1,159 @@
+#include "obs/decision.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mpixccl::obs {
+
+namespace {
+
+std::string human_bytes(std::size_t b) {
+  char buf[32];
+  if (b >= (1u << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB", static_cast<double>(b) / (1u << 20));
+  } else if (b >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", static_cast<double>(b) / 1024);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuB", b);
+  }
+  return buf;
+}
+
+std::string breakpoint_text(std::size_t bp) {
+  if (bp == 0) return "-";
+  if (bp == SIZE_MAX) return "max";
+  return std::to_string(bp);
+}
+
+}  // namespace
+
+std::string to_line(const DispatchDecision& d) {
+  std::ostringstream os;
+  os << '#' << d.seq << " r" << d.rank << ' ' << to_string(d.op) << ' '
+     << human_bytes(d.bytes) << " mode=" << to_string(d.mode)
+     << " bp<=" << breakpoint_text(d.breakpoint) << ' '
+     << to_string(d.table_choice);
+  if (d.table_choice != d.engine || d.fell_back) {
+    os << "->" << to_string(d.engine);
+  }
+  if (d.reason != FallbackReason::None) os << " [" << to_string(d.reason) << ']';
+  if (d.composed) os << " composed";
+  return os.str();
+}
+
+DecisionLog& DecisionLog::instance() {
+  static DecisionLog log;
+  return log;
+}
+
+void DecisionLog::set_capacity(std::size_t n) {
+  require(n > 0, "DecisionLog::set_capacity: capacity must be positive");
+  std::lock_guard lock(mu_);
+  // Re-linearize, keeping the newest records.
+  std::vector<DispatchDecision> linear;
+  linear.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    linear.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  if (linear.size() > n) {
+    linear.erase(linear.begin(),
+                 linear.begin() + static_cast<std::ptrdiff_t>(linear.size() - n));
+  }
+  ring_ = std::move(linear);
+  head_ = 0;
+  capacity_ = n;
+}
+
+std::uint64_t DecisionLog::push(DispatchDecision d) {
+  if (!enabled()) return 0;
+  std::lock_guard lock(mu_);
+  d.seq = ++total_;
+  ++reason_counts_[static_cast<std::size_t>(d.reason)];
+  ++engine_counts_[static_cast<std::size_t>(d.engine)];
+  if (ring_.size() < capacity_) {
+    ring_.push_back(d);
+  } else {
+    ring_[head_] = d;
+    head_ = (head_ + 1) % capacity_;
+  }
+  return d.seq;
+}
+
+std::vector<DispatchDecision> DecisionLog::records() const {
+  std::lock_guard lock(mu_);
+  std::vector<DispatchDecision> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t DecisionLog::total() const {
+  std::lock_guard lock(mu_);
+  return total_;
+}
+
+std::size_t DecisionLog::size() const {
+  std::lock_guard lock(mu_);
+  return ring_.size();
+}
+
+std::array<std::uint64_t, kFallbackReasonCount> DecisionLog::reason_counts()
+    const {
+  std::lock_guard lock(mu_);
+  return reason_counts_;
+}
+
+void DecisionLog::clear() {
+  std::lock_guard lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+  reason_counts_ = {};
+  engine_counts_ = {};
+}
+
+std::string DecisionLog::why_report(std::size_t max_recent) const {
+  std::lock_guard lock(mu_);
+  std::ostringstream os;
+  os << "dispatch decisions: " << total_ << " total (" << ring_.size()
+     << " retained)\n";
+  os << "  by engine:";
+  for (const core::Engine e :
+       {core::Engine::Mpi, core::Engine::Xccl, core::Engine::Hier}) {
+    os << ' ' << to_string(e) << '='
+       << engine_counts_[static_cast<std::size_t>(e)];
+  }
+  os << '\n';
+  std::uint64_t fallbacks = 0;
+  for (std::size_t i = 1; i < kFallbackReasonCount; ++i) {
+    fallbacks += reason_counts_[i];
+  }
+  os << "  fallbacks/redirects: " << fallbacks << '\n';
+  for (std::size_t i = 1; i < kFallbackReasonCount; ++i) {
+    if (reason_counts_[i] == 0) continue;
+    os << "    " << to_string(static_cast<FallbackReason>(i)) << ": "
+       << reason_counts_[i] << '\n';
+  }
+  const std::size_t n = std::min(max_recent, ring_.size());
+  if (n > 0) {
+    os << "  recent:\n";
+    for (std::size_t i = ring_.size() - n; i < ring_.size(); ++i) {
+      os << "    " << to_line(ring_[(head_ + i) % ring_.size()]) << '\n';
+    }
+  }
+  return os.str();
+}
+
+void DecisionLog::save_report(const std::string& path,
+                              std::size_t max_recent) const {
+  std::ofstream out(path);
+  require(out.good(), "DecisionLog::save_report: cannot open " + path);
+  out << why_report(max_recent);
+  require(out.good(), "DecisionLog::save_report: write failed");
+}
+
+}  // namespace mpixccl::obs

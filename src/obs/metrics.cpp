@@ -1,0 +1,248 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+#include "common/status.hpp"
+
+namespace mpixccl::obs {
+
+namespace {
+
+/// Stable text for a double in JSON/CSV (no locale surprises, enough digits
+/// to round-trip counters-as-doubles and microsecond sums).
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+void render_hist_json(std::ostringstream& os, const HistogramSnapshot& h) {
+  os << "{\"count\":" << h.count << ",\"sum\":" << num(h.sum) << ",\"buckets\":[";
+  bool first = true;
+  for (const auto& [le, n] : h.buckets) {
+    if (!first) os << ',';
+    first = false;
+    if (std::isinf(le)) {
+      os << "{\"le\":\"inf\",\"count\":" << n << '}';
+    } else {
+      os << "{\"le\":" << num(le) << ",\"count\":" << n << '}';
+    }
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+void Counter::add(std::uint64_t n) {
+  const auto h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  add(n, static_cast<int>(h & 0x7fffffff));
+}
+
+std::size_t Histogram::bucket_of(double v) {
+  if (!(v > 1.0)) return 0;  // also catches NaN and negatives
+  // Bucket index = position of the smallest power of two >= v.
+  const double capped = std::min(v, 9.0e18);  // keep the cast in range
+  const auto u = static_cast<std::uint64_t>(std::ceil(capped));
+  const auto w = static_cast<std::size_t>(std::bit_width(u - 1));
+  return std::min(w, kBuckets - 1);
+}
+
+double Histogram::bucket_le(std::size_t i) {
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(i));
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) s.buckets.emplace_back(bucket_le(i), n);
+  }
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+void Registry::record_call(core::CollOp op, core::Engine engine, int rank,
+                           std::size_t bytes) {
+  CollCell& c = cell(op, engine);
+  c.calls.add(1, rank);
+  c.bytes.add(bytes, rank);
+  c.size_hist.observe(static_cast<double>(bytes));
+}
+
+void Registry::record_latency(core::CollOp op, core::Engine engine, double us) {
+  cell(op, engine).latency_us_hist.observe(us);
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(names_mu_);
+  return counters_[std::string(name)];
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(names_mu_);
+  return gauges_[std::string(name)];
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard lock(names_mu_);
+  return histograms_[std::string(name)];
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot s;
+  for (const core::CollOp op : core::kAllCollOps) {
+    for (const core::Engine e :
+         {core::Engine::Mpi, core::Engine::Xccl, core::Engine::Hier}) {
+      const CollCell& c = cell(op, e);
+      const std::uint64_t calls = c.calls.value();
+      if (calls == 0) continue;
+      CollRow row;
+      row.op = op;
+      row.engine = e;
+      row.calls = calls;
+      row.bytes = c.bytes.value();
+      row.size_hist = c.size_hist.snapshot();
+      row.latency_us_hist = c.latency_us_hist.snapshot();
+      s.collectives.push_back(std::move(row));
+    }
+  }
+  std::lock_guard lock(names_mu_);
+  for (const auto& [name, c] : counters_) {
+    s.counters.push_back({name, static_cast<double>(c.value())});
+  }
+  for (const auto& [name, g] : gauges_) s.gauges.push_back({name, g.value()});
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.emplace_back(name, h.snapshot());
+  }
+  return s;
+}
+
+std::uint64_t Registry::engine_calls(core::Engine e) const {
+  std::uint64_t total = 0;
+  for (const core::CollOp op : core::kAllCollOps) total += cell(op, e).calls.value();
+  return total;
+}
+
+std::uint64_t Registry::engine_bytes(core::Engine e) const {
+  std::uint64_t total = 0;
+  for (const core::CollOp op : core::kAllCollOps) total += cell(op, e).bytes.value();
+  return total;
+}
+
+void Registry::reset() {
+  for (auto& per_op : coll_) {
+    for (auto& c : per_op) {
+      c.calls.reset();
+      c.bytes.reset();
+      c.size_hist.reset();
+      c.latency_us_hist.reset();
+    }
+  }
+  std::lock_guard lock(names_mu_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"schema\":\"mpixccl.metrics.v1\",\"collectives\":[";
+  bool first = true;
+  for (const CollRow& r : collectives) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"op\":\"" << to_string(r.op) << "\",\"engine\":\""
+       << to_string(r.engine) << "\",\"calls\":" << r.calls
+       << ",\"bytes\":" << r.bytes << ",\"size_hist\":";
+    render_hist_json(os, r.size_hist);
+    os << ",\"latency_us_hist\":";
+    render_hist_json(os, r.latency_us_hist);
+    os << '}';
+  }
+  os << "],\"counters\":[";
+  first = true;
+  for (const NamedValue& v : counters) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << v.name << "\",\"value\":" << num(v.value) << '}';
+  }
+  os << "],\"gauges\":[";
+  first = true;
+  for (const NamedValue& v : gauges) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << v.name << "\",\"value\":" << num(v.value) << '}';
+  }
+  os << "],\"histograms\":[";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << name << "\",\"hist\":";
+    render_hist_json(os, h);
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::ostringstream os;
+  os << "kind,name,field,value\n";
+  for (const CollRow& r : collectives) {
+    const std::string key =
+        std::string(to_string(r.op)) + '/' + std::string(to_string(r.engine));
+    os << "coll," << key << ",calls," << r.calls << '\n';
+    os << "coll," << key << ",bytes," << r.bytes << '\n';
+    os << "coll," << key << ",avg_bytes," << num(r.size_hist.avg()) << '\n';
+    os << "coll," << key << ",avg_latency_us," << num(r.latency_us_hist.avg())
+       << '\n';
+  }
+  for (const NamedValue& v : counters) {
+    os << "counter," << v.name << ",value," << num(v.value) << '\n';
+  }
+  for (const NamedValue& v : gauges) {
+    os << "gauge," << v.name << ",value," << num(v.value) << '\n';
+  }
+  for (const auto& [name, h] : histograms) {
+    os << "histogram," << name << ",count," << h.count << '\n';
+    os << "histogram," << name << ",avg," << num(h.avg()) << '\n';
+  }
+  return os.str();
+}
+
+void Registry::save_json(const std::string& path) const {
+  std::ofstream out(path);
+  require(out.good(), "Registry::save_json: cannot open " + path);
+  out << snapshot().to_json() << '\n';
+  require(out.good(), "Registry::save_json: write failed");
+}
+
+void Registry::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  require(out.good(), "Registry::save_csv: cannot open " + path);
+  out << snapshot().to_csv();
+  require(out.good(), "Registry::save_csv: write failed");
+}
+
+}  // namespace mpixccl::obs

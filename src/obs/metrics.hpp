@@ -1,0 +1,210 @@
+#pragma once
+// Process-wide metrics registry: the quantitative half of the observability
+// layer (src/obs/). Engines report named counters, gauges and log2-bucketed
+// histograms, plus a fixed per-(collective, engine) table of call/byte
+// counters and message-size / virtual-latency distributions — the data the
+// paper's hybrid tuning story is argued from (who served what, at which
+// sizes, at what cost).
+//
+// Hot-path discipline: recording is lock-free. Counters shard their atomics
+// so concurrent rank threads do not bounce one cache line; histograms are
+// plain relaxed atomic arrays. Locks are only taken for name registration
+// (first use of a named metric) and snapshots, which merge the shards.
+//
+// The registry aggregates across ranks (records carry no rank label beyond
+// the shard index); per-rank views live in XcclMpi's PathStats/OpProfile.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/tuning.hpp"
+
+namespace mpixccl::obs {
+
+/// Lock-free add for pre-C++20-libstdc++ safety (atomic<double>::fetch_add
+/// support is uneven across standard libraries).
+inline void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Monotonic counter, sharded so rank threads increment distinct cache
+/// lines; value() merges the shards.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  void add(std::uint64_t n, int shard_hint) {
+    shards_[static_cast<std::size_t>(shard_hint) & (kShards - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  /// Shard-by-thread convenience for call sites without a rank at hand.
+  void add(std::uint64_t n);
+  void inc(int shard_hint) { add(1, shard_hint); }
+
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  void reset() {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-writer-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double v) { atomic_add(v_, v); }
+  [[nodiscard]] double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Merged, immutable view of one histogram.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  /// (inclusive upper bound, count) for every non-empty bucket, ascending.
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+
+  [[nodiscard]] double avg() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Log2-bucketed histogram: bucket i holds values in (2^(i-1), 2^i], bucket
+/// 0 holds everything <= 1, the last bucket is unbounded. Covers message
+/// sizes up to 2^46 bytes and latencies up to ~2 simulated years in us.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;
+
+  static std::size_t bucket_of(double v);
+  /// Inclusive upper bound of bucket `i` (2^i; +inf for the last).
+  static double bucket_le(std::size_t i);
+
+  void observe(double v) {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomic_add(sum_, v);
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// One (collective, engine) row of the merged snapshot.
+struct CollRow {
+  core::CollOp op = core::CollOp::Allreduce;
+  core::Engine engine = core::Engine::Mpi;
+  std::uint64_t calls = 0;
+  std::uint64_t bytes = 0;
+  HistogramSnapshot size_hist;        ///< message bytes per call
+  HistogramSnapshot latency_us_hist;  ///< virtual microseconds per call
+};
+
+struct NamedValue {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Point-in-time merge of the whole registry, renderable as JSON
+/// ("mpixccl.metrics.v1") or CSV.
+struct MetricsSnapshot {
+  std::vector<CollRow> collectives;  ///< rows with calls > 0 only
+  std::vector<NamedValue> counters;
+  std::vector<NamedValue> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_csv() const;
+};
+
+/// The process-wide registry. Always on: recording costs a handful of
+/// relaxed atomic operations, so there is no enable flag to check.
+class Registry {
+ public:
+  static Registry& instance();
+
+  // ---- Hot path: fixed per-(collective, engine) tables ----------------------
+  /// One dispatched collective call of `bytes` message bytes.
+  void record_call(core::CollOp op, core::Engine engine, int rank,
+                   std::size_t bytes);
+  /// Completed call latency in virtual microseconds.
+  void record_latency(core::CollOp op, core::Engine engine, double us);
+
+  // ---- Named metrics (registration locks once; returned refs are stable) ---
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // ---- Snapshot / export -----------------------------------------------------
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  void save_json(const std::string& path) const;
+  void save_csv(const std::string& path) const;
+
+  /// Zero every counter, gauge and histogram (named metrics stay
+  /// registered). Affects the whole process: per-XcclMpi views are reset
+  /// separately via XcclMpi::reset_stats().
+  void reset();
+
+  /// Per-engine aggregate across all collectives (tests, reports).
+  [[nodiscard]] std::uint64_t engine_calls(core::Engine e) const;
+  [[nodiscard]] std::uint64_t engine_bytes(core::Engine e) const;
+
+ private:
+  Registry() = default;
+
+  static constexpr std::size_t kOps = std::size(core::kAllCollOps);
+  static constexpr std::size_t kEngines = 3;
+
+  struct CollCell {
+    Counter calls;
+    Counter bytes;
+    Histogram size_hist;
+    Histogram latency_us_hist;
+  };
+
+  [[nodiscard]] CollCell& cell(core::CollOp op, core::Engine engine) {
+    return coll_[static_cast<std::size_t>(op)][static_cast<std::size_t>(engine)];
+  }
+  [[nodiscard]] const CollCell& cell(core::CollOp op, core::Engine engine) const {
+    return coll_[static_cast<std::size_t>(op)][static_cast<std::size_t>(engine)];
+  }
+
+  std::array<std::array<CollCell, kEngines>, kOps> coll_{};
+
+  mutable std::mutex names_mu_;  ///< guards the three maps' structure only
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace mpixccl::obs

@@ -10,6 +10,7 @@
 #include "core/xccl_mpi.hpp"
 #include "device/device.hpp"
 #include "fabric/world.hpp"
+#include "obs/obs.hpp"
 #include "xccl/backend.hpp"
 
 namespace mpixccl::omb {
@@ -59,6 +60,7 @@ double timed_loop(fabric::RankContext& ctx, int warmup, int iters,
 // ---- Point-to-point ---------------------------------------------------------
 
 P2pResult run_p2p(const sim::SystemProfile& profile, const P2pConfig& config) {
+  obs::init_from_env();
   const int nodes = config.scope == sim::LinkScope::IntraNode ? 1 : 2;
   const int dpn = config.scope == sim::LinkScope::IntraNode ? 2 : 1;
   fabric::World world(fabric::WorldConfig{profile, nodes, dpn});
@@ -332,6 +334,7 @@ void run_flavor(Runtimes& rts, fabric::RankContext& ctx, Flavor flavor,
 
 FlavorSeries run_collective(const sim::SystemProfile& profile, int nodes,
                             const CollectiveConfig& config) {
+  obs::init_from_env();
   fabric::World world(fabric::WorldConfig{profile, nodes, 0});
   const xccl::CclKind kind =
       config.backend.value_or(xccl::native_ccl(profile.vendor));

@@ -14,8 +14,8 @@ Trace& Trace::instance() {
 
 void Trace::record(int rank, std::string_view name, std::string_view category,
                    double begin_us, double end_us) {
+  if (!enabled()) return;  // cheap atomic check before touching the mutex
   std::lock_guard lock(mu_);
-  if (!enabled_) return;
   events_.push_back(TraceEvent{rank, std::string(name), std::string(category),
                                begin_us, end_us});
 }

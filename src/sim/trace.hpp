@@ -8,6 +8,7 @@
 // Tracing is off by default (zero overhead beyond one branch); enable it
 // around a region of interest, then save_chrome_json().
 
+#include <atomic>
 #include <cstddef>
 #include <mutex>
 #include <string>
@@ -29,13 +30,12 @@ class Trace {
  public:
   static Trace& instance();
 
-  void set_enabled(bool on) {
-    std::lock_guard lock(mu_);
-    enabled_ = on;
-  }
+  // The enabled flag is atomic so the off-path (every instrumented span in
+  // every rank thread) is one relaxed-ish load — no mutex contention when
+  // tracing is disabled. The mutex guards only the event vector.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_release); }
   [[nodiscard]] bool enabled() const {
-    std::lock_guard lock(mu_);
-    return enabled_;
+    return enabled_.load(std::memory_order_acquire);
   }
 
   /// Record one completed span (no-op while disabled).
@@ -53,8 +53,8 @@ class Trace {
  private:
   Trace() = default;
 
-  mutable std::mutex mu_;
-  bool enabled_ = false;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  ///< guards events_ only
   std::vector<TraceEvent> events_;
 };
 

@@ -1,0 +1,196 @@
+// Tests for the process-wide metrics registry (src/obs/metrics.hpp):
+// counter sharding, log2 histogram bucketing, the per-(collective, engine)
+// tables, snapshot/JSON/CSV rendering, and reset semantics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mpixccl::obs {
+namespace {
+
+TEST(Counter, MergesShards) {
+  Counter c;
+  for (int shard = 0; shard < 32; ++shard) c.add(1, shard);
+  EXPECT_EQ(c.value(), 32u);
+  c.inc(5);
+  EXPECT_EQ(c.value(), 33u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ConcurrentAddsFromManyThreads) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&c, t] {
+      for (int i = 0; i < kIters; ++i) c.add(1, t);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(Counter, ThreadHashedAddWithoutShardHint) {
+  Counter c;
+  c.add(7);  // shard chosen from the thread id
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketOfEdges) {
+  // Bucket 0 holds everything <= 1 (including zero and negatives); bucket i
+  // holds (2^(i-1), 2^i].
+  EXPECT_EQ(Histogram::bucket_of(-3.0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1.0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1.5), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2.0), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2.5), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4.0), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4.1), 3u);
+  EXPECT_EQ(Histogram::bucket_of(1024.0), 10u);
+  // Huge values saturate into the last (unbounded) bucket.
+  EXPECT_EQ(Histogram::bucket_of(1e300), Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, BucketUpperBounds) {
+  EXPECT_DOUBLE_EQ(Histogram::bucket_le(0), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_le(10), 1024.0);
+  EXPECT_TRUE(std::isinf(Histogram::bucket_le(Histogram::kBuckets - 1)));
+}
+
+TEST(Histogram, ObserveAndSnapshot) {
+  Histogram h;
+  h.observe(1.0);    // bucket 0
+  h.observe(3.0);    // bucket 2
+  h.observe(4.0);    // bucket 2
+  h.observe(100.0);  // bucket 7
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 108.0);
+
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.avg(), 27.0);
+  ASSERT_EQ(s.buckets.size(), 3u);  // only non-empty buckets
+  EXPECT_DOUBLE_EQ(s.buckets[0].first, 1.0);
+  EXPECT_EQ(s.buckets[0].second, 1u);
+  EXPECT_DOUBLE_EQ(s.buckets[1].first, 4.0);
+  EXPECT_EQ(s.buckets[1].second, 2u);
+  EXPECT_DOUBLE_EQ(s.buckets[2].first, 128.0);
+  EXPECT_EQ(s.buckets[2].second, 1u);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(h.snapshot().buckets.empty());
+}
+
+TEST(Registry, CollectiveTableAndEngineAggregates) {
+  auto& reg = Registry::instance();
+  reg.reset();
+
+  reg.record_call(core::CollOp::Allreduce, core::Engine::Mpi, 0, 1024);
+  reg.record_call(core::CollOp::Allreduce, core::Engine::Mpi, 1, 1024);
+  reg.record_call(core::CollOp::Allreduce, core::Engine::Xccl, 0, 1 << 20);
+  reg.record_call(core::CollOp::Bcast, core::Engine::Hier, 2, 4096);
+  reg.record_latency(core::CollOp::Allreduce, core::Engine::Mpi, 12.0);
+  reg.record_latency(core::CollOp::Allreduce, core::Engine::Mpi, 18.0);
+
+  EXPECT_EQ(reg.engine_calls(core::Engine::Mpi), 2u);
+  EXPECT_EQ(reg.engine_calls(core::Engine::Xccl), 1u);
+  EXPECT_EQ(reg.engine_calls(core::Engine::Hier), 1u);
+  EXPECT_EQ(reg.engine_bytes(core::Engine::Mpi), 2048u);
+  EXPECT_EQ(reg.engine_bytes(core::Engine::Xccl), std::uint64_t{1} << 20);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.collectives.size(), 3u);  // rows with calls > 0 only
+  bool saw_ar_mpi = false;
+  for (const CollRow& row : snap.collectives) {
+    if (row.op == core::CollOp::Allreduce && row.engine == core::Engine::Mpi) {
+      saw_ar_mpi = true;
+      EXPECT_EQ(row.calls, 2u);
+      EXPECT_EQ(row.bytes, 2048u);
+      EXPECT_EQ(row.size_hist.count, 2u);
+      EXPECT_DOUBLE_EQ(row.latency_us_hist.avg(), 15.0);
+    }
+  }
+  EXPECT_TRUE(saw_ar_mpi);
+  reg.reset();
+}
+
+TEST(Registry, NamedMetricsAndStableRefs) {
+  auto& reg = Registry::instance();
+  reg.reset();
+  Counter& c = reg.counter("test.calls");
+  c.add(3, 0);
+  EXPECT_EQ(&reg.counter("test.calls"), &c);  // registration is stable
+  reg.gauge("test.level").set(7.5);
+  reg.histogram("test.lat").observe(33.0);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  bool saw_counter = false, saw_gauge = false, saw_hist = false;
+  for (const NamedValue& v : snap.counters) {
+    if (v.name == "test.calls") {
+      saw_counter = true;
+      EXPECT_DOUBLE_EQ(v.value, 3.0);
+    }
+  }
+  for (const NamedValue& v : snap.gauges) {
+    if (v.name == "test.level") {
+      saw_gauge = true;
+      EXPECT_DOUBLE_EQ(v.value, 7.5);
+    }
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    if (name == "test.lat") {
+      saw_hist = true;
+      EXPECT_EQ(h.count, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_hist);
+
+  // reset() zeroes values but keeps registrations.
+  reg.reset();
+  EXPECT_EQ(reg.counter("test.calls").value(), 0u);
+}
+
+TEST(Registry, JsonAndCsvRendering) {
+  auto& reg = Registry::instance();
+  reg.reset();
+  reg.record_call(core::CollOp::Allreduce, core::Engine::Xccl, 0, 4096);
+  reg.record_latency(core::CollOp::Allreduce, core::Engine::Xccl, 50.0);
+  reg.counter("render.count").add(2, 0);
+
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"schema\":\"mpixccl.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"op\":\"allreduce\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine\":\"xccl\""), std::string::npos);
+  EXPECT_NE(json.find("\"calls\":1"), std::string::npos);
+  EXPECT_NE(json.find("render.count"), std::string::npos);
+
+  const std::string csv = reg.snapshot().to_csv();
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "kind,name,field,value");
+  EXPECT_NE(csv.find("coll,allreduce/xccl,calls,1"), std::string::npos);
+  EXPECT_NE(csv.find("counter,render.count"), std::string::npos);
+  reg.reset();
+}
+
+}  // namespace
+}  // namespace mpixccl::obs

@@ -24,6 +24,7 @@
 #include "device/device.hpp"
 #include "dl/horovod.hpp"
 #include "fabric/world.hpp"
+#include "obs/obs.hpp"
 #include "omb/harness.hpp"
 #include "sim/profiles.hpp"
 #include "sim/trace.hpp"
@@ -253,6 +254,84 @@ int cmd_trace(const Args& args) {
   return 0;
 }
 
+int cmd_obs(const Args& args) {
+  // Observability demo: one run that exercises all three engines (a tuning
+  // table splitting allreduce across mpi / hier / xccl by size) plus every
+  // fallback class the dispatcher knows, then dumps the full surface —
+  // merged report to stdout, and optionally the metrics snapshot, the
+  // Chrome trace and the decision "why" report to files.
+  const sim::SystemProfile prof =
+      sim::profile_by_name(get(args, "system", "thetagpu"));
+  const int nodes = std::stoi(get(args, "nodes", "2"));
+
+  obs::set_level(obs::Level::Trace);
+  obs::Registry::instance().reset();
+  obs::DecisionLog::instance().clear();
+  sim::Trace::instance().clear();
+
+  core::TuningTable table;
+  table.set_rules(core::CollOp::Allreduce,
+                  {{16384, core::Engine::Mpi},
+                   {1u << 20, core::Engine::Hier},
+                   {SIZE_MAX, core::Engine::Xccl}});
+  table.set_rules(core::CollOp::Bcast, {{8192, core::Engine::Mpi},
+                                        {SIZE_MAX, core::Engine::Xccl}});
+
+  fabric::World world(fabric::WorldConfig{prof, nodes, /*devices_per_node=*/2});
+  world.run([&](fabric::RankContext& ctx) {
+    core::XcclMpi rt(ctx, {.tuning = table});
+    auto& comm = rt.comm_world();
+    auto& dev = ctx.device();
+    device::DeviceBuffer send(dev, 4u << 20);
+    device::DeviceBuffer recv(dev, 4u << 20);
+
+    // Size sweep across the table's three engines: 4 KB -> mpi,
+    // 256 KB -> hier (2 nodes x 2 devices, so the topology qualifies),
+    // 4 MB -> xccl.
+    for (const std::size_t bytes :
+         {std::size_t{4096}, std::size_t{262144}, std::size_t{4u << 20}}) {
+      rt.allreduce(send.get(), recv.get(), bytes / sizeof(float), mini::kFloat,
+                   ReduceOp::Sum, comm);
+    }
+    rt.bcast(send.get(), 1024, mini::kFloat, 0, comm);
+    rt.bcast(send.get(), 262144, mini::kFloat, 0, comm);
+
+    // Fallback gallery — each lands in the decision log with its own
+    // machine-readable reason:
+    std::vector<float> hin(256, 1.0f), hout(256);  // host buffers -> mpi
+    rt.allreduce(hin.data(), hout.data(), hin.size(), mini::kFloat,
+                 ReduceOp::Sum, comm);
+    // MPI_DOUBLE_COMPLEX has no CCL equivalent (the paper's FFT example);
+    // sized into the table's xccl zone so the CCL attempt actually happens.
+    rt.allreduce(send.get(), recv.get(), 131072, mini::kDoubleComplex,
+                 ReduceOp::Sum, comm);
+    // Logical AND: supported by MPI, absent from the CCL op set.
+    rt.allreduce(send.get(), recv.get(), 1u << 19, mini::kInt, ReduceOp::Land,
+                 comm);
+  });
+
+  std::printf("%s", obs::report().c_str());
+
+  const std::string metrics = get(args, "metrics", "");
+  const std::string trace = get(args, "trace", "");
+  const std::string decisions = get(args, "decisions", "");
+  if (!metrics.empty()) {
+    obs::Registry::instance().save_json(metrics);
+    std::printf("metrics snapshot: %s\n", metrics.c_str());
+  }
+  if (!trace.empty()) {
+    sim::Trace::instance().save_chrome_json(trace);
+    std::printf("chrome trace:     %s (%zu spans)\n", trace.c_str(),
+                sim::Trace::instance().size());
+  }
+  if (!decisions.empty()) {
+    obs::DecisionLog::instance().save_report(decisions);
+    std::printf("decision report:  %s\n", decisions.c_str());
+  }
+  obs::set_level(obs::Level::Metrics);
+  return 0;
+}
+
 int usage() {
   std::printf(
       "usage: mpixccl <command> [--key=value ...]\n"
@@ -262,7 +341,12 @@ int usage() {
       "  train  --system=S --nodes=N --model=M --batch=B --flavor=F\n"
       "  tune   --system=S [--nodes=N] [--out=FILE]\n"
       "  hier   --system=S [--nodes=N] [--op=OP]    compare engines incl. hier\n"
-      "  trace  --system=S [--out=FILE]\n");
+      "  trace  --system=S [--out=FILE]\n"
+      "  obs    --system=S [--nodes=N] [--metrics=F] [--trace=F] "
+      "[--decisions=F]\n"
+      "                                         demo all engines + fallbacks,\n"
+      "                                         print the observability "
+      "report\n");
   return 2;
 }
 
@@ -280,6 +364,7 @@ int main(int argc, char** argv) {
     if (cmd == "tune") return cmd_tune(args);
     if (cmd == "hier") return cmd_hier(args);
     if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "obs") return cmd_obs(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mpixccl: %s\n", e.what());
