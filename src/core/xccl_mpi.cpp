@@ -122,9 +122,13 @@ xccl::CclComm& XcclMpi::ccl_comm(mini::Comm& comm) {
 }
 
 XcclMpi::ScopedOpTimer::ScopedOpTimer(XcclMpi& rt, CollOp op)
-    : rt_(&rt), op_(op), t0_(rt.context().clock().now()) {}
+    : rt_(&rt), op_(op), t0_(rt.context().clock().now()), seq0_(rt.note_seq_) {}
 
 XcclMpi::ScopedOpTimer::~ScopedOpTimer() {
+  // The dispatch never reached note() (it threw first): there is no current
+  // engine/byte record for this call, so recording anything would attribute
+  // the sample to the previous call. Drop it.
+  if (rt_->note_seq_ == seq0_) return;
   const double now = rt_->context().clock().now();
   const double elapsed = now - t0_;
   OpProfile& prof = rt_->op_profiles_[op_];
@@ -176,6 +180,7 @@ std::string XcclMpi::profile_report() const {
 void XcclMpi::note(CollOp op, std::size_t bytes, const EnginePick& pick,
                    Engine engine, bool fell_back, bool composed,
                    obs::FallbackReason reason) {
+  ++note_seq_;
   last_ = Dispatch{engine, fell_back, composed};
   last_bytes_ = bytes;
   switch (engine) {
@@ -213,6 +218,7 @@ void XcclMpi::note(CollOp op, std::size_t bytes, const EnginePick& pick,
 }
 
 void XcclMpi::note(Engine engine, bool fell_back, bool composed) {
+  ++note_seq_;
   last_ = Dispatch{engine, fell_back, composed};
   last_bytes_ = 0;
   switch (engine) {

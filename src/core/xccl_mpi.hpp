@@ -266,7 +266,10 @@ class XcclMpi {
   /// decision log and the per-op registry, counted in PathStats only).
   void note(Engine engine, bool fell_back, bool composed);
 
-  /// Scope guard timing one public collective call in virtual time.
+  /// Scope guard timing one public collective call in virtual time. Records
+  /// nothing when the guarded call never reached note() (e.g. it threw
+  /// before dispatch completed) — otherwise the sample would be attributed
+  /// to the PREVIOUS call's engine and byte count.
   class ScopedOpTimer {
    public:
     ScopedOpTimer(XcclMpi& rt, CollOp op);
@@ -278,6 +281,7 @@ class XcclMpi {
     XcclMpi* rt_;
     CollOp op_;
     double t0_;
+    std::uint64_t seq0_;  ///< note_seq_ at construction; unchanged => no note()
   };
 
   // Composed (send/recv-based) xCCL collectives; return a fallback-able
@@ -309,6 +313,7 @@ class XcclMpi {
   Dispatch last_;
   obs::DispatchDecision last_decision_;
   std::size_t last_bytes_ = 0;  ///< message bytes of the last noted dispatch
+  std::uint64_t note_seq_ = 0;  ///< bumped by every note(); see ScopedOpTimer
   PathStats stats_;
   std::map<CollOp, OpProfile> op_profiles_;
 };

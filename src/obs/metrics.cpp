@@ -23,6 +23,48 @@ std::string num(double v) {
   return buf;
 }
 
+/// Caller-chosen metric names go into JSON string literals verbatim; escape
+/// the characters that would break the document (quote, backslash, control).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// RFC 4180 quoting for CSV fields that contain a separator, quote, or
+/// newline; other fields pass through unchanged.
+std::string csv_field(std::string_view s) {
+  if (s.find_first_of(",\"\n\r") == std::string_view::npos) {
+    return std::string(s);
+  }
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 void render_hist_json(std::ostringstream& os, const HistogramSnapshot& h) {
   os << "{\"count\":" << h.count << ",\"sum\":" << num(h.sum) << ",\"buckets\":[";
   bool first = true;
@@ -184,21 +226,23 @@ std::string MetricsSnapshot::to_json() const {
   for (const NamedValue& v : counters) {
     if (!first) os << ',';
     first = false;
-    os << "{\"name\":\"" << v.name << "\",\"value\":" << num(v.value) << '}';
+    os << "{\"name\":\"" << json_escape(v.name) << "\",\"value\":"
+       << num(v.value) << '}';
   }
   os << "],\"gauges\":[";
   first = true;
   for (const NamedValue& v : gauges) {
     if (!first) os << ',';
     first = false;
-    os << "{\"name\":\"" << v.name << "\",\"value\":" << num(v.value) << '}';
+    os << "{\"name\":\"" << json_escape(v.name) << "\",\"value\":"
+       << num(v.value) << '}';
   }
   os << "],\"histograms\":[";
   first = true;
   for (const auto& [name, h] : histograms) {
     if (!first) os << ',';
     first = false;
-    os << "{\"name\":\"" << name << "\",\"hist\":";
+    os << "{\"name\":\"" << json_escape(name) << "\",\"hist\":";
     render_hist_json(os, h);
     os << '}';
   }
@@ -219,14 +263,14 @@ std::string MetricsSnapshot::to_csv() const {
        << '\n';
   }
   for (const NamedValue& v : counters) {
-    os << "counter," << v.name << ",value," << num(v.value) << '\n';
+    os << "counter," << csv_field(v.name) << ",value," << num(v.value) << '\n';
   }
   for (const NamedValue& v : gauges) {
-    os << "gauge," << v.name << ",value," << num(v.value) << '\n';
+    os << "gauge," << csv_field(v.name) << ",value," << num(v.value) << '\n';
   }
   for (const auto& [name, h] : histograms) {
-    os << "histogram," << name << ",count," << h.count << '\n';
-    os << "histogram," << name << ",avg," << num(h.avg()) << '\n';
+    os << "histogram," << csv_field(name) << ",count," << h.count << '\n';
+    os << "histogram," << csv_field(name) << ",avg," << num(h.avg()) << '\n';
   }
   return os.str();
 }

@@ -97,7 +97,16 @@ void init_from_env() {
       std::lock_guard lock(g_cfg_mu);
       any = g_cfg.any_export();
     }
-    if (any) std::atexit([] { flush(); });
+    if (any) {
+      // Force-construct every singleton flush() touches BEFORE registering
+      // the exit handler: atexit handlers and static destructors run LIFO,
+      // so a singleton first constructed after this registration would be
+      // destroyed before flush() runs and flush() would touch a dead object.
+      Registry::instance();
+      DecisionLog::instance();
+      sim::Trace::instance();
+      std::atexit([] { flush(); });
+    }
   });
 }
 

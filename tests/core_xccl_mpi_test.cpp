@@ -145,6 +145,34 @@ TEST(Fallback, DisallowedFallbackThrows) {
                });
 }
 
+TEST(Fallback, ThrowingDispatchRecordsNoSample) {
+  // A collective that throws before dispatch completes (allow_fallback=false)
+  // must not record a latency/byte sample — previously the op timer's
+  // destructor attributed one to the PREVIOUS call's engine and byte count.
+  with_runtime(sim::thetagpu(), 1,
+               {.mode = Mode::PureXccl, .allow_fallback = false},
+               [](XcclMpi& rt) {
+                 auto& dev = rt.context().device();
+                 device::DeviceBuffer f(dev, 16 * sizeof(float));
+                 for (int i = 0; i < 16; ++i) f.as<float>()[i] = 1.0f;
+                 rt.allreduce(f.get(), f.get(), 16, mini::kFloat, ReduceOp::Sum,
+                              rt.comm_world());
+                 const OpProfile before = rt.profile_stats().at(CollOp::Allreduce);
+                 EXPECT_EQ(before.xccl_calls, 1u);
+
+                 device::DeviceBuffer d(dev, 16 * 16);
+                 EXPECT_THROW(rt.allreduce(d.get(), d.get(), 16,
+                                           mini::kDoubleComplex, ReduceOp::Sum,
+                                           rt.comm_world()),
+                              Error);
+                 const OpProfile& after = rt.profile_stats().at(CollOp::Allreduce);
+                 EXPECT_EQ(after.xccl_calls, before.xccl_calls);
+                 EXPECT_EQ(after.xccl_bytes, before.xccl_bytes);
+                 EXPECT_DOUBLE_EQ(after.xccl_us, before.xccl_us);
+                 EXPECT_EQ(after.mpi_calls, before.mpi_calls);
+               });
+}
+
 TEST(ComposedCollectives, AlltoallViaGroupSendRecv) {
   with_runtime(sim::thetagpu(), 1, {.mode = Mode::PureXccl}, [](XcclMpi& rt) {
     const int p = rt.size();

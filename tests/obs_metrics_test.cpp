@@ -192,5 +192,26 @@ TEST(Registry, JsonAndCsvRendering) {
   reg.reset();
 }
 
+TEST(Registry, HostileNamesAreEscapedInJsonAndCsv) {
+  auto& reg = Registry::instance();
+  reg.reset();
+  reg.counter("bad\"name\\with,stuff\n").add(1, 0);
+  reg.gauge("tab\there").set(1.0);
+
+  const std::string json = reg.snapshot().to_json();
+  EXPECT_NE(json.find("\"bad\\\"name\\\\with,stuff\\n\""), std::string::npos);
+  EXPECT_NE(json.find("\"tab\\there\""), std::string::npos);
+  // No raw control characters may survive into the document.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.find('\t'), std::string::npos);
+
+  // CSV: the hostile field is quoted (RFC 4180), with inner quotes doubled,
+  // so the row still parses as exactly four columns.
+  const std::string csv = reg.snapshot().to_csv();
+  EXPECT_NE(csv.find("counter,\"bad\"\"name\\with,stuff\n\",value,1"),
+            std::string::npos);
+  reg.reset();
+}
+
 }  // namespace
 }  // namespace mpixccl::obs
