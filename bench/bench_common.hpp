@@ -55,6 +55,9 @@ inline void header(const std::string& what, const std::string& paper_ref) {
   // Every bench binary goes through here first, so the MPIXCCL_OBS_LEVEL /
   // MPIXCCL_*_FILE environment takes effect (and flushes at exit) for free.
   obs::init_from_env();
+  // Likewise MPIXCCL_BENCH_JSON=<path>: arm the mpixccl.bench.v1 result log
+  // (saved at exit) with this binary's banner as the document's bench name.
+  omb::ResultLog::instance().init_from_env(what);
   std::printf("==========================================================\n");
   std::printf("%s\n", what.c_str());
   std::printf("(reproduces %s)\n", paper_ref.c_str());

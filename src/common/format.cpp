@@ -2,8 +2,43 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 namespace mpixccl::fmt {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  char buf[40];
+  for (const int prec : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
 
 std::string size_label(std::size_t bytes) {
   if (bytes >= (1u << 20) && bytes % (1u << 20) == 0) {
@@ -32,7 +67,7 @@ void Table::add_row(std::vector<std::string> cells) {
   rows_.push_back(std::move(cells));
 }
 
-void Table::print() const {
+std::string Table::str() const {
   std::vector<std::size_t> widths(header_.size(), 0);
   for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
   for (const auto& row : rows_) {
@@ -40,16 +75,19 @@ void Table::print() const {
       widths[c] = std::max(widths[c], row[c].size());
     }
   }
-  auto print_row = [&](const std::vector<std::string>& row) {
-    std::string line;
+  std::string out;
+  auto render_row = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      if (c != 0) line += "  ";
-      line += pad_left(row[c], widths[c]);
+      if (c != 0) out += "  ";
+      out += pad_left(row[c], c < widths.size() ? widths[c] : row[c].size());
     }
-    std::printf("%s\n", line.c_str());
+    out += '\n';
   };
-  print_row(header_);
-  for (const auto& row : rows_) print_row(row);
+  render_row(header_);
+  for (const auto& row : rows_) render_row(row);
+  return out;
 }
+
+void Table::print() const { std::printf("%s", str().c_str()); }
 
 }  // namespace mpixccl::fmt

@@ -4,12 +4,25 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace mpixccl::fmt {
 
 /// "4", "1K", "64K", "4M" — the message-size labels OMB prints.
 std::string size_label(std::size_t bytes);
+
+/// Escape a string for use inside a JSON string literal: quote, backslash
+/// and control characters. The one escape helper every exporter (metrics
+/// JSON/CSV, Chrome trace, bench results) shares — caller-chosen names go
+/// into documents verbatim otherwise.
+std::string json_escape(std::string_view s);
+
+/// Shortest decimal text that round-trips the double exactly (escalating
+/// %.15g → %.17g). Use for JSON numbers that must survive a parse/re-emit
+/// cycle, e.g. trace timestamps past ~1 s of virtual time where %.6g
+/// truncation loses sub-microsecond structure.
+std::string json_double(double v);
 
 /// Fixed-point with `prec` decimals.
 std::string fixed(double v, int prec = 2);
@@ -23,7 +36,9 @@ class Table {
   explicit Table(std::vector<std::string> header);
 
   void add_row(std::vector<std::string> cells);
-  /// Render to stdout with 2-space gutters, right-aligned numeric columns.
+  /// Render with 2-space gutters, right-aligned columns, one line per row.
+  [[nodiscard]] std::string str() const;
+  /// str() to stdout.
   void print() const;
 
  private:

@@ -6,6 +6,7 @@
 
 #include "common/log.hpp"
 #include "device/buffer_registry.hpp"
+#include "obs/analyze.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "sim/trace.hpp"
@@ -150,7 +151,13 @@ XcclMpi::ScopedOpTimer::~ScopedOpTimer() {
       prof.mpi_us += elapsed;
       break;
   }
-  obs::Registry::instance().record_latency(op_, rt_->last_.engine, elapsed);
+  obs::Registry::instance().record_latency(op_, rt_->last_.engine, bytes,
+                                           elapsed);
+  // Slow-call hook: the flight recorder keeps the top-K slowest dispatches
+  // joined with the decision that routed them (fast path: one relaxed load).
+  obs::FlightRecorder::instance().record(
+      obs::FlightRecord{op_, rt_->last_.engine, bytes, rt_->rank(), t0_, now,
+                        rt_->last_decision_});
   sim::Trace::instance().record(rt_->rank(), to_string(op_),
                                 to_string(rt_->last_.engine), t0_, now);
 }

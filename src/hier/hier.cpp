@@ -69,6 +69,11 @@ HierEngine::HierComms& HierEngine::comms_for(mini::Comm& comm) {
     const int me = comm.rank();
     hc.per_node = L;
     hc.nodes = p / L;
+    // The splits are collective and cost virtual time; the stage span keeps
+    // the first dispatch through a communicator fully attributable (the
+    // critical-path report would otherwise show its setup cost as a gap).
+    obs::Span span(me, mpi_->context().clock(), "hier.comm_setup",
+                   "hier.stage");
     hc.node = mpi_->split(comm, me / L, me);
     hc.cross = mpi_->split(comm, me % L, me);
     hc.usable = true;

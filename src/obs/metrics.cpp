@@ -9,6 +9,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/format.hpp"
 #include "common/status.hpp"
 
 namespace mpixccl::obs {
@@ -23,32 +24,10 @@ std::string num(double v) {
   return buf;
 }
 
-/// Caller-chosen metric names go into JSON string literals verbatim; escape
-/// the characters that would break the document (quote, backslash, control).
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+// Caller-chosen metric names go into JSON string literals verbatim; the
+// shared fmt::json_escape handles the characters that would break the
+// document (quote, backslash, control).
+using fmt::json_escape;
 
 /// RFC 4180 quoting for CSV fields that contain a separator, quote, or
 /// newline; other fields pass through unchanged.
@@ -66,7 +45,12 @@ std::string csv_field(std::string_view s) {
 }
 
 void render_hist_json(std::ostringstream& os, const HistogramSnapshot& h) {
-  os << "{\"count\":" << h.count << ",\"sum\":" << num(h.sum) << ",\"buckets\":[";
+  os << "{\"count\":" << h.count << ",\"sum\":" << num(h.sum);
+  if (h.count > 0) {
+    os << ",\"p50\":" << num(h.p50()) << ",\"p90\":" << num(h.p90())
+       << ",\"p99\":" << num(h.p99());
+  }
+  os << ",\"buckets\":[";
   bool first = true;
   for (const auto& [le, n] : h.buckets) {
     if (!first) os << ',';
@@ -81,6 +65,30 @@ void render_hist_json(std::ostringstream& os, const HistogramSnapshot& h) {
 }
 
 }  // namespace
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank in (0, count]: the q-quantile sits after `target` samples.
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (const auto& [le, n] : buckets) {
+    const double dn = static_cast<double>(n);
+    if (cum + dn >= target) {
+      // Lower edge of this log2 bucket: le/2 in general, 0 for the first
+      // bucket (<= 1), bucket_le(kBuckets-2) for the unbounded last one.
+      if (std::isinf(le)) return Histogram::bucket_le(Histogram::kBuckets - 2);
+      const double frac = dn > 0.0 ? (target - cum) / dn : 1.0;
+      if (le <= 1.0) return le * frac;  // linear: log has no lower edge at 0
+      const double lo = le / 2.0;
+      return lo * std::pow(le / lo, frac);  // log-linear inside (le/2, le]
+    }
+    cum += dn;
+  }
+  // Rounding left target a hair past the final cumulative count.
+  const double last = buckets.empty() ? 0.0 : buckets.back().first;
+  return std::isinf(last) ? Histogram::bucket_le(Histogram::kBuckets - 2) : last;
+}
 
 void Counter::add(std::uint64_t n) {
   const auto h = std::hash<std::thread::id>{}(std::this_thread::get_id());
@@ -135,6 +143,13 @@ void Registry::record_latency(core::CollOp op, core::Engine engine, double us) {
   cell(op, engine).latency_us_hist.observe(us);
 }
 
+void Registry::record_latency(core::CollOp op, core::Engine engine,
+                              std::size_t bytes, double us) {
+  CollCell& c = cell(op, engine);
+  c.latency_us_hist.observe(us);
+  c.band_latency_us[size_band_of(bytes)].observe(us);
+}
+
 Counter& Registry::counter(std::string_view name) {
   std::lock_guard lock(names_mu_);
   return counters_[std::string(name)];
@@ -165,6 +180,9 @@ MetricsSnapshot Registry::snapshot() const {
       row.bytes = c.bytes.value();
       row.size_hist = c.size_hist.snapshot();
       row.latency_us_hist = c.latency_us_hist.snapshot();
+      for (std::size_t b = 0; b < kSizeBands; ++b) {
+        row.band_latency_us[b] = c.band_latency_us[b].snapshot();
+      }
       s.collectives.push_back(std::move(row));
     }
   }
@@ -198,6 +216,7 @@ void Registry::reset() {
       c.bytes.reset();
       c.size_hist.reset();
       c.latency_us_hist.reset();
+      for (auto& b : c.band_latency_us) b.reset();
     }
   }
   std::lock_guard lock(names_mu_);
@@ -206,7 +225,7 @@ void Registry::reset() {
   for (auto& [name, h] : histograms_) h.reset();
 }
 
-std::string MetricsSnapshot::to_json() const {
+std::string MetricsSnapshot::to_json(std::string_view extra_fields) const {
   std::ostringstream os;
   os << "{\"schema\":\"mpixccl.metrics.v1\",\"collectives\":[";
   bool first = true;
@@ -219,7 +238,17 @@ std::string MetricsSnapshot::to_json() const {
     render_hist_json(os, r.size_hist);
     os << ",\"latency_us_hist\":";
     render_hist_json(os, r.latency_us_hist);
-    os << '}';
+    os << ",\"bands\":[";
+    bool first_band = true;
+    for (std::size_t b = 0; b < kSizeBands; ++b) {
+      if (r.band_latency_us[b].count == 0) continue;
+      if (!first_band) os << ',';
+      first_band = false;
+      os << "{\"band\":\"" << size_band_name(b) << "\",\"latency_us_hist\":";
+      render_hist_json(os, r.band_latency_us[b]);
+      os << '}';
+    }
+    os << "]}";
   }
   os << "],\"counters\":[";
   first = true;
@@ -246,7 +275,9 @@ std::string MetricsSnapshot::to_json() const {
     render_hist_json(os, h);
     os << '}';
   }
-  os << "]}";
+  os << ']';
+  if (!extra_fields.empty()) os << ',' << extra_fields;
+  os << '}';
   return os.str();
 }
 
@@ -261,6 +292,23 @@ std::string MetricsSnapshot::to_csv() const {
     os << "coll," << key << ",avg_bytes," << num(r.size_hist.avg()) << '\n';
     os << "coll," << key << ",avg_latency_us," << num(r.latency_us_hist.avg())
        << '\n';
+    if (r.latency_us_hist.count > 0) {
+      os << "coll," << key << ",p50_latency_us," << num(r.latency_us_hist.p50())
+         << '\n';
+      os << "coll," << key << ",p90_latency_us," << num(r.latency_us_hist.p90())
+         << '\n';
+      os << "coll," << key << ",p99_latency_us," << num(r.latency_us_hist.p99())
+         << '\n';
+    }
+    for (std::size_t b = 0; b < kSizeBands; ++b) {
+      const HistogramSnapshot& h = r.band_latency_us[b];
+      if (h.count == 0) continue;
+      const std::string bkey =
+          "band[" + std::string(size_band_name(b)) + "]_latency_us";
+      os << "coll," << key << ',' << bkey << "_count," << h.count << '\n';
+      os << "coll," << key << ',' << bkey << "_p50," << num(h.p50()) << '\n';
+      os << "coll," << key << ',' << bkey << "_p99," << num(h.p99()) << '\n';
+    }
   }
   for (const NamedValue& v : counters) {
     os << "counter," << csv_field(v.name) << ",value," << num(v.value) << '\n';
@@ -271,6 +319,10 @@ std::string MetricsSnapshot::to_csv() const {
   for (const auto& [name, h] : histograms) {
     os << "histogram," << csv_field(name) << ",count," << h.count << '\n';
     os << "histogram," << csv_field(name) << ",avg," << num(h.avg()) << '\n';
+    if (h.count > 0) {
+      os << "histogram," << csv_field(name) << ",p50," << num(h.p50()) << '\n';
+      os << "histogram," << csv_field(name) << ",p99," << num(h.p99()) << '\n';
+    }
   }
   return os.str();
 }

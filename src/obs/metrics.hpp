@@ -88,7 +88,46 @@ struct HistogramSnapshot {
   [[nodiscard]] double avg() const {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);
   }
+
+  /// Estimate the q-quantile (q in [0,1]) by log-linear interpolation inside
+  /// the covering log2 bucket — the natural interpolation for exponentially
+  /// sized buckets (linear inside the first bucket, whose lower edge is 0).
+  /// Samples landing in the unbounded last bucket report that bucket's
+  /// finite lower edge rather than inventing a value beyond the range.
+  /// Returns 0 for an empty histogram.
+  [[nodiscard]] double percentile(double q) const;
+
+  [[nodiscard]] double p50() const { return percentile(0.50); }
+  [[nodiscard]] double p90() const { return percentile(0.90); }
+  [[nodiscard]] double p99() const { return percentile(0.99); }
 };
+
+// ---- Message-size bands -----------------------------------------------------
+// Coarse size classes for per-(collective, engine, size-band) latency
+// attribution: fine enough to separate the tuning table's small/crossover/
+// large regimes, coarse enough that the per-cell histogram array stays tiny.
+
+inline constexpr std::size_t kSizeBands = 5;
+
+/// Band index for a message byte count: <=4K, 4K-64K, 64K-1M, 1M-16M, >16M.
+constexpr std::size_t size_band_of(std::size_t bytes) {
+  if (bytes <= (std::size_t{4} << 10)) return 0;
+  if (bytes <= (std::size_t{64} << 10)) return 1;
+  if (bytes <= (std::size_t{1} << 20)) return 2;
+  if (bytes <= (std::size_t{16} << 20)) return 3;
+  return 4;
+}
+
+constexpr std::string_view size_band_name(std::size_t band) {
+  switch (band) {
+    case 0: return "<=4K";
+    case 1: return "4K-64K";
+    case 2: return "64K-1M";
+    case 3: return "1M-16M";
+    case 4: return ">16M";
+    default: return "?";
+  }
+}
 
 /// Log2-bucketed histogram: bucket i holds values in (2^(i-1), 2^i], bucket
 /// 0 holds everything <= 1, the last bucket is unbounded. Covers message
@@ -128,6 +167,9 @@ struct CollRow {
   std::uint64_t bytes = 0;
   HistogramSnapshot size_hist;        ///< message bytes per call
   HistogramSnapshot latency_us_hist;  ///< virtual microseconds per call
+  /// Latency split by message-size band (index by size_band_of); filled by
+  /// the byte-aware record_latency overload, empty bands render as nothing.
+  std::array<HistogramSnapshot, kSizeBands> band_latency_us;
 };
 
 struct NamedValue {
@@ -143,7 +185,11 @@ struct MetricsSnapshot {
   std::vector<NamedValue> gauges;
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
 
-  [[nodiscard]] std::string to_json() const;
+  /// `extra_fields`, when non-empty, is raw pre-rendered JSON of the form
+  /// `"key":value[,...]` appended at the document's top level — how the
+  /// flight recorder rides along in the exported snapshot without the
+  /// registry depending on the analysis layer.
+  [[nodiscard]] std::string to_json(std::string_view extra_fields = {}) const;
   [[nodiscard]] std::string to_csv() const;
 };
 
@@ -159,6 +205,10 @@ class Registry {
                    std::size_t bytes);
   /// Completed call latency in virtual microseconds.
   void record_latency(core::CollOp op, core::Engine engine, double us);
+  /// Byte-aware variant: also files the sample under its message-size band
+  /// (the per-(collective, engine, size-band) rows `mpixccl top` ranks).
+  void record_latency(core::CollOp op, core::Engine engine, std::size_t bytes,
+                      double us);
 
   // ---- Named metrics (registration locks once; returned refs are stable) ---
   Counter& counter(std::string_view name);
@@ -190,6 +240,7 @@ class Registry {
     Counter bytes;
     Histogram size_hist;
     Histogram latency_us_hist;
+    std::array<Histogram, kSizeBands> band_latency_us;
   };
 
   [[nodiscard]] CollCell& cell(core::CollOp op, core::Engine engine) {

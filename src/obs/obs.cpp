@@ -6,6 +6,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "obs/analyze.hpp"
 #include "sim/trace.hpp"
 
 namespace mpixccl::obs {
@@ -104,6 +105,7 @@ void init_from_env() {
       // destroyed before flush() runs and flush() would touch a dead object.
       Registry::instance();
       DecisionLog::instance();
+      FlightRecorder::instance();
       sim::Trace::instance();
       std::atexit([] { flush(); });
     }
@@ -117,7 +119,9 @@ void flush() {
     cfg = g_cfg;
   }
   if (!cfg.metrics_file.empty()) {
-    Registry::instance().save_json(cfg.metrics_file);
+    // The composite export: the registry snapshot with the flight-recorder
+    // top-K riding along as a top-level field.
+    save_metrics_json(cfg.metrics_file);
     Registry::instance().save_csv(csv_sibling(cfg.metrics_file));
   }
   if (!cfg.trace_file.empty()) {

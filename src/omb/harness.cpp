@@ -1,7 +1,9 @@
 #include "omb/harness.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <memory>
 
@@ -422,6 +424,95 @@ void print_series_table(const std::string& title, const std::string& unit,
   }
   table.print();
   std::printf("\n");
+
+  // Feed the machine-readable side of the bench pipeline. A table printed
+  // with a '-' hole simply has no point for that (series, size) — the diff
+  // tool reports it as missing rather than inventing a value.
+  auto& rlog = ResultLog::instance();
+  rlog.init_from_env();
+  if (rlog.armed()) {
+    for (const auto& [name, rows] : series) {
+      for (const Row& r : rows) rlog.add(title, unit, name, r.bytes, r.value);
+    }
+  }
+}
+
+// ---- ResultLog --------------------------------------------------------------
+
+ResultLog& ResultLog::instance() {
+  static ResultLog log;
+  return log;
+}
+
+void ResultLog::init_from_env(const std::string& bench) {
+  std::call_once(env_once_, [&] {
+    const char* path = std::getenv("MPIXCCL_BENCH_JSON");
+    if (path != nullptr && *path != '\0') arm(path, bench);
+  });
+  if (!bench.empty()) {
+    std::lock_guard lock(mu_);
+    if (doc_.bench.empty()) doc_.bench = bench;
+  }
+}
+
+void ResultLog::arm(std::string path, std::string bench) {
+  bool first_arm = false;
+  {
+    std::lock_guard lock(mu_);
+    first_arm = !armed_;
+    armed_ = true;
+    path_ = std::move(path);
+    if (doc_.bench.empty()) doc_.bench = std::move(bench);
+  }
+  if (first_arm) {
+    std::atexit([] { ResultLog::instance().save_if_armed(); });
+  }
+}
+
+bool ResultLog::armed() const {
+  std::lock_guard lock(mu_);
+  return armed_;
+}
+
+void ResultLog::add(const std::string& table, const std::string& unit,
+                    const std::string& series, std::size_t bytes, double value) {
+  std::lock_guard lock(mu_);
+  doc_.points.push_back(obs::BenchPoint{table, series, unit, bytes, value});
+}
+
+obs::BenchDoc ResultLog::doc() const {
+  std::lock_guard lock(mu_);
+  return doc_;
+}
+
+std::size_t ResultLog::size() const {
+  std::lock_guard lock(mu_);
+  return doc_.points.size();
+}
+
+void ResultLog::save(const std::string& path) const {
+  obs::BenchDoc d = doc();
+  std::ofstream out(path);
+  require(out.good(), "ResultLog: cannot open " + path);
+  out << obs::bench_json(d);
+  require(out.good(), "ResultLog: write failed for " + path);
+}
+
+void ResultLog::save_if_armed() const {
+  std::string path;
+  {
+    std::lock_guard lock(mu_);
+    if (!armed_) return;
+    path = path_;
+  }
+  save(path);
+  std::fprintf(stderr, "[mpixccl] bench results (%zu points) -> %s\n", size(),
+               path.c_str());
+}
+
+void ResultLog::clear() {
+  std::lock_guard lock(mu_);
+  doc_.points.clear();
 }
 
 }  // namespace mpixccl::omb

@@ -17,11 +17,13 @@
 
 #include <cstddef>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/tuning.hpp"
+#include "obs/analyze.hpp"
 #include "sim/profiles.hpp"
 #include "sim/topology.hpp"
 #include "xccl/api.hpp"
@@ -109,8 +111,48 @@ FlavorSeries run_collective(const sim::SystemProfile& profile, int nodes,
                             const CollectiveConfig& config);
 
 /// Print series side by side as an OMB-style table ("# OSU ..." header,
-/// size column plus one column per series).
+/// size column plus one column per series). Every printed point also lands
+/// in the armed ResultLog, so any bench that draws a table feeds the
+/// machine-readable mpixccl.bench.v1 trajectory for free.
 void print_series_table(const std::string& title, const std::string& unit,
                         const std::vector<std::pair<std::string, Series>>& series);
+
+/// Process-global collector of bench results, the producer half of the
+/// bench-regression gate: armed via MPIXCCL_BENCH_JSON=<path> (read once,
+/// from bench::header or the first printed table), it accumulates every
+/// (table, series, bytes, value) point print_series_table renders and
+/// writes one "mpixccl.bench.v1" document at exit — the input format of
+/// `mpixccl perf diff` and the committed BENCH_core.json baseline.
+class ResultLog {
+ public:
+  static ResultLog& instance();
+
+  /// Read MPIXCCL_BENCH_JSON once and arm the exit-time save; `bench` names
+  /// the producing binary in the document (first non-empty caller wins).
+  void init_from_env(const std::string& bench = {});
+  /// Arm explicitly (registers the atexit save on first arm).
+  void arm(std::string path, std::string bench);
+  [[nodiscard]] bool armed() const;
+
+  void add(const std::string& table, const std::string& unit,
+           const std::string& series, std::size_t bytes, double value);
+
+  [[nodiscard]] obs::BenchDoc doc() const;
+  [[nodiscard]] std::size_t size() const;
+  void save(const std::string& path) const;
+  /// The exit hook: write to the armed path, swallowing nothing — a failed
+  /// write throws out of atexit by design (CI must notice).
+  void save_if_armed() const;
+  void clear();
+
+ private:
+  ResultLog() = default;
+
+  mutable std::mutex mu_;
+  std::once_flag env_once_;
+  bool armed_ = false;
+  std::string path_;
+  obs::BenchDoc doc_;
+};
 
 }  // namespace mpixccl::omb

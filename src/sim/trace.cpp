@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/format.hpp"
 #include "common/status.hpp"
 
 namespace mpixccl::sim {
@@ -16,36 +17,93 @@ void Trace::record(int rank, std::string_view name, std::string_view category,
                    double begin_us, double end_us) {
   if (!enabled()) return;  // cheap atomic check before touching the mutex
   std::lock_guard lock(mu_);
-  events_.push_back(TraceEvent{rank, std::string(name), std::string(category),
-                               begin_us, end_us});
+  ++total_;
+  TraceEvent e{rank, std::string(name), std::string(category), begin_us,
+               end_us};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+  } else {
+    ring_[head_] = std::move(e);
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+void Trace::set_capacity(std::size_t n) {
+  require(n > 0, "Trace::set_capacity: capacity must be positive");
+  std::lock_guard lock(mu_);
+  // Re-linearize, keeping the newest events.
+  std::vector<TraceEvent> linear;
+  linear.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    linear.push_back(std::move(ring_[(head_ + i) % ring_.size()]));
+  }
+  if (linear.size() > n) {
+    dropped_ += linear.size() - n;
+    linear.erase(linear.begin(),
+                 linear.begin() + static_cast<std::ptrdiff_t>(linear.size() - n));
+  }
+  ring_ = std::move(linear);
+  head_ = 0;
+  capacity_ = n;
+}
+
+std::size_t Trace::capacity() const {
+  std::lock_guard lock(mu_);
+  return capacity_;
+}
+
+std::uint64_t Trace::dropped() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+
+std::uint64_t Trace::total() const {
+  std::lock_guard lock(mu_);
+  return total_;
 }
 
 void Trace::clear() {
   std::lock_guard lock(mu_);
-  events_.clear();
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+  total_ = 0;
 }
 
 std::size_t Trace::size() const {
   std::lock_guard lock(mu_);
-  return events_.size();
+  return ring_.size();
 }
 
 std::vector<TraceEvent> Trace::events() const {
   std::lock_guard lock(mu_);
-  return events_;
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
 }
 
 std::string Trace::to_chrome_json() const {
   std::lock_guard lock(mu_);
   std::ostringstream os;
-  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"retainedEvents\":"
+     << ring_.size() << ",\"droppedEvents\":" << dropped_
+     << ",\"totalEvents\":" << total_ << "},\"traceEvents\":[";
   bool first = true;
-  for (const TraceEvent& e : events_) {
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const TraceEvent& e = ring_[(head_ + i) % ring_.size()];
     if (!first) os << ',';
     first = false;
-    os << "{\"name\":\"" << e.name << "\",\"cat\":\"" << e.category
-       << "\",\"ph\":\"X\",\"ts\":" << e.begin_us
-       << ",\"dur\":" << (e.end_us - e.begin_us)
+    // Span names/categories are caller-chosen strings (fmt::json_escape
+    // guards the document); ts/dur need full round-trip precision or spans
+    // past ~1 s of virtual time collapse onto each other at %.6g.
+    os << "{\"name\":\"" << fmt::json_escape(e.name) << "\",\"cat\":\""
+       << fmt::json_escape(e.category)
+       << "\",\"ph\":\"X\",\"ts\":" << fmt::json_double(e.begin_us)
+       << ",\"dur\":" << fmt::json_double(e.end_us - e.begin_us)
        << ",\"pid\":0,\"tid\":" << e.rank << '}';
   }
   os << "]}";

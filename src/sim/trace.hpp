@@ -7,9 +7,15 @@
 //
 // Tracing is off by default (zero overhead beyond one branch); enable it
 // around a region of interest, then save_chrome_json().
+//
+// The event buffer is a bounded ring (default 65536 spans), mirroring the
+// dispatch-decision log: a long trainer run with MPIXCCL_TRACE_FILE set
+// keeps the newest spans instead of growing without limit, and the export
+// metadata carries how many older events the ring dropped.
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -28,25 +34,39 @@ struct TraceEvent {
 /// Process-wide trace collector (thread-safe; rank threads append).
 class Trace {
  public:
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
   static Trace& instance();
 
   // The enabled flag is atomic so the off-path (every instrumented span in
   // every rank thread) is one relaxed-ish load — no mutex contention when
-  // tracing is disabled. The mutex guards only the event vector.
+  // tracing is disabled. The mutex guards only the event ring.
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_release); }
   [[nodiscard]] bool enabled() const {
     return enabled_.load(std::memory_order_acquire);
   }
 
-  /// Record one completed span (no-op while disabled).
+  /// Record one completed span (no-op while disabled). Once the ring is
+  /// full, the oldest span is evicted and counted as dropped.
   void record(int rank, std::string_view name, std::string_view category,
               double begin_us, double end_us);
 
+  /// Resize the ring, keeping the newest events when shrinking below the
+  /// current fill (the evicted ones count as dropped).
+  void set_capacity(std::size_t n);
+  [[nodiscard]] std::size_t capacity() const;
+  /// Events evicted by ring wrap or shrink since the last clear().
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Total events ever recorded since the last clear() (retained + dropped).
+  [[nodiscard]] std::uint64_t total() const;
+
   void clear();
   [[nodiscard]] std::size_t size() const;
+  /// Retained events, oldest first.
   [[nodiscard]] std::vector<TraceEvent> events() const;
 
   /// Render the Chrome tracing JSON ("X" complete events; tid = rank).
+  /// otherData carries {retainedEvents, droppedEvents, totalEvents}.
   [[nodiscard]] std::string to_chrome_json() const;
   void save_chrome_json(const std::string& path) const;
 
@@ -54,8 +74,12 @@ class Trace {
   Trace() = default;
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;  ///< guards events_ only
-  std::vector<TraceEvent> events_;
+  mutable std::mutex mu_;  ///< guards the ring state below
+  std::vector<TraceEvent> ring_;  ///< circular once full
+  std::size_t capacity_ = kDefaultCapacity;
+  std::size_t head_ = 0;  ///< index of the oldest event once wrapped
+  std::uint64_t dropped_ = 0;
+  std::uint64_t total_ = 0;
 };
 
 }  // namespace mpixccl::sim

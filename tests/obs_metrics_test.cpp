@@ -100,6 +100,137 @@ TEST(Histogram, ObserveAndSnapshot) {
   EXPECT_TRUE(h.snapshot().buckets.empty());
 }
 
+TEST(Percentile, EmptyHistogramIsZero) {
+  Histogram h;
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 0.0);
+}
+
+TEST(Percentile, SingleSampleStaysInItsBucket) {
+  Histogram h;
+  h.observe(3.0);  // bucket (2, 4]
+  const HistogramSnapshot s = h.snapshot();
+  // Any quantile of one sample interpolates within the sample's bucket.
+  for (const double q : {0.01, 0.5, 0.9, 0.99}) {
+    const double p = s.percentile(q);
+    EXPECT_GT(p, 2.0) << "q=" << q;
+    EXPECT_LE(p, 4.0) << "q=" << q;
+  }
+  // q=1 lands exactly on the bucket's upper bound.
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 4.0);
+}
+
+TEST(Percentile, ExactBucketBoundary) {
+  Histogram h;
+  h.observe(1.0);  // bucket 0, le = 1
+  h.observe(2.0);  // bucket 1, le = 2
+  const HistogramSnapshot s = h.snapshot();
+  // The median consumes exactly all of bucket 0: the log-linear
+  // interpolation must return the shared bucket edge, not overshoot.
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 2.0);
+}
+
+TEST(Percentile, FirstBucketInterpolatesLinearly) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.observe(0.5);  // all in bucket 0 (le = 1)
+  const HistogramSnapshot s = h.snapshot();
+  // No log interpolation toward 0 in the first bucket: value = le * q.
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0.25), 0.25);
+}
+
+TEST(Percentile, UnboundedLastBucketReturnsFiniteFloor) {
+  Histogram h;
+  h.observe(1e300);  // saturates into the +inf bucket
+  const HistogramSnapshot s = h.snapshot();
+  const double p = s.percentile(0.99);
+  EXPECT_TRUE(std::isfinite(p));
+  // The finite floor is the previous bucket's upper bound.
+  EXPECT_DOUBLE_EQ(p, Histogram::bucket_le(Histogram::kBuckets - 2));
+}
+
+TEST(Percentile, PropertyMonotoneAndBounded) {
+  // Property-style: for a spread of samples, quantiles are monotone in q and
+  // bounded by the histogram's bucket range.
+  Histogram h;
+  for (const double v : {0.3, 1.0, 2.5, 7.0, 7.5, 40.0, 900.0, 1024.0, 5e4}) {
+    h.observe(v);
+  }
+  const HistogramSnapshot s = h.snapshot();
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double p = s.percentile(q);
+    EXPECT_GE(p, prev - 1e-12) << "q=" << q;
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 65536.0);  // max sample's bucket upper bound
+    prev = p;
+  }
+  EXPECT_LE(s.p50(), s.p90());
+  EXPECT_LE(s.p90(), s.p99());
+  // Out-of-range q clamps instead of misbehaving.
+  EXPECT_DOUBLE_EQ(s.percentile(-1.0), s.percentile(0.0));
+  EXPECT_DOUBLE_EQ(s.percentile(2.0), s.percentile(1.0));
+}
+
+TEST(SizeBands, BandOfAndNames) {
+  EXPECT_EQ(size_band_of(0), 0u);
+  EXPECT_EQ(size_band_of(4096), 0u);
+  EXPECT_EQ(size_band_of(4097), 1u);
+  EXPECT_EQ(size_band_of(65536), 1u);
+  EXPECT_EQ(size_band_of(1u << 20), 2u);
+  EXPECT_EQ(size_band_of((1u << 20) + 1), 3u);
+  EXPECT_EQ(size_band_of(16u << 20), 3u);
+  EXPECT_EQ(size_band_of((16u << 20) + 1), 4u);
+  for (std::size_t b = 0; b < kSizeBands; ++b) {
+    EXPECT_FALSE(size_band_name(b).empty());
+  }
+}
+
+TEST(Registry, ByteAwareLatencyFeedsBandsAndJson) {
+  auto& reg = Registry::instance();
+  reg.reset();
+  reg.record_call(core::CollOp::Allreduce, core::Engine::Xccl, 0, 1024);
+  reg.record_call(core::CollOp::Allreduce, core::Engine::Xccl, 0, 2u << 20);
+  reg.record_latency(core::CollOp::Allreduce, core::Engine::Xccl, 1024, 10.0);
+  reg.record_latency(core::CollOp::Allreduce, core::Engine::Xccl, 2u << 20,
+                     900.0);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.collectives.size(), 1u);
+  const CollRow& row = snap.collectives[0];
+  EXPECT_EQ(row.latency_us_hist.count, 2u);  // both land in the plain hist too
+  EXPECT_EQ(row.band_latency_us[size_band_of(1024)].count, 1u);
+  EXPECT_EQ(row.band_latency_us[size_band_of(2u << 20)].count, 1u);
+  EXPECT_EQ(row.band_latency_us[2].count, 0u);
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"bands\":"), std::string::npos);
+  EXPECT_NE(json.find("\"band\":\"<=4K\""), std::string::npos);
+  EXPECT_NE(json.find("\"band\":\"1M-16M\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+
+  const std::string csv = snap.to_csv();
+  EXPECT_NE(csv.find("p50_latency_us"), std::string::npos);
+  EXPECT_NE(csv.find("band[<=4K]_latency_us_count,1"), std::string::npos);
+  reg.reset();
+}
+
+TEST(Snapshot, ExtraFieldsRideAlongInJson) {
+  auto& reg = Registry::instance();
+  reg.reset();
+  reg.counter("x").add(1, 0);
+  const std::string json =
+      reg.snapshot().to_json("\"flight_recorder\":[{\"op\":\"allreduce\"}]");
+  EXPECT_NE(json.find("\"flight_recorder\":[{\"op\":\"allreduce\"}]"),
+            std::string::npos);
+  EXPECT_EQ(json.back(), '}');
+  reg.reset();
+}
+
 TEST(Registry, CollectiveTableAndEngineAggregates) {
   auto& reg = Registry::instance();
   reg.reset();

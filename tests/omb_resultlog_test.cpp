@@ -1,0 +1,71 @@
+// Tests for omb::ResultLog, the producer half of the bench-regression gate:
+// explicit arming, point accumulation from print_series_table, and the
+// mpixccl.bench.v1 document it saves.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/analyze.hpp"
+#include "omb/harness.hpp"
+
+namespace mpixccl::omb {
+namespace {
+
+class ResultLogFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { ResultLog::instance().clear(); }
+  void TearDown() override { ResultLog::instance().clear(); }
+};
+
+TEST_F(ResultLogFixture, AccumulatesAndSavesV1Doc) {
+  auto& rlog = ResultLog::instance();
+  rlog.arm("/tmp/mpixccl_resultlog_unused.json", "unit bench");
+  rlog.add("Table A", "us", "hybrid-xccl", 4096, 12.5);
+  rlog.add("Table A", "us", "pure-ccl", 4096, 14.0);
+  EXPECT_EQ(rlog.size(), 2u);
+
+  const obs::BenchDoc doc = rlog.doc();
+  EXPECT_EQ(doc.schema, "mpixccl.bench.v1");
+  EXPECT_EQ(doc.bench, "unit bench");
+  ASSERT_EQ(doc.points.size(), 2u);
+  EXPECT_EQ(doc.points[0].series, "hybrid-xccl");
+  EXPECT_DOUBLE_EQ(doc.points[1].value, 14.0);
+
+  const std::string path = "/tmp/mpixccl_resultlog_test.json";
+  rlog.save(path);
+  const obs::BenchDoc back = obs::load_bench_json(path);
+  EXPECT_EQ(back.points.size(), 2u);
+  EXPECT_EQ(back.points[0].key(), doc.points[0].key());
+  std::remove(path.c_str());
+  EXPECT_THROW(rlog.save("/no/such/dir/out.json"), Error);
+}
+
+TEST_F(ResultLogFixture, PrintSeriesTableFeedsArmedLog) {
+  auto& rlog = ResultLog::instance();
+  rlog.arm("/tmp/mpixccl_resultlog_unused.json", "table bench");
+  const Series fast{{4, 1.0}, {64, 2.0}};
+  const Series slow{{4, 3.0}};  // short series: the '-' hole adds no point
+  print_series_table("T", "us", {{"fast", fast}, {"slow", slow}});
+
+  const obs::BenchDoc doc = rlog.doc();
+  ASSERT_EQ(doc.points.size(), 3u);
+  EXPECT_EQ(doc.points[0].key(), "T :: fast @ 4");
+  EXPECT_EQ(doc.points[1].key(), "T :: fast @ 64");
+  EXPECT_EQ(doc.points[2].key(), "T :: slow @ 4");
+  EXPECT_EQ(doc.points[2].unit, "us");
+}
+
+TEST_F(ResultLogFixture, UnarmedLogIgnoresTables) {
+  // A fresh clear() keeps the armed flag from the earlier tests in this
+  // process; only assert the no-env default when nothing armed it yet.
+  if (!ResultLog::instance().armed()) {
+    print_series_table("T", "us", {{"s", Series{{4, 1.0}}}});
+    EXPECT_EQ(ResultLog::instance().size(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mpixccl::omb

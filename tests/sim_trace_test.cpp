@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <string>
 
 #include "core/xccl_mpi.hpp"
 #include "device/device.hpp"
@@ -68,6 +70,73 @@ TEST_F(TraceFixture, XcclMpiCollectivesAppear) {
   }
   EXPECT_EQ(mpi_spans, 8);   // small message -> MPI engine on every rank
   EXPECT_EQ(xccl_spans, 8);  // large -> NCCL
+}
+
+TEST_F(TraceFixture, HostileNamesAreEscaped) {
+  Trace::instance().record(0, "bad\"name\nwith\\stuff", "cat\tegory", 0.0, 1.0);
+  const std::string json = Trace::instance().to_chrome_json();
+  EXPECT_NE(json.find("\"name\":\"bad\\\"name\\nwith\\\\stuff\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"cat\\tegory\""), std::string::npos);
+  // No raw control characters may survive into the document.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.find('\t'), std::string::npos);
+}
+
+TEST_F(TraceFixture, BoundedRingKeepsNewestAndCountsDrops) {
+  auto& tr = Trace::instance();
+  EXPECT_EQ(tr.capacity(), Trace::kDefaultCapacity);
+  tr.set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    tr.record(0, "span" + std::to_string(i), "c", i, i + 0.5);
+  }
+  EXPECT_EQ(tr.size(), 4u);
+  EXPECT_EQ(tr.dropped(), 6u);
+  EXPECT_EQ(tr.total(), 10u);
+  const auto events = tr.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, and only the newest four survived the wrap.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].name,
+              "span" + std::to_string(i + 6));
+  }
+  const std::string json = tr.to_chrome_json();
+  EXPECT_NE(json.find("\"retainedEvents\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"droppedEvents\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"totalEvents\":10"), std::string::npos);
+  tr.set_capacity(Trace::kDefaultCapacity);
+}
+
+TEST_F(TraceFixture, ShrinkingCapacityKeepsNewest) {
+  auto& tr = Trace::instance();
+  for (int i = 0; i < 6; ++i) {
+    tr.record(0, "s" + std::to_string(i), "c", i, i + 0.5);
+  }
+  tr.set_capacity(2);
+  const auto events = tr.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "s4");
+  EXPECT_EQ(events[1].name, "s5");
+  EXPECT_EQ(tr.dropped(), 4u);
+  EXPECT_EQ(tr.total(), 6u);
+  tr.set_capacity(Trace::kDefaultCapacity);
+}
+
+TEST_F(TraceFixture, LargeTimestampsRoundTripExactly) {
+  // A long simulation accumulates virtual microseconds well past the point
+  // where %.3f-style formatting loses the fraction; the exporter must emit
+  // enough digits that the parsed-back double is bit-identical.
+  const double begin = 123456789012.015625;  // exactly representable
+  const double end = begin + 0.25;
+  Trace::instance().record(3, "late", "xccl", begin, end);
+  const std::string json = Trace::instance().to_chrome_json();
+
+  const auto ts_pos = json.find("\"ts\":");
+  ASSERT_NE(ts_pos, std::string::npos);
+  EXPECT_EQ(std::strtod(json.c_str() + ts_pos + 5, nullptr), begin);
+  const auto dur_pos = json.find("\"dur\":");
+  ASSERT_NE(dur_pos, std::string::npos);
+  EXPECT_EQ(std::strtod(json.c_str() + dur_pos + 6, nullptr), end - begin);
 }
 
 TEST_F(TraceFixture, SaveFile) {

@@ -7,10 +7,15 @@
 //   mpixccl tune  --system=voyager --out=/tmp/voyager.tbl
 //   mpixccl hier  --system=mri --nodes=4 --op=allreduce
 //   mpixccl trace --system=thetagpu --out=/tmp/trace.json
+//   mpixccl top   --system=thetagpu [--nodes=2] [--rows=20]
+//   mpixccl perf diff BASELINE.json CURRENT.json [--rel=0.10] [--abs=0.5]
 //
 // Every command runs entirely in-process (threads-as-ranks simulation) and
 // prints OMB-style tables; `tune` writes a tuning table consumable via
 // MPIXCCL_TUNING_FILE, and `trace` writes a chrome://tracing timeline.
+// `top` runs the obs demo workload and prints the perf-analysis reports
+// (hottest rows, flight recorder, critical path); `perf diff` is the
+// bench-regression gate (exit 1 on regression) over mpixccl.bench.v1 files.
 
 #include <cstdio>
 #include <cstring>
@@ -21,6 +26,7 @@
 
 #include "core/tuner.hpp"
 #include "core/xccl_mpi.hpp"
+#include "obs/analyze.hpp"
 #include "device/device.hpp"
 #include "dl/horovod.hpp"
 #include "fabric/world.hpp"
@@ -254,19 +260,15 @@ int cmd_trace(const Args& args) {
   return 0;
 }
 
-int cmd_obs(const Args& args) {
-  // Observability demo: one run that exercises all three engines (a tuning
-  // table splitting allreduce across mpi / hier / xccl by size) plus every
-  // fallback class the dispatcher knows, then dumps the full surface —
-  // merged report to stdout, and optionally the metrics snapshot, the
-  // Chrome trace and the decision "why" report to files.
-  const sim::SystemProfile prof =
-      sim::profile_by_name(get(args, "system", "thetagpu"));
-  const int nodes = std::stoi(get(args, "nodes", "2"));
-
+/// The shared obs/top demo workload: exercises all three engines (a tuning
+/// table splitting allreduce across mpi / hier / xccl by size) plus every
+/// fallback class the dispatcher knows, leaving the registry, decision log,
+/// trace and flight recorder populated for whichever report the caller wants.
+void run_obs_workload(const sim::SystemProfile& prof, int nodes) {
   obs::set_level(obs::Level::Trace);
   obs::Registry::instance().reset();
   obs::DecisionLog::instance().clear();
+  obs::FlightRecorder::instance().clear();
   sim::Trace::instance().clear();
 
   core::TuningTable table;
@@ -309,6 +311,16 @@ int cmd_obs(const Args& args) {
     rt.allreduce(send.get(), recv.get(), 1u << 19, mini::kInt, ReduceOp::Land,
                  comm);
   });
+}
+
+int cmd_obs(const Args& args) {
+  // Observability demo: run the shared workload, then dump the full surface —
+  // merged report to stdout, and optionally the metrics snapshot, the
+  // Chrome trace and the decision "why" report to files.
+  const sim::SystemProfile prof =
+      sim::profile_by_name(get(args, "system", "thetagpu"));
+  const int nodes = std::stoi(get(args, "nodes", "2"));
+  run_obs_workload(prof, nodes);
 
   std::printf("%s", obs::report().c_str());
 
@@ -332,6 +344,70 @@ int cmd_obs(const Args& args) {
   return 0;
 }
 
+int cmd_top(const Args& args) {
+  // Perf-analysis surface: run the shared obs workload at full telemetry,
+  // then print the three analyze reports — hottest (collective, engine,
+  // size-band) rows, the flight-recorder top-K, and critical-path
+  // attribution of the dispatch spans.
+  const sim::SystemProfile prof =
+      sim::profile_by_name(get(args, "system", "thetagpu"));
+  const int nodes = std::stoi(get(args, "nodes", "2"));
+  const std::size_t rows =
+      static_cast<std::size_t>(std::stoul(get(args, "rows", "20")));
+  run_obs_workload(prof, nodes);
+
+  std::printf("%s\n", obs::top_report(obs::Registry::instance().snapshot(),
+                                      rows).c_str());
+  std::printf("%s\n", obs::FlightRecorder::instance().report().c_str());
+  const auto attrs =
+      obs::attribute_dispatches(sim::Trace::instance().events(),
+                                obs::DecisionLog::instance().records());
+  std::printf("%s", obs::critical_path_report(attrs).c_str());
+  obs::set_level(obs::Level::Metrics);
+  return 0;
+}
+
+int cmd_perf(int argc, char** argv) {
+  // perf diff BASELINE CURRENT [--rel=X] [--abs=Y] — the regression gate.
+  // Positional file arguments, unlike the other commands, so the paths read
+  // naturally in CI scripts.
+  if (argc < 3 || std::string(argv[2]) != "diff") {
+    std::fprintf(stderr,
+                 "usage: mpixccl perf diff <baseline.json> <current.json> "
+                 "[--rel=0.10] [--abs=0.5]\n");
+    return 2;
+  }
+  std::vector<std::string> files;
+  Args opts;
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      const auto eq = a.find('=');
+      if (eq == std::string::npos) {
+        opts[a.substr(2)] = "1";
+      } else {
+        opts[a.substr(2, eq - 2)] = a.substr(eq + 1);
+      }
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "mpixccl perf diff: expected exactly two files, got %zu\n",
+                 files.size());
+    return 2;
+  }
+  obs::DiffOptions dopt;
+  dopt.rel_threshold = std::stod(get(opts, "rel", "0.10"));
+  dopt.abs_floor = std::stod(get(opts, "abs", "0.5"));
+  const obs::BenchDoc baseline = obs::load_bench_json(files[0]);
+  const obs::BenchDoc current = obs::load_bench_json(files[1]);
+  const obs::BenchDiff diff = obs::bench_diff(baseline, current, dopt);
+  std::printf("%s", diff.report().c_str());
+  return diff.ok() ? 0 : 1;
+}
+
 int usage() {
   std::printf(
       "usage: mpixccl <command> [--key=value ...]\n"
@@ -346,7 +422,13 @@ int usage() {
       "[--decisions=F]\n"
       "                                         demo all engines + fallbacks,\n"
       "                                         print the observability "
-      "report\n");
+      "report\n"
+      "  top    --system=S [--nodes=N] [--rows=K]  hottest rows, flight\n"
+      "                                         recorder, critical path\n"
+      "  perf diff BASELINE.json CURRENT.json [--rel=0.10] [--abs=0.5]\n"
+      "                                         bench-regression gate "
+      "(exit 1\n"
+      "                                         on regression)\n");
   return 2;
 }
 
@@ -356,6 +438,8 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
+    // `perf` takes positional file args; everything else is --key=value.
+    if (cmd == "perf") return cmd_perf(argc, argv);
     const Args args = parse_args(argc, argv, 2);
     if (cmd == "profiles") return cmd_profiles();
     if (cmd == "p2p") return cmd_p2p(args);
@@ -365,6 +449,7 @@ int main(int argc, char** argv) {
     if (cmd == "hier") return cmd_hier(args);
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "obs") return cmd_obs(args);
+    if (cmd == "top") return cmd_top(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mpixccl: %s\n", e.what());
