@@ -1,0 +1,153 @@
+// Microbench: per-call dispatch overhead of the collective hot path, in host
+// nanoseconds. Virtual time cannot see this cost — tuning lookup, decision
+// construction and plan-cache probing all happen between clock advances — so
+// this bench times the machinery itself with the host steady clock:
+//
+//   * tuning.select_entry   the size-class rule walk per dispatch
+//   * plan.cache.find       a plan-cache hit (the persistent replay lookup)
+//   * decision.push         appending one record to the decision ring
+//   * oneshot allreduce     full dispatch per call (cache-hit steady state)
+//   * persistent start/wait the same collective through a prebuilt handle
+//
+// Emits mpixccl.bench.v1 via MPIXCCL_BENCH_JSON; the committed
+// BENCH_dispatch.json baseline gates regressions through `mpixccl perf diff`
+// (with wide thresholds — host time on shared CI is noisy).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/plan.hpp"
+#include "core/xccl_mpi.hpp"
+#include "device/device.hpp"
+#include "fabric/world.hpp"
+#include "obs/decision.hpp"
+#include "sim/profiles.hpp"
+
+using namespace mpixccl;
+
+namespace {
+
+constexpr std::size_t kBytes = 4096;  ///< the size class every series uses
+
+double now_ns() {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Median per-call ns over `reps` batches of `iters` calls of `body`.
+template <typename F>
+double median_ns(int reps, int iters, F&& body) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_ns();
+    for (int i = 0; i < iters; ++i) body();
+    samples.push_back((now_ns() - t0) / iters);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Micro: dispatch overhead (host ns/call)",
+                "the start/wait hot path the persistent API buys");
+
+  const int reps = 9;
+  const int iters = bench::fast_mode() ? 500 : 2000;
+  const int e2e_iters = bench::fast_mode() ? 200 : 1000;
+
+  // --- Standalone components (no world needed) ------------------------------
+  core::TuningTable table;
+  table.set_rules(core::CollOp::Allreduce,
+                  {{16384, core::Engine::Mpi},
+                   {1u << 20, core::Engine::Hier},
+                   {SIZE_MAX, core::Engine::Xccl}});
+  volatile int sink = 0;
+  const double select_ns = median_ns(reps, iters, [&] {
+    sink = static_cast<int>(
+        table.select_entry(core::CollOp::Allreduce, kBytes).engine);
+  });
+
+  core::PlanCache cache;
+  {
+    auto plan = std::make_shared<core::Plan>();
+    plan->key = core::PlanKey{core::CollOp::Allreduce, DataType::Float32,
+                              ReduceOp::Sum, true,
+                              core::plan_size_class(kBytes), 1};
+    plan->max_bytes = SIZE_MAX;
+    cache.insert(std::move(plan));
+  }
+  const core::PlanKey probe{core::CollOp::Allreduce, DataType::Float32,
+                            ReduceOp::Sum, true, core::plan_size_class(kBytes),
+                            1};
+  const double find_ns = median_ns(reps, iters, [&] {
+    sink = cache.find(probe, kBytes) != nullptr;
+  });
+
+  obs::DecisionLog::instance().set_enabled(true);
+  const double push_ns = median_ns(reps, iters, [&] {
+    obs::DispatchDecision d;
+    d.op = core::CollOp::Allreduce;
+    d.bytes = kBytes;
+    obs::DecisionLog::instance().push(d);
+  });
+  obs::DecisionLog::instance().clear();
+
+  // --- End-to-end: one-shot vs persistent start/wait ------------------------
+  // Two ranks keep thread contention out of the host timing; both paths move
+  // the same simulated bytes through the same engine, so the delta is the
+  // per-call dispatch machinery the persistent handle skips.
+  double oneshot_ns = 0.0;
+  double persistent_ns = 0.0;
+  fabric::World world(
+      fabric::WorldConfig{sim::thetagpu(), 1, /*devices_per_node=*/2});
+  world.run([&](fabric::RankContext& ctx) {
+    core::XcclMpi rt(ctx, {.tuning = table});
+    auto& comm = rt.comm_world();
+    device::DeviceBuffer send(ctx.device(), kBytes);
+    device::DeviceBuffer recv(ctx.device(), kBytes);
+    const std::size_t count = kBytes / sizeof(float);
+
+    // Warm the plan cache so the one-shot loop measures the hit path.
+    rt.allreduce(send.get(), recv.get(), count, mini::kFloat, ReduceOp::Sum,
+                 comm);
+    const double one = median_ns(reps, e2e_iters, [&] {
+      rt.allreduce(send.get(), recv.get(), count, mini::kFloat, ReduceOp::Sum,
+                   comm);
+    });
+
+    core::Persistent h = rt.allreduce_init(send.as<float>(), recv.as<float>(),
+                                           count, mini::kFloat, ReduceOp::Sum,
+                                           comm);
+    const double per = median_ns(reps, e2e_iters, [&] {
+      h.start();
+      h.wait();
+    });
+    if (ctx.rank() == 0) {
+      oneshot_ns = one;
+      persistent_ns = per;
+    }
+  });
+
+  omb::print_series_table(
+      "dispatch overhead", "ns",
+      {{"select_entry", {{kBytes, select_ns}}},
+       {"plan_find_hit", {{kBytes, find_ns}}},
+       {"decision_push", {{kBytes, push_ns}}},
+       {"oneshot_allreduce", {{kBytes, oneshot_ns}}},
+       {"persistent_start_wait", {{kBytes, persistent_ns}}}});
+
+  std::printf("per-call: oneshot=%.0fns persistent=%.0fns (%.2fx)\n\n",
+              oneshot_ns, persistent_ns, oneshot_ns / persistent_ns);
+  bench::shape_check("plan-cache hit costs under a microsecond",
+                     find_ns < 1000.0);
+  bench::shape_check("persistent start/wait no slower than one-shot dispatch",
+                     persistent_ns <= oneshot_ns * 1.10);
+  return 0;
+}

@@ -44,8 +44,30 @@ XcclMpi::XcclMpi(fabric::RankContext& ctx, XcclMpiOptions options)
           : ctx.profile().ccl;
   backend_ = xccl::make_backend(kind, ctx, cp);
   hier_ = std::make_unique<hier::HierEngine>(mpi_);
+  auto& reg = obs::Registry::instance();
+  ctr_plan_hit_ = &reg.counter("plan.cache.hit");
+  ctr_plan_miss_ = &reg.counter("plan.cache.miss");
+  ctr_plan_evict_ = &reg.counter("plan.cache.evict");
+  ctr_plan_invalidate_ = &reg.counter("plan.cache.invalidate");
   MPIXCCL_LOG_INFO("core", "rank ", ctx.rank(), ": MPI-xCCL over ",
                    backend_->name(), " (", ctx.profile().name, ")");
+}
+
+void XcclMpi::reset_stats() {
+  stats_ = {};
+  op_profiles_.clear();
+  last_ = {};
+  last_decision_ = {};
+  plans_.reset_stats();
+  // Flight records carry the id of the plan that routed them; entries from
+  // this rank whose plan has since been evicted or invalidated would join
+  // against nothing, so drop them with the counters they accompanied.
+  obs::FlightRecorder::instance().purge_plan_records(rank(), plans_.live_ids());
+}
+
+void XcclMpi::invalidate_plans() {
+  const std::size_t dropped = plans_.invalidate_all();
+  if (dropped > 0) ctr_plan_invalidate_->add(dropped, rank());
 }
 
 bool XcclMpi::any_device_buffer(const void* a, const void* b) const {
@@ -54,10 +76,10 @@ bool XcclMpi::any_device_buffer(const void* a, const void* b) const {
          (b != nullptr && reg.lookup(b).has_value());
 }
 
-XcclMpi::EnginePick XcclMpi::pick_from_table(const TuningTable& tuning,
-                                             CollOp op, std::size_t bytes) {
+EnginePick XcclMpi::pick_from_table(const TuningTable& tuning,
+                                    CollOp op, std::size_t bytes) {
   const TuningTable::Entry e = tuning.select_entry(op, bytes);
-  XcclMpi::EnginePick pick;
+  EnginePick pick;
   pick.table_choice = e.engine;
   pick.breakpoint = e.max_bytes;
   pick.engine = e.engine;
@@ -70,12 +92,12 @@ XcclMpi::EnginePick XcclMpi::pick_from_table(const TuningTable& tuning,
   return pick;
 }
 
-XcclMpi::EnginePick XcclMpi::pick_engine(CollOp op, std::size_t bytes,
-                                         const void* a, const void* b) {
+EnginePick XcclMpi::pick_classified(CollOp op, std::size_t bytes,
+                                    bool device) const {
   if (options_.mode == Mode::PureMpi) return {};
   // Device Buffer Identify: CCLs only accept device memory; host buffers
   // always take the MPI path regardless of mode.
-  if (!any_device_buffer(a, b)) {
+  if (!device) {
     return {Engine::Mpi, Engine::Mpi, 0, obs::FallbackReason::HostBuffer};
   }
   if (options_.mode == Mode::PureXccl) {
@@ -84,10 +106,15 @@ XcclMpi::EnginePick XcclMpi::pick_engine(CollOp op, std::size_t bytes,
   return pick_from_table(tuning_, op, bytes);
 }
 
-XcclMpi::EnginePick XcclMpi::pick_engine_agreed(CollOp op,
-                                                std::size_t local_bytes,
-                                                const void* a, const void* b,
-                                                mini::Comm& comm) {
+EnginePick XcclMpi::pick_engine(CollOp op, std::size_t bytes,
+                                const void* a, const void* b) {
+  return pick_classified(op, bytes, any_device_buffer(a, b));
+}
+
+EnginePick XcclMpi::pick_engine_agreed(CollOp op,
+                                       std::size_t local_bytes,
+                                       const void* a, const void* b,
+                                       mini::Comm& comm) {
   if (options_.mode == Mode::PureMpi) return {};
   if (!any_device_buffer(a, b)) {
     return {Engine::Mpi, Engine::Mpi, 0, obs::FallbackReason::HostBuffer};
@@ -122,8 +149,84 @@ xccl::CclComm& XcclMpi::ccl_comm(mini::Comm& comm) {
   return ccl_comms_.emplace(key, std::move(cc)).first->second;
 }
 
+// ---- Plan/execute split -----------------------------------------------------
+
+std::shared_ptr<const Plan> XcclMpi::plan_for(CollOp op, std::size_t bytes,
+                                              DataType base, ReduceOp redop,
+                                              const void* a, const void* b,
+                                              mini::Comm& comm) {
+  PlanKey key;
+  key.op = op;
+  key.base = base;
+  key.redop = redop;
+  key.device = any_device_buffer(a, b);
+  key.size_class = plan_size_class(bytes);
+  key.comm_uid = comm.uid();
+  if (std::shared_ptr<Plan> hit = plans_.find(key, bytes)) {
+    ctr_plan_hit_->add(1, rank());
+    current_plan_id_ = hit->id;
+    return hit;
+  }
+  // Every key component is identical on every member of `comm` for a given
+  // call site (uids are rank-local values but assigned in the same order),
+  // so hit/miss agrees across ranks and the collective build cannot skew.
+  ctr_plan_miss_->add(1, rank());
+  std::shared_ptr<Plan> plan = build_plan(key, op, bytes, comm);
+  current_plan_id_ = plan->id;
+  const std::size_t evicted = plans_.insert(plan);
+  if (evicted > 0) ctr_plan_evict_->add(evicted, rank());
+  return plan;
+}
+
+std::shared_ptr<Plan> XcclMpi::build_plan(const PlanKey& key, CollOp op,
+                                          std::size_t bytes, mini::Comm& comm) {
+  const double t0 = context().clock().now();
+  obs::Span span(rank(), context().clock(), "plan.build", "core.plan");
+  auto plan = std::make_shared<Plan>();
+  plan->key = key;
+  plan->id = next_plan_id();
+  plan->mode = options_.mode;
+  plan->pick = pick_classified(op, bytes, key.device);
+  // Validity band: the byte range over which the matched tuning rule (and
+  // thus this plan's engine) holds. Only Hybrid device dispatches consult
+  // the table; everything else decides independently of the byte count.
+  if (options_.mode == Mode::Hybrid && key.device) {
+    if (const auto* rules = tuning_.rules(op); rules != nullptr) {
+      std::size_t lo = 0;
+      for (const TuningTable::Entry& e : *rules) {
+        // select_entry extends the last rule to SIZE_MAX.
+        const std::size_t hi = (&e == &rules->back()) ? SIZE_MAX : e.max_bytes;
+        if (bytes <= hi) {
+          plan->min_bytes = lo;
+          plan->max_bytes = hi;
+          break;
+        }
+        lo = e.max_bytes + 1;
+      }
+    }
+  }
+  // Resolve per-communicator resources now so start()/cache hits never pay
+  // the bootstrap or the splits. Both resolutions are collective on first
+  // use, which is safe exactly because builds are rank-uniform (above).
+  if (plan->pick.engine == Engine::Xccl) {
+    plan->ccl = &ccl_comm(comm);
+  } else if (plan->pick.engine == Engine::Hier) {
+    plan->hier = &hier_->prepare(comm);
+    if (op == CollOp::Allreduce && plan->hier->usable && bytes > 0) {
+      plan->resident_bytes = hier_->reserve_allreduce(
+          *plan->hier, bytes / datatype_size(key.base), key.base);
+    }
+  }
+  plan->build_us = context().clock().now() - t0;
+  return plan;
+}
+
 XcclMpi::ScopedOpTimer::ScopedOpTimer(XcclMpi& rt, CollOp op)
-    : rt_(&rt), op_(op), t0_(rt.context().clock().now()), seq0_(rt.note_seq_) {}
+    : rt_(&rt), op_(op), t0_(rt.context().clock().now()), seq0_(rt.note_seq_) {
+  // Cleared so a dispatch that never consults the plan cache (composed ops,
+  // scan) does not inherit the previous call's plan id in its flight record.
+  rt.current_plan_id_ = 0;
+}
 
 XcclMpi::ScopedOpTimer::~ScopedOpTimer() {
   // The dispatch never reached note() (it threw first): there is no current
@@ -157,7 +260,7 @@ XcclMpi::ScopedOpTimer::~ScopedOpTimer() {
   // joined with the decision that routed them (fast path: one relaxed load).
   obs::FlightRecorder::instance().record(
       obs::FlightRecord{op_, rt_->last_.engine, bytes, rt_->rank(), t0_, now,
-                        rt_->last_decision_});
+                        rt_->last_decision_, rt_->current_plan_id_});
   sim::Trace::instance().record(rt_->rank(), to_string(op_),
                                 to_string(rt_->last_.engine), t0_, now);
 }
@@ -274,23 +377,31 @@ void XcclMpi::allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
   ScopedOpTimer op_timer_(*this, CollOp::Allreduce);
   if (sendbuf == mini::kInPlace) sendbuf = recvbuf;
   const std::size_t bytes = count * dt.size();
-  const EnginePick pick =
-      pick_engine(CollOp::Allreduce, bytes, sendbuf, recvbuf);
+  const auto p =
+      plan_for(CollOp::Allreduce, bytes, dt.base, op, sendbuf, recvbuf, comm);
+  exec_allreduce(*p, sendbuf, recvbuf, count, dt, op, comm);
+}
+
+void XcclMpi::exec_allreduce(const Plan& p, const void* sendbuf, void* recvbuf,
+                             std::size_t count, mini::Datatype dt, ReduceOp op,
+                             mini::Comm& comm) {
+  const std::size_t bytes = count * dt.size();
+  const EnginePick& pick = p.pick;
   if (pick.engine == Engine::Hier) {
-    if (hier_->allreduce(sendbuf, recvbuf, count, dt, op, comm)) {
+    if (hier_->allreduce(*p.hier, sendbuf, recvbuf, count, dt, op, comm)) {
       note(CollOp::Allreduce, bytes, pick, Engine::Hier, false, true,
            obs::FallbackReason::None);
       return;
     }
     // Not node-blocked (or op/type outside hier's set): flat MPI.
     note(CollOp::Allreduce, bytes, pick, Engine::Mpi, true, false,
-         hier_->applicable(comm) ? obs::FallbackReason::HierOpUnsupported
-                                 : obs::FallbackReason::HierTopoMismatch);
+         p.hier->usable ? obs::FallbackReason::HierOpUnsupported
+                        : obs::FallbackReason::HierTopoMismatch);
   } else if (pick.engine == Engine::Xccl) {
     auto run = [&]() -> bool {
       MPIXCCL_TRY_XCCL(CollOp::Allreduce, bytes, pick,
                        backend_->all_reduce(sendbuf, recvbuf, count * dt.count,
-                                            dt.base, op, ccl_comm(comm),
+                                            dt.base, op, *p.ccl,
                                             context().stream()),
                        false);
     };
@@ -306,21 +417,29 @@ void XcclMpi::bcast(void* buf, std::size_t count, mini::Datatype dt, int root,
                     mini::Comm& comm) {
   ScopedOpTimer op_timer_(*this, CollOp::Bcast);
   const std::size_t bytes = count * dt.size();
-  const EnginePick pick = pick_engine(CollOp::Bcast, bytes, buf, nullptr);
+  const auto p = plan_for(CollOp::Bcast, bytes, dt.base, ReduceOp::Sum, buf,
+                          nullptr, comm);
+  exec_bcast(*p, buf, count, dt, root, comm);
+}
+
+void XcclMpi::exec_bcast(const Plan& p, void* buf, std::size_t count,
+                         mini::Datatype dt, int root, mini::Comm& comm) {
+  const std::size_t bytes = count * dt.size();
+  const EnginePick& pick = p.pick;
   if (pick.engine == Engine::Hier) {
-    if (hier_->bcast(buf, count, dt, root, comm)) {
+    if (hier_->bcast(*p.hier, buf, count, dt, root, comm)) {
       note(CollOp::Bcast, bytes, pick, Engine::Hier, false, true,
            obs::FallbackReason::None);
       return;
     }
     note(CollOp::Bcast, bytes, pick, Engine::Mpi, true, false,
-         hier_->applicable(comm) ? obs::FallbackReason::HierOpUnsupported
-                                 : obs::FallbackReason::HierTopoMismatch);
+         p.hier->usable ? obs::FallbackReason::HierOpUnsupported
+                        : obs::FallbackReason::HierTopoMismatch);
   } else if (pick.engine == Engine::Xccl) {
     auto run = [&]() -> bool {
       MPIXCCL_TRY_XCCL(CollOp::Bcast, bytes, pick,
                        backend_->broadcast(buf, count * dt.count, dt.base, root,
-                                           ccl_comm(comm), context().stream()),
+                                           *p.ccl, context().stream()),
                        false);
     };
     if (run()) return;
@@ -335,21 +454,30 @@ void XcclMpi::reduce(const void* sendbuf, void* recvbuf, std::size_t count,
   ScopedOpTimer op_timer_(*this, CollOp::Reduce);
   if (sendbuf == mini::kInPlace && comm.rank() == root) sendbuf = recvbuf;
   const std::size_t bytes = count * dt.size();
-  const EnginePick pick = pick_engine(CollOp::Reduce, bytes, sendbuf, recvbuf);
+  const auto p =
+      plan_for(CollOp::Reduce, bytes, dt.base, op, sendbuf, recvbuf, comm);
+  exec_reduce(*p, sendbuf, recvbuf, count, dt, op, root, comm);
+}
+
+void XcclMpi::exec_reduce(const Plan& p, const void* sendbuf, void* recvbuf,
+                          std::size_t count, mini::Datatype dt, ReduceOp op,
+                          int root, mini::Comm& comm) {
+  const std::size_t bytes = count * dt.size();
+  const EnginePick& pick = p.pick;
   if (pick.engine == Engine::Hier) {
-    if (hier_->reduce(sendbuf, recvbuf, count, dt, op, root, comm)) {
+    if (hier_->reduce(*p.hier, sendbuf, recvbuf, count, dt, op, root, comm)) {
       note(CollOp::Reduce, bytes, pick, Engine::Hier, false, true,
            obs::FallbackReason::None);
       return;
     }
     note(CollOp::Reduce, bytes, pick, Engine::Mpi, true, false,
-         hier_->applicable(comm) ? obs::FallbackReason::HierOpUnsupported
-                                 : obs::FallbackReason::HierTopoMismatch);
+         p.hier->usable ? obs::FallbackReason::HierOpUnsupported
+                        : obs::FallbackReason::HierTopoMismatch);
   } else if (pick.engine == Engine::Xccl) {
     auto run = [&]() -> bool {
       MPIXCCL_TRY_XCCL(CollOp::Reduce, bytes, pick,
                        backend_->reduce(sendbuf, recvbuf, count * dt.count,
-                                        dt.base, op, root, ccl_comm(comm),
+                                        dt.base, op, root, *p.ccl,
                                         context().stream()),
                        false);
     };
@@ -371,23 +499,33 @@ void XcclMpi::allgather(const void* sendbuf, std::size_t sendcount,
     st = rt;
   }
   const std::size_t bytes = sendcount * st.size();
-  const EnginePick pick =
-      pick_engine(CollOp::Allgather, bytes, sendbuf, recvbuf);
+  const auto p = plan_for(CollOp::Allgather, bytes, st.base, ReduceOp::Sum,
+                          sendbuf, recvbuf, comm);
+  exec_allgather(*p, sendbuf, sendcount, st, recvbuf, recvcount, rt, comm);
+}
+
+void XcclMpi::exec_allgather(const Plan& p, const void* sendbuf,
+                             std::size_t sendcount, mini::Datatype st,
+                             void* recvbuf, std::size_t recvcount,
+                             mini::Datatype rt, mini::Comm& comm) {
+  const std::size_t bytes = sendcount * st.size();
+  const EnginePick& pick = p.pick;
   if (pick.engine == Engine::Hier) {
-    if (hier_->allgather(sendbuf, sendcount, st, recvbuf, recvcount, rt, comm)) {
+    if (hier_->allgather(*p.hier, sendbuf, sendcount, st, recvbuf, recvcount,
+                         rt, comm)) {
       note(CollOp::Allgather, bytes, pick, Engine::Hier, false, true,
            obs::FallbackReason::None);
       return;
     }
     note(CollOp::Allgather, bytes, pick, Engine::Mpi, true, false,
-         hier_->applicable(comm) ? obs::FallbackReason::HierOpUnsupported
-                                 : obs::FallbackReason::HierTopoMismatch);
+         p.hier->usable ? obs::FallbackReason::HierOpUnsupported
+                        : obs::FallbackReason::HierTopoMismatch);
   } else if (pick.engine == Engine::Xccl && st.size() == rt.size()) {
     auto run = [&]() -> bool {
       MPIXCCL_TRY_XCCL(CollOp::Allgather, bytes, pick,
                        backend_->all_gather(sendbuf, recvbuf,
                                             sendcount * st.count, st.base,
-                                            ccl_comm(comm), context().stream()),
+                                            *p.ccl, context().stream()),
                        false);
     };
     if (run()) return;
@@ -406,23 +544,33 @@ void XcclMpi::reduce_scatter_block(const void* sendbuf, void* recvbuf,
                                    ReduceOp op, mini::Comm& comm) {
   ScopedOpTimer op_timer_(*this, CollOp::ReduceScatter);
   const std::size_t bytes = recvcount * dt.size();
-  const EnginePick pick =
-      pick_engine(CollOp::ReduceScatter, bytes, sendbuf, recvbuf);
+  const auto p = plan_for(CollOp::ReduceScatter, bytes, dt.base, op, sendbuf,
+                          recvbuf, comm);
+  exec_reduce_scatter(*p, sendbuf, recvbuf, recvcount, dt, op, comm);
+}
+
+void XcclMpi::exec_reduce_scatter(const Plan& p, const void* sendbuf,
+                                  void* recvbuf, std::size_t recvcount,
+                                  mini::Datatype dt, ReduceOp op,
+                                  mini::Comm& comm) {
+  const std::size_t bytes = recvcount * dt.size();
+  const EnginePick& pick = p.pick;
   if (pick.engine == Engine::Hier) {
-    if (hier_->reduce_scatter_block(sendbuf, recvbuf, recvcount, dt, op, comm)) {
+    if (hier_->reduce_scatter_block(*p.hier, sendbuf, recvbuf, recvcount, dt,
+                                    op, comm)) {
       note(CollOp::ReduceScatter, bytes, pick, Engine::Hier, false, true,
            obs::FallbackReason::None);
       return;
     }
     note(CollOp::ReduceScatter, bytes, pick, Engine::Mpi, true, false,
-         hier_->applicable(comm) ? obs::FallbackReason::HierOpUnsupported
-                                 : obs::FallbackReason::HierTopoMismatch);
+         p.hier->usable ? obs::FallbackReason::HierOpUnsupported
+                        : obs::FallbackReason::HierTopoMismatch);
   } else if (pick.engine == Engine::Xccl) {
     auto run = [&]() -> bool {
       MPIXCCL_TRY_XCCL(CollOp::ReduceScatter, bytes, pick,
                        backend_->reduce_scatter(sendbuf, recvbuf,
                                                 recvcount * dt.count, dt.base, op,
-                                                ccl_comm(comm),
+                                                *p.ccl,
                                                 context().stream()),
                        false);
     };
@@ -792,23 +940,24 @@ mini::Request XcclMpi::iallreduce(const void* sendbuf, void* recvbuf,
                                   std::size_t count, mini::Datatype dt,
                                   ReduceOp op, mini::Comm& comm) {
   const std::size_t bytes = count * dt.size();
-  const EnginePick pick =
-      pick_engine(CollOp::Allreduce, bytes, sendbuf, recvbuf);
+  const auto p =
+      plan_for(CollOp::Allreduce, bytes, dt.base, op, sendbuf, recvbuf, comm);
+  const EnginePick& pick = p->pick;
   if (pick.engine == Engine::Hier) {
     // The hierarchical engine is host-driven (its stages block on MiniMPI),
     // so like the MPI engine it completes before returning.
-    if (hier_->allreduce(sendbuf, recvbuf, count, dt, op, comm)) {
+    if (hier_->allreduce(*p->hier, sendbuf, recvbuf, count, dt, op, comm)) {
       note(CollOp::Allreduce, bytes, pick, Engine::Hier, false, true,
            obs::FallbackReason::None);
       return mini::Request::completed(context().clock().now());
     }
     note(CollOp::Allreduce, bytes, pick, Engine::Mpi, true, false,
-         hier_->applicable(comm) ? obs::FallbackReason::HierOpUnsupported
-                                 : obs::FallbackReason::HierTopoMismatch);
+         p->hier->usable ? obs::FallbackReason::HierOpUnsupported
+                         : obs::FallbackReason::HierTopoMismatch);
   } else if (pick.engine == Engine::Xccl) {
     device::Stream& stream = context().stream();
     const XcclResult r = backend_->all_reduce(
-        sendbuf, recvbuf, count * dt.count, dt.base, op, ccl_comm(comm), stream);
+        sendbuf, recvbuf, count * dt.count, dt.base, op, *p->ccl, stream);
     if (ok(r)) {
       note(CollOp::Allreduce, bytes, pick, Engine::Xccl, false, false,
            obs::FallbackReason::None);
@@ -830,20 +979,22 @@ mini::Request XcclMpi::iallreduce(const void* sendbuf, void* recvbuf,
 mini::Request XcclMpi::ibcast(void* buf, std::size_t count, mini::Datatype dt,
                               int root, mini::Comm& comm) {
   const std::size_t bytes = count * dt.size();
-  const EnginePick pick = pick_engine(CollOp::Bcast, bytes, buf, nullptr);
+  const auto p = plan_for(CollOp::Bcast, bytes, dt.base, ReduceOp::Sum, buf,
+                          nullptr, comm);
+  const EnginePick& pick = p->pick;
   if (pick.engine == Engine::Hier) {
-    if (hier_->bcast(buf, count, dt, root, comm)) {
+    if (hier_->bcast(*p->hier, buf, count, dt, root, comm)) {
       note(CollOp::Bcast, bytes, pick, Engine::Hier, false, true,
            obs::FallbackReason::None);
       return mini::Request::completed(context().clock().now());
     }
     note(CollOp::Bcast, bytes, pick, Engine::Mpi, true, false,
-         hier_->applicable(comm) ? obs::FallbackReason::HierOpUnsupported
-                                 : obs::FallbackReason::HierTopoMismatch);
+         p->hier->usable ? obs::FallbackReason::HierOpUnsupported
+                         : obs::FallbackReason::HierTopoMismatch);
   } else if (pick.engine == Engine::Xccl) {
     device::Stream& stream = context().stream();
     const XcclResult r = backend_->broadcast(buf, count * dt.count, dt.base, root,
-                                             ccl_comm(comm), stream);
+                                             *p->ccl, stream);
     if (ok(r)) {
       note(CollOp::Bcast, bytes, pick, Engine::Xccl, false, false,
            obs::FallbackReason::None);
@@ -870,22 +1021,24 @@ mini::Request XcclMpi::iallgather(const void* sendbuf, std::size_t sendcount,
     st = rt;
   }
   const std::size_t bytes = sendcount * st.size();
-  const EnginePick pick =
-      pick_engine(CollOp::Allgather, bytes, sendbuf, recvbuf);
+  const auto p = plan_for(CollOp::Allgather, bytes, st.base, ReduceOp::Sum,
+                          sendbuf, recvbuf, comm);
+  const EnginePick& pick = p->pick;
   if (pick.engine == Engine::Hier) {
-    if (hier_->allgather(sendbuf, sendcount, st, recvbuf, recvcount, rt, comm)) {
+    if (hier_->allgather(*p->hier, sendbuf, sendcount, st, recvbuf, recvcount,
+                         rt, comm)) {
       note(CollOp::Allgather, bytes, pick, Engine::Hier, false, true,
            obs::FallbackReason::None);
       return mini::Request::completed(context().clock().now());
     }
     note(CollOp::Allgather, bytes, pick, Engine::Mpi, true, false,
-         hier_->applicable(comm) ? obs::FallbackReason::HierOpUnsupported
-                                 : obs::FallbackReason::HierTopoMismatch);
+         p->hier->usable ? obs::FallbackReason::HierOpUnsupported
+                         : obs::FallbackReason::HierTopoMismatch);
   } else if (pick.engine == Engine::Xccl && st.size() == rt.size()) {
     device::Stream& stream = context().stream();
     const XcclResult r =
         backend_->all_gather(sendbuf, recvbuf, sendcount * st.count, st.base,
-                             ccl_comm(comm), stream);
+                             *p->ccl, stream);
     if (ok(r)) {
       note(CollOp::Allgather, bytes, pick, Engine::Xccl, false, false,
            obs::FallbackReason::None);
@@ -911,21 +1064,23 @@ mini::Request XcclMpi::ireduce(const void* sendbuf, void* recvbuf,
                                int root, mini::Comm& comm) {
   if (sendbuf == mini::kInPlace && comm.rank() == root) sendbuf = recvbuf;
   const std::size_t bytes = count * dt.size();
-  const EnginePick pick = pick_engine(CollOp::Reduce, bytes, sendbuf, recvbuf);
+  const auto p =
+      plan_for(CollOp::Reduce, bytes, dt.base, op, sendbuf, recvbuf, comm);
+  const EnginePick& pick = p->pick;
   if (pick.engine == Engine::Hier) {
-    if (hier_->reduce(sendbuf, recvbuf, count, dt, op, root, comm)) {
+    if (hier_->reduce(*p->hier, sendbuf, recvbuf, count, dt, op, root, comm)) {
       note(CollOp::Reduce, bytes, pick, Engine::Hier, false, true,
            obs::FallbackReason::None);
       return mini::Request::completed(context().clock().now());
     }
     note(CollOp::Reduce, bytes, pick, Engine::Mpi, true, false,
-         hier_->applicable(comm) ? obs::FallbackReason::HierOpUnsupported
-                                 : obs::FallbackReason::HierTopoMismatch);
+         p->hier->usable ? obs::FallbackReason::HierOpUnsupported
+                         : obs::FallbackReason::HierTopoMismatch);
   } else if (pick.engine == Engine::Xccl) {
     device::Stream& stream = context().stream();
     const XcclResult r =
         backend_->reduce(sendbuf, recvbuf, count * dt.count, dt.base, op, root,
-                         ccl_comm(comm), stream);
+                         *p->ccl, stream);
     if (ok(r)) {
       note(CollOp::Reduce, bytes, pick, Engine::Xccl, false, false,
            obs::FallbackReason::None);
@@ -940,6 +1095,253 @@ mini::Request XcclMpi::ireduce(const void* sendbuf, void* recvbuf,
   }
   mpi_.reduce(sendbuf, recvbuf, count, dt, op, root, comm);
   return mini::Request::completed(context().clock().now());
+}
+
+// ---- Persistent collectives -------------------------------------------------
+
+void XcclMpi::note_replay(const Plan& p, CollOp op, std::size_t bytes,
+                          Engine engine, bool fell_back, bool composed,
+                          obs::FallbackReason reason) {
+  ++note_seq_;
+  last_ = Dispatch{engine, fell_back, composed};
+  last_bytes_ = bytes;
+  switch (engine) {
+    case Engine::Xccl:
+      ++stats_.xccl_calls;
+      stats_.xccl_bytes += bytes;
+      break;
+    case Engine::Hier:
+      ++stats_.hier_calls;
+      stats_.hier_bytes += bytes;
+      break;
+    case Engine::Mpi:
+      ++stats_.mpi_calls;
+      stats_.mpi_bytes += bytes;
+      break;
+  }
+  if (fell_back) ++stats_.fallbacks;
+
+  // Same fully-explained record note() builds, but never appended to the
+  // decision ring: the init-time entry already explains the routing and the
+  // replay hot path must not pay the ring lock (seq 0 marks it synthetic).
+  obs::DispatchDecision d;
+  d.rank = rank();
+  d.op = op;
+  d.bytes = bytes;
+  d.mode = p.mode;
+  d.breakpoint = p.pick.breakpoint;
+  d.table_choice = p.pick.table_choice;
+  d.engine = engine;
+  d.reason = reason;
+  d.fell_back = fell_back;
+  d.composed = composed;
+  d.time_us = context().clock().now();
+  d.seq = 0;
+  last_decision_ = d;
+  current_plan_id_ = p.id;
+
+  obs::Registry::instance().record_call(op, engine, rank(), bytes);
+}
+
+Persistent XcclMpi::make_persistent(CollOp op, const void* sendbuf,
+                                    void* recvbuf, std::size_t count,
+                                    mini::Datatype dt, std::size_t rcount,
+                                    mini::Datatype rdt, ReduceOp redop,
+                                    int root, mini::Comm& comm) {
+  const std::size_t bytes = count * dt.size();
+  Persistent h;
+  h.rt_ = this;
+  h.plan_ = plan_for(op, bytes, dt.base, redop, sendbuf, recvbuf, comm);
+  h.op_ = op;
+  h.sendbuf_ = sendbuf;
+  h.recvbuf_ = recvbuf;
+  h.count_ = count;
+  h.rcount_ = rcount;
+  h.dt_ = dt;
+  h.rdt_ = rdt;
+  h.redop_ = redop;
+  h.root_ = root;
+  h.comm_ = &comm;
+  // One init-time decision-log entry explains every subsequent start():
+  // replays update last_decision() but never the ring (see note_replay).
+  obs::DispatchDecision d;
+  d.rank = rank();
+  d.op = op;
+  d.bytes = bytes;
+  d.mode = h.plan_->mode;
+  d.breakpoint = h.plan_->pick.breakpoint;
+  d.table_choice = h.plan_->pick.table_choice;
+  d.engine = h.plan_->pick.engine;
+  d.reason = h.plan_->pick.reason;
+  d.time_us = context().clock().now();
+  obs::DecisionLog::instance().push(d);
+  return h;
+}
+
+Persistent XcclMpi::allreduce_init(const void* sendbuf, void* recvbuf,
+                                   std::size_t count, mini::Datatype dt,
+                                   ReduceOp op, mini::Comm& comm) {
+  if (sendbuf == mini::kInPlace) sendbuf = recvbuf;
+  return make_persistent(CollOp::Allreduce, sendbuf, recvbuf, count, dt, 0, dt,
+                         op, 0, comm);
+}
+
+Persistent XcclMpi::bcast_init(void* buf, std::size_t count, mini::Datatype dt,
+                               int root, mini::Comm& comm) {
+  return make_persistent(CollOp::Bcast, nullptr, buf, count, dt, 0, dt,
+                         ReduceOp::Sum, root, comm);
+}
+
+Persistent XcclMpi::reduce_init(const void* sendbuf, void* recvbuf,
+                                std::size_t count, mini::Datatype dt,
+                                ReduceOp op, int root, mini::Comm& comm) {
+  if (sendbuf == mini::kInPlace && comm.rank() == root) sendbuf = recvbuf;
+  return make_persistent(CollOp::Reduce, sendbuf, recvbuf, count, dt, 0, dt,
+                         op, root, comm);
+}
+
+Persistent XcclMpi::allgather_init(const void* sendbuf, std::size_t sendcount,
+                                   mini::Datatype st, void* recvbuf,
+                                   std::size_t recvcount, mini::Datatype rt,
+                                   mini::Comm& comm) {
+  if (sendbuf == mini::kInPlace) {
+    sendbuf = cat(recvbuf, static_cast<std::size_t>(comm.rank()) * recvcount *
+                               rt.size());
+    sendcount = recvcount;
+    st = rt;
+  }
+  return make_persistent(CollOp::Allgather, sendbuf, recvbuf, sendcount, st,
+                         recvcount, rt, ReduceOp::Sum, 0, comm);
+}
+
+Persistent XcclMpi::reduce_scatter_init(const void* sendbuf, void* recvbuf,
+                                        std::size_t recvcount,
+                                        mini::Datatype dt, ReduceOp op,
+                                        mini::Comm& comm) {
+  return make_persistent(CollOp::ReduceScatter, sendbuf, recvbuf, recvcount,
+                         dt, 0, dt, op, 0, comm);
+}
+
+void XcclMpi::persistent_start(Persistent& h) {
+  require(h.valid(), "Persistent::start: empty handle (freed or moved-from)");
+  require(!h.started_, "Persistent::start: previous start not yet waited");
+  const Plan& p = *h.plan_;
+  mini::Comm& comm = *h.comm_;
+  const std::size_t bytes = h.count_ * h.dt_.size();
+  device::Stream& stream = context().stream();
+  obs::Span span(rank(), context().clock(), "plan.exec", "core.plan");
+  h.started_ = true;
+
+  // Thin replay of the compiled decision. The xCCL engine launches on the
+  // stream and leaves the request at the stream tail (wait() absorbs it, so
+  // starts overlap compute like iallreduce); the host-driven hier and MPI
+  // engines complete before returning, exactly like the i-collectives.
+  if (p.pick.engine == Engine::Hier) {
+    bool served = false;
+    switch (h.op_) {
+      case CollOp::Allreduce:
+        served = hier_->allreduce(*p.hier, h.sendbuf_, h.recvbuf_, h.count_,
+                                  h.dt_, h.redop_, comm);
+        break;
+      case CollOp::Bcast:
+        served = hier_->bcast(*p.hier, h.recvbuf_, h.count_, h.dt_, h.root_,
+                              comm);
+        break;
+      case CollOp::Reduce:
+        served = hier_->reduce(*p.hier, h.sendbuf_, h.recvbuf_, h.count_,
+                               h.dt_, h.redop_, h.root_, comm);
+        break;
+      case CollOp::Allgather:
+        served = hier_->allgather(*p.hier, h.sendbuf_, h.count_, h.dt_,
+                                  h.recvbuf_, h.rcount_, h.rdt_, comm);
+        break;
+      default:
+        served = hier_->reduce_scatter_block(*p.hier, h.sendbuf_, h.recvbuf_,
+                                             h.count_, h.dt_, h.redop_, comm);
+        break;
+    }
+    if (served) {
+      note_replay(p, h.op_, bytes, Engine::Hier, false, true,
+                  obs::FallbackReason::None);
+      h.req_ = mini::Request::completed(context().clock().now());
+      return;
+    }
+    note_replay(p, h.op_, bytes, Engine::Mpi, true, false,
+                p.hier->usable ? obs::FallbackReason::HierOpUnsupported
+                               : obs::FallbackReason::HierTopoMismatch);
+  } else if (p.pick.engine == Engine::Xccl &&
+             (h.op_ != CollOp::Allgather || h.dt_.size() == h.rdt_.size())) {
+    XcclResult r = XcclResult::Success;
+    switch (h.op_) {
+      case CollOp::Allreduce:
+        r = backend_->all_reduce(h.sendbuf_, h.recvbuf_,
+                                 h.count_ * h.dt_.count, h.dt_.base, h.redop_,
+                                 *p.ccl, stream);
+        break;
+      case CollOp::Bcast:
+        r = backend_->broadcast(h.recvbuf_, h.count_ * h.dt_.count, h.dt_.base,
+                                h.root_, *p.ccl, stream);
+        break;
+      case CollOp::Reduce:
+        r = backend_->reduce(h.sendbuf_, h.recvbuf_, h.count_ * h.dt_.count,
+                             h.dt_.base, h.redop_, h.root_, *p.ccl, stream);
+        break;
+      case CollOp::Allgather:
+        r = backend_->all_gather(h.sendbuf_, h.recvbuf_,
+                                 h.count_ * h.dt_.count, h.dt_.base, *p.ccl,
+                                 stream);
+        break;
+      default:
+        r = backend_->reduce_scatter(h.sendbuf_, h.recvbuf_,
+                                     h.count_ * h.dt_.count, h.dt_.base,
+                                     h.redop_, *p.ccl, stream);
+        break;
+    }
+    if (ok(r)) {
+      note_replay(p, h.op_, bytes, Engine::Xccl, false, false, p.pick.reason);
+      h.req_ = mini::Request::completed(stream.tail());
+      return;
+    }
+    require(options_.allow_fallback && is_fallback_result(r),
+            "XcclMpi::persistent_start: xccl path failed");
+    note_replay(p, h.op_, bytes, Engine::Mpi, true, false,
+                obs::fallback_reason_of(r));
+  } else {
+    note_replay(p, h.op_, bytes, Engine::Mpi, false, false,
+                h.op_ == CollOp::Allgather &&
+                        p.pick.engine == Engine::Xccl
+                    ? obs::FallbackReason::MixedDatatype
+                    : p.pick.reason);
+  }
+
+  switch (h.op_) {
+    case CollOp::Allreduce:
+      h.req_ = mpi_.iallreduce(h.sendbuf_, h.recvbuf_, h.count_, h.dt_,
+                               h.redop_, comm);
+      return;
+    case CollOp::Bcast:
+      h.req_ = mpi_.ibcast(h.recvbuf_, h.count_, h.dt_, h.root_, comm);
+      return;
+    case CollOp::Reduce:
+      mpi_.reduce(h.sendbuf_, h.recvbuf_, h.count_, h.dt_, h.redop_, h.root_,
+                  comm);
+      break;
+    case CollOp::Allgather:
+      mpi_.allgather(h.sendbuf_, h.count_, h.dt_, h.recvbuf_, h.rcount_,
+                     h.rdt_, comm);
+      break;
+    default:
+      mpi_.reduce_scatter_block(h.sendbuf_, h.recvbuf_, h.count_, h.dt_,
+                                h.redop_, comm);
+      break;
+  }
+  h.req_ = mini::Request::completed(context().clock().now());
+}
+
+void XcclMpi::persistent_wait(Persistent& h) {
+  require(h.started_, "Persistent::wait: no start in flight");
+  mpi_.wait(h.req_);
+  h.started_ = false;
 }
 
 }  // namespace mpixccl::core

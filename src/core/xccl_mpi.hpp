@@ -27,14 +27,22 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 
+#include "core/plan.hpp"
 #include "core/tuning.hpp"
 #include "hier/hier.hpp"
 #include "mpi/mpi.hpp"
 #include "obs/decision.hpp"
 #include "xccl/backend.hpp"
 
+namespace mpixccl::obs {
+class Counter;
+}  // namespace mpixccl::obs
+
 namespace mpixccl::core {
+
+class Persistent;
 
 // Mode (Hybrid / PureXccl / PureMpi) lives in core/tuning.hpp alongside the
 // other enums the observability layer shares.
@@ -102,8 +110,17 @@ class XcclMpi {
   [[nodiscard]] hier::HierEngine& hier() { return *hier_; }
   [[nodiscard]] const XcclMpiOptions& options() const { return options_; }
   [[nodiscard]] const TuningTable& tuning() const { return tuning_; }
-  void set_tuning(TuningTable t) { tuning_ = std::move(t); }
-  void set_mode(Mode m) { options_.mode = m; }
+  /// Swapping the table (or mode) changes what future picks would decide,
+  /// so both invalidate every cached plan.
+  void set_tuning(TuningTable t) {
+    tuning_ = std::move(t);
+    invalidate_plans();
+  }
+  void set_mode(Mode m) {
+    if (m == options_.mode) return;
+    options_.mode = m;
+    invalidate_plans();
+  }
 
   // ---- Communicators (delegate to MiniMPI) --------------------------------
   mini::Comm dup(mini::Comm& comm) { return mpi_.dup(comm); }
@@ -176,6 +193,31 @@ class XcclMpi {
   void exscan(const void* sendbuf, void* recvbuf, std::size_t count,
               mini::Datatype dt, ReduceOp op, mini::Comm& comm);
 
+  // ---- Persistent collectives (plan compiled once, replayed by start) -------
+  // MPI_Allreduce_init-shaped: init captures the tuning decision, engine,
+  // CCL communicator / hier subcomm handles and pre-sized staging for the
+  // bound (buffers, count, datatype, communicator) tuple; start() is a thin
+  // replay that skips tuning lookup, decision construction and comm-split.
+  // The caller keeps `comm` (and the buffers) alive for the handle's life;
+  // start/wait pairs must not overlap on one handle. xCCL-engine starts
+  // launch on the stream without synchronizing (wait() absorbs the tail),
+  // so persistent reductions overlap compute exactly like iallreduce.
+  Persistent allreduce_init(const void* sendbuf, void* recvbuf,
+                            std::size_t count, mini::Datatype dt, ReduceOp op,
+                            mini::Comm& comm);
+  Persistent bcast_init(void* buf, std::size_t count, mini::Datatype dt,
+                        int root, mini::Comm& comm);
+  Persistent reduce_init(const void* sendbuf, void* recvbuf, std::size_t count,
+                         mini::Datatype dt, ReduceOp op, int root,
+                         mini::Comm& comm);
+  Persistent allgather_init(const void* sendbuf, std::size_t sendcount,
+                            mini::Datatype st, void* recvbuf,
+                            std::size_t recvcount, mini::Datatype rt,
+                            mini::Comm& comm);
+  Persistent reduce_scatter_init(const void* sendbuf, void* recvbuf,
+                                 std::size_t recvcount, mini::Datatype dt,
+                                 ReduceOp op, mini::Comm& comm);
+
   // ---- Nonblocking collectives (paper advantage #4) -------------------------
   // The xCCL engine launches on the stream without synchronizing, so the
   // request overlaps with subsequent compute; the MPI engine completes
@@ -202,15 +244,12 @@ class XcclMpi {
   }
   [[nodiscard]] const PathStats& stats() const { return stats_; }
   /// Reset every per-instance view in one motion: path stats, per-op
-  /// profiles AND the last-dispatch records (a stale `last_` outliving the
-  /// counters it summarized was a long-standing asymmetry). Process-wide
-  /// state (obs::Registry, obs::DecisionLog) is reset separately.
-  void reset_stats() {
-    stats_ = {};
-    op_profiles_.clear();
-    last_ = {};
-    last_decision_ = {};
-  }
+  /// profiles, the last-dispatch records (a stale `last_` outliving the
+  /// counters it summarized was a long-standing asymmetry), the plan-cache
+  /// counters, and this rank's flight-recorder entries referencing freed
+  /// plans. Process-wide state (obs::Registry, obs::DecisionLog) is reset
+  /// separately.
+  void reset_stats();
 
   /// Per-collective virtual-time profile accumulated since construction (or
   /// the last reset_stats()).
@@ -223,17 +262,14 @@ class XcclMpi {
   /// The CCL communicator cache size (tests).
   [[nodiscard]] std::size_t ccl_comm_cache_size() const { return ccl_comms_.size(); }
 
+  /// The compiled-plan cache (one per runtime instance = one rank).
+  [[nodiscard]] const PlanCache& plan_cache() const { return plans_; }
+  [[nodiscard]] PlanCache& plan_cache() { return plans_; }
+  /// Drop every cached plan (also triggered by set_tuning / set_mode).
+  void invalidate_plans();
+
  private:
-  /// Engine selection outcome, with the evidence the decision log records:
-  /// the raw table/mode answer, the tuning-table breakpoint consulted (0
-  /// when the table was bypassed) and any pre-dispatch fallback reason
-  /// (host buffer, hier remap).
-  struct EnginePick {
-    Engine engine = Engine::Mpi;        ///< engine to attempt
-    Engine table_choice = Engine::Mpi;  ///< what the mode/table said first
-    std::size_t breakpoint = 0;
-    obs::FallbackReason reason = obs::FallbackReason::None;
-  };
+  friend class Persistent;
 
   /// Shared tail of both pick paths once the decided byte count is known:
   /// consult the tuning table and remap unsupported hier picks to Xccl.
@@ -252,7 +288,51 @@ class XcclMpi {
   /// would deadlock across engine channels).
   EnginePick pick_engine_agreed(CollOp op, std::size_t local_bytes,
                                 const void* a, const void* b, mini::Comm& comm);
+  /// pick_engine once the buffer class is already known (plan builds).
+  EnginePick pick_classified(CollOp op, std::size_t bytes, bool device) const;
   [[nodiscard]] bool any_device_buffer(const void* a, const void* b) const;
+
+  // ---- Plan/execute split ---------------------------------------------------
+  /// Fetch the cached plan for this dispatch tuple or build one (resolving
+  /// the CCL communicator / hier splits under a "plan.build" span). The
+  /// build is collective on a cache miss, so lookups must be issued in the
+  /// same order on every member — true for MPI-ordered collectives.
+  std::shared_ptr<const Plan> plan_for(CollOp op, std::size_t bytes,
+                                       DataType base, ReduceOp redop,
+                                       const void* a, const void* b,
+                                       mini::Comm& comm);
+  std::shared_ptr<Plan> build_plan(const PlanKey& key, CollOp op,
+                                   std::size_t bytes, mini::Comm& comm);
+
+  // Execute a compiled plan for one collective, preserving the one-shot
+  // dispatch semantics (note(), fallback behavior, stream sync).
+  void exec_allreduce(const Plan& p, const void* sendbuf, void* recvbuf,
+                      std::size_t count, mini::Datatype dt, ReduceOp op,
+                      mini::Comm& comm);
+  void exec_bcast(const Plan& p, void* buf, std::size_t count,
+                  mini::Datatype dt, int root, mini::Comm& comm);
+  void exec_reduce(const Plan& p, const void* sendbuf, void* recvbuf,
+                   std::size_t count, mini::Datatype dt, ReduceOp op, int root,
+                   mini::Comm& comm);
+  void exec_allgather(const Plan& p, const void* sendbuf, std::size_t sendcount,
+                      mini::Datatype st, void* recvbuf, std::size_t recvcount,
+                      mini::Datatype rt, mini::Comm& comm);
+  void exec_reduce_scatter(const Plan& p, const void* sendbuf, void* recvbuf,
+                           std::size_t recvcount, mini::Datatype dt,
+                           ReduceOp op, mini::Comm& comm);
+
+  /// Stats/introspection update for a persistent start: everything note()
+  /// does except the DecisionLog append (the init-time decision already
+  /// explains the routing; replays must not pay the ring lock).
+  void note_replay(const Plan& p, CollOp op, std::size_t bytes, Engine engine,
+                   bool fell_back, bool composed, obs::FallbackReason reason);
+
+  Persistent make_persistent(CollOp op, const void* sendbuf, void* recvbuf,
+                             std::size_t count, mini::Datatype dt,
+                             std::size_t rcount, mini::Datatype rdt,
+                             ReduceOp redop, int root, mini::Comm& comm);
+  void persistent_start(Persistent& h);
+  void persistent_wait(Persistent& h);
 
   /// Get or create (collectively!) the CCL communicator for `comm`.
   xccl::CclComm& ccl_comm(mini::Comm& comm);
@@ -310,12 +390,85 @@ class XcclMpi {
   std::unique_ptr<hier::HierEngine> hier_;
   std::map<fabric::ChannelId, xccl::CclComm> ccl_comms_;
   std::uint64_t ccl_comm_seq_ = 0;
+  PlanCache plans_;
+  std::uint64_t current_plan_id_ = 0;  ///< plan behind the in-flight dispatch
+  // Cached registry counter refs (stable across Registry::reset): the plan
+  // hot path must not pay the by-name map lookup per call.
+  obs::Counter* ctr_plan_hit_ = nullptr;
+  obs::Counter* ctr_plan_miss_ = nullptr;
+  obs::Counter* ctr_plan_evict_ = nullptr;
+  obs::Counter* ctr_plan_invalidate_ = nullptr;
   Dispatch last_;
   obs::DispatchDecision last_decision_;
   std::size_t last_bytes_ = 0;  ///< message bytes of the last noted dispatch
   std::uint64_t note_seq_ = 0;  ///< bumped by every note(); see ScopedOpTimer
   PathStats stats_;
   std::map<CollOp, OpProfile> op_profiles_;
+};
+
+/// A compiled persistent collective: one plan plus the bound argument tuple.
+/// Obtained from XcclMpi::*_init; movable, not copyable. The referenced
+/// XcclMpi, communicator and buffers must outlive the handle (or free() it
+/// first). start()/wait() must alternate; free() releases the plan
+/// reference (letting an evicted plan die) and is idempotent.
+class Persistent {
+ public:
+  Persistent() = default;
+  Persistent(Persistent&& o) noexcept { *this = std::move(o); }
+  Persistent& operator=(Persistent&& o) noexcept {
+    rt_ = std::exchange(o.rt_, nullptr);
+    plan_ = std::move(o.plan_);
+    op_ = o.op_;
+    sendbuf_ = o.sendbuf_;
+    recvbuf_ = o.recvbuf_;
+    count_ = o.count_;
+    rcount_ = o.rcount_;
+    dt_ = o.dt_;
+    rdt_ = o.rdt_;
+    redop_ = o.redop_;
+    root_ = o.root_;
+    comm_ = std::exchange(o.comm_, nullptr);
+    started_ = std::exchange(o.started_, false);
+    req_ = std::move(o.req_);
+    return *this;
+  }
+  Persistent(const Persistent&) = delete;
+  Persistent& operator=(const Persistent&) = delete;
+
+  /// Thin replay of the compiled plan: no tuning lookup, no decision-log
+  /// append, no comm resolution. xCCL launches return with the work on the
+  /// stream; wait() completes it.
+  void start() { rt_->persistent_start(*this); }
+  void wait() { rt_->persistent_wait(*this); }
+  /// Release the plan reference. Must not be active; safe to call twice.
+  void free() {
+    require(!started_, "Persistent::free: operation still in flight");
+    plan_.reset();
+    rt_ = nullptr;
+    comm_ = nullptr;
+  }
+
+  [[nodiscard]] bool valid() const { return rt_ != nullptr && plan_ != nullptr; }
+  [[nodiscard]] bool active() const { return started_; }
+  [[nodiscard]] const Plan& plan() const { return *plan_; }
+
+ private:
+  friend class XcclMpi;
+
+  XcclMpi* rt_ = nullptr;
+  std::shared_ptr<const Plan> plan_;
+  CollOp op_ = CollOp::Allreduce;
+  const void* sendbuf_ = nullptr;
+  void* recvbuf_ = nullptr;
+  std::size_t count_ = 0;   ///< send count (allgather: per-rank sendcount)
+  std::size_t rcount_ = 0;  ///< allgather/reduce-scatter recv count
+  mini::Datatype dt_ = mini::kByte;
+  mini::Datatype rdt_ = mini::kByte;
+  ReduceOp redop_ = ReduceOp::Sum;
+  int root_ = 0;
+  mini::Comm* comm_ = nullptr;
+  bool started_ = false;
+  mini::Request req_;
 };
 
 }  // namespace mpixccl::core

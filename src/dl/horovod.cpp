@@ -1,5 +1,6 @@
 #include "dl/horovod.hpp"
 
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -36,27 +37,54 @@ std::vector<Bucket> build_buckets(const Model& model, std::size_t fusion_bytes) 
 }
 
 /// Flavor-specific communication runtime for the trainer: launch an
-/// allreduce of `count` floats, possibly asynchronously, and later wait for
-/// everything launched this step.
+/// allreduce of one bucket's floats, possibly asynchronously, and later wait
+/// for everything launched this step. `bind_buckets` is called once before
+/// the first step with the per-bucket counts (the buffers every bucket
+/// reduction will use), letting runtimes with a persistent API compile the
+/// per-bucket plans up front.
 class CommRuntime {
  public:
   virtual ~CommRuntime() = default;
-  virtual void allreduce(float* sendbuf, float* recvbuf, std::size_t count,
-                         bool async) = 0;
+  virtual void bind_buckets(float* /*sendbuf*/, float* /*recvbuf*/,
+                            const std::vector<std::size_t>& /*counts*/) {}
+  virtual void allreduce(std::size_t bucket, float* sendbuf, float* recvbuf,
+                         std::size_t count, bool async) = 0;
   virtual void wait_all() = 0;
 };
 
 class XcclMpiComm final : public CommRuntime {
  public:
   XcclMpiComm(fabric::RankContext& ctx, core::Mode mode,
-              std::optional<xccl::CclKind> backend) {
+              std::optional<xccl::CclKind> backend, bool persistent)
+      : persistent_(persistent) {
     core::XcclMpiOptions opts;
     opts.mode = mode;
     opts.backend = backend;
     rt_ = std::make_unique<core::XcclMpi>(ctx, std::move(opts));
   }
-  void allreduce(float* sendbuf, float* recvbuf, std::size_t count,
-                 bool async) override {
+  void bind_buckets(float* sendbuf, float* recvbuf,
+                    const std::vector<std::size_t>& counts) override {
+    if (!persistent_) return;
+    // One handle per bucket index (buckets may repeat a count; a handle must
+    // not be started twice before its wait).
+    handles_.reserve(counts.size());
+    for (std::size_t c : counts) {
+      handles_.push_back(rt_->allreduce_init(sendbuf, recvbuf, c, mini::kFloat,
+                                             ReduceOp::Sum, rt_->comm_world()));
+    }
+  }
+  void allreduce(std::size_t bucket, float* sendbuf, float* recvbuf,
+                 std::size_t count, bool async) override {
+    if (persistent_) {
+      core::Persistent& h = handles_[bucket];
+      h.start();
+      if (async) {
+        started_.push_back(&h);
+      } else {
+        h.wait();
+      }
+      return;
+    }
     if (async) {
       pending_.push_back(rt_->iallreduce(sendbuf, recvbuf, count, mini::kFloat,
                                          ReduceOp::Sum, rt_->comm_world()));
@@ -66,12 +94,17 @@ class XcclMpiComm final : public CommRuntime {
     }
   }
   void wait_all() override {
+    for (core::Persistent* h : started_) h->wait();
+    started_.clear();
     rt_->waitall(pending_);
     pending_.clear();
   }
 
  private:
+  bool persistent_;
   std::unique_ptr<core::XcclMpi> rt_;
+  std::vector<core::Persistent> handles_;   ///< per bucket index
+  std::vector<core::Persistent*> started_;  ///< started but not yet waited
   std::vector<mini::Request> pending_;
 };
 
@@ -79,8 +112,8 @@ class OmpiComm final : public CommRuntime {
  public:
   explicit OmpiComm(fabric::RankContext& ctx)
       : mpi_(ctx, ctx.profile().ompi_ucx, 0xd1) {}
-  void allreduce(float* sendbuf, float* recvbuf, std::size_t count,
-                 bool /*async*/) override {
+  void allreduce(std::size_t /*bucket*/, float* sendbuf, float* recvbuf,
+                 std::size_t count, bool /*async*/) override {
     // Open MPI + UCX: Horovod's MPI path completes collectives inline (no
     // stream-level overlap in this baseline).
     mpi_.allreduce(sendbuf, recvbuf, count, mini::kFloat, ReduceOp::Sum,
@@ -95,8 +128,8 @@ class OmpiComm final : public CommRuntime {
 class UccComm final : public CommRuntime {
  public:
   explicit UccComm(fabric::RankContext& ctx) : ucc_(ctx) {}
-  void allreduce(float* sendbuf, float* recvbuf, std::size_t count,
-                 bool /*async*/) override {
+  void allreduce(std::size_t /*bucket*/, float* sendbuf, float* recvbuf,
+                 std::size_t count, bool /*async*/) override {
     ucc_.allreduce(sendbuf, recvbuf, count, mini::kFloat, ReduceOp::Sum,
                    ucc_.comm_world());
   }
@@ -122,8 +155,8 @@ class PureCclComm final : public CommRuntime {
                                             ctx.rank()),
                    "trainer ccl init");
   }
-  void allreduce(float* sendbuf, float* recvbuf, std::size_t count,
-                 bool async) override {
+  void allreduce(std::size_t /*bucket*/, float* sendbuf, float* recvbuf,
+                 std::size_t count, bool async) override {
     throw_if_error(backend_->all_reduce(sendbuf, recvbuf, count,
                                         DataType::Float32, ReduceOp::Sum, comm_,
                                         ctx_->stream()),
@@ -143,13 +176,13 @@ std::unique_ptr<CommRuntime> make_comm(fabric::RankContext& ctx,
   switch (config.flavor) {
     case omb::Flavor::HybridXccl:
       return std::make_unique<XcclMpiComm>(ctx, core::Mode::Hybrid,
-                                           config.backend);
+                                           config.backend, config.persistent);
     case omb::Flavor::PureXcclInMpi:
       return std::make_unique<XcclMpiComm>(ctx, core::Mode::PureXccl,
-                                           config.backend);
+                                           config.backend, config.persistent);
     case omb::Flavor::GpuAwareMpi:
       return std::make_unique<XcclMpiComm>(ctx, core::Mode::PureMpi,
-                                           std::nullopt);
+                                           std::nullopt, config.persistent);
     case omb::Flavor::OmpiUcx: return std::make_unique<OmpiComm>(ctx);
     case omb::Flavor::OmpiUcxUcc: return std::make_unique<UccComm>(ctx);
     case omb::Flavor::PureCcl:
@@ -159,6 +192,15 @@ std::unique_ptr<CommRuntime> make_comm(fabric::RankContext& ctx,
 }
 
 }  // namespace
+
+std::size_t default_fusion_bytes() {
+  if (const char* env = std::getenv("MPIXCCL_FUSION_BYTES"); env != nullptr) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<std::size_t>(v);
+  }
+  return 2u << 20;
+}
 
 TrainerResult run_training(const sim::SystemProfile& profile, int nodes,
                            const TrainerConfig& config) {
@@ -182,6 +224,13 @@ TrainerResult run_training(const sim::SystemProfile& profile, int nodes,
     device::DeviceBuffer grads(ctx.device(), max_bucket * sizeof(float));
     device::DeviceBuffer reduced(ctx.device(), max_bucket * sizeof(float));
 
+    // Compile the per-bucket reduction plans before the timed steps (the
+    // persistent runtime turns each into an allreduce_init).
+    std::vector<std::size_t> bucket_counts;
+    bucket_counts.reserve(buckets.size());
+    for (const auto& b : buckets) bucket_counts.push_back(b.params);
+    comm->bind_buckets(grads.as<float>(), reduced.as<float>(), bucket_counts);
+
     // The compute timeline is a second stream: kernels run concurrently with
     // the communication launched on the default stream.
     device::Stream compute(profile.device.stream_sync_us);
@@ -197,13 +246,14 @@ TrainerResult run_training(const sim::SystemProfile& profile, int nodes,
           config.model.fwd_us_per_image * config.batch_size, compute, clock,
           {});
       // Backward pass: per bucket, compute then reduce.
-      for (const Bucket& b : buckets) {
+      for (std::size_t bi = 0; bi < buckets.size(); ++bi) {
+        const Bucket& b = buckets[bi];
         ctx.device().launch_kernel(bwd_us_per_param * static_cast<double>(b.params),
                                    compute, clock, {});
         // The gradients of this bucket are ready when its backward kernel
         // completes; Horovod's cycle thread picks them up then.
         clock.advance_to(compute.tail());
-        comm->allreduce(grads.as<float>(), reduced.as<float>(), b.params,
+        comm->allreduce(bi, grads.as<float>(), reduced.as<float>(), b.params,
                         config.overlap);
       }
       const double before_wait = clock.now();

@@ -25,12 +25,22 @@
 
 namespace mpixccl::dl {
 
+/// Horovod fusion-buffer threshold in bytes: the MPIXCCL_FUSION_BYTES
+/// environment variable when set to a positive integer, else 2 MB
+/// (Horovod's own default).
+std::size_t default_fusion_bytes();
+
 struct TrainerConfig {
   Model model = Model::resnet50();
   int batch_size = 32;
   omb::Flavor flavor = omb::Flavor::HybridXccl;
   std::optional<xccl::CclKind> backend;  ///< e.g. force MSCCL on NVIDIA
-  std::size_t fusion_bytes = 2u << 20;   ///< Horovod fusion-buffer threshold
+  std::size_t fusion_bytes = default_fusion_bytes();
+  /// Drive bucket reductions through the persistent-collective API (one
+  /// allreduce_init per bucket at setup, start/wait per step) instead of
+  /// re-dispatching iallreduce every step. XcclMpi-backed flavors only;
+  /// baseline flavors ignore it.
+  bool persistent = false;
   /// Overlap communication with backward compute (nonblocking allreduce).
   /// The pure vendor-CCL flavor in the paper's Horovod builds reduces after
   /// the backward pass; benches model that by disabling overlap there.

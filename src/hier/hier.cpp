@@ -32,7 +32,7 @@ bool avg_supported(DataType dt) { return is_floating(dt) || is_complex(dt); }
 
 }  // namespace
 
-HierEngine::HierComms& HierEngine::comms_for(mini::Comm& comm) {
+HierEngine::HierComms& HierEngine::prepare(mini::Comm& comm) {
   const fabric::ChannelId key = comm.p2p_channel();
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
@@ -83,7 +83,7 @@ HierEngine::HierComms& HierEngine::comms_for(mini::Comm& comm) {
   return cache_.emplace(key, std::move(hc)).first->second;
 }
 
-bool HierEngine::applicable(mini::Comm& comm) { return comms_for(comm).usable; }
+bool HierEngine::applicable(mini::Comm& comm) { return prepare(comm).usable; }
 
 std::byte* HierEngine::scratch(device::DeviceBuffer& buf, std::size_t bytes) {
   if (buf.size() < bytes) {
@@ -94,38 +94,82 @@ std::byte* HierEngine::scratch(device::DeviceBuffer& buf, std::size_t bytes) {
 
 // ---- Allreduce --------------------------------------------------------------
 
+namespace {
+
+/// Chunk/pipeline schedule for one allreduce shape, shared between the
+/// execute path and reserve_allreduce so pre-sizing matches exactly.
+struct AllreduceShape {
+  bool two_level = false;
+  std::size_t chunks = 1;
+  std::size_t unit = 0;
+  std::size_t padded = 0;
+};
+
+AllreduceShape allreduce_shape(std::size_t elems, std::size_t esz, int per_node,
+                               int nodes) {
+  AllreduceShape s;
+  const std::size_t bytes = elems * esz;
+  const auto grain =
+      static_cast<std::size_t>(per_node) * static_cast<std::size_t>(nodes);
+  s.two_level = is_pof2(per_node) && is_pof2(nodes) && elems >= grain;
+  if (s.two_level) {
+    if (bytes >= HierEngine::kPipelineMinBytes) {
+      s.chunks = std::min(
+          HierEngine::kMaxPipelineChunks,
+          std::max<std::size_t>(2, bytes / HierEngine::kPipelineChunkBytes));
+    }
+    s.unit = ceil_div(ceil_div(elems, s.chunks), grain) * grain;
+    s.chunks = ceil_div(elems, s.unit);  // drop now-empty tail chunks
+  } else {
+    s.unit = ceil_div(elems, static_cast<std::size_t>(per_node)) *
+             static_cast<std::size_t>(per_node);
+  }
+  s.padded = s.two_level ? s.unit * s.chunks : s.unit;
+  return s;
+}
+
+}  // namespace
+
+std::size_t HierEngine::reserve_allreduce(const HierComms& hc,
+                                          std::size_t elems, DataType base) {
+  if (!hc.usable || elems == 0) return 0;
+  const std::size_t esz = datatype_size(base);
+  const AllreduceShape s = allreduce_shape(elems, esz, hc.per_node, hc.nodes);
+  scratch(ws_, s.padded * esz);
+  if (s.two_level) {
+    scratch(inbox_, s.chunks * (s.unit / 2) * esz);
+    return ws_.size() + inbox_.size();
+  }
+  const std::size_t shard = s.padded / static_cast<std::size_t>(hc.per_node);
+  scratch(stage_, 2 * shard * esz);
+  return ws_.size() + stage_.size();
+}
+
 bool HierEngine::allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
                            mini::Datatype dt, ReduceOp op, mini::Comm& comm) {
   if (sendbuf == mini::kInPlace) sendbuf = recvbuf;
   if (!reduce_defined(dt.base, stage_op(op))) return false;
   if (op == ReduceOp::Avg && !avg_supported(dt.base)) return false;
-  HierComms& hc = comms_for(comm);
+  return allreduce(prepare(comm), sendbuf, recvbuf, count, dt, op, comm);
+}
+
+bool HierEngine::allreduce(HierComms& hc, const void* sendbuf, void* recvbuf,
+                           std::size_t count, mini::Datatype dt, ReduceOp op,
+                           mini::Comm& comm) {
+  if (sendbuf == mini::kInPlace) sendbuf = recvbuf;
+  if (!reduce_defined(dt.base, stage_op(op))) return false;
+  if (op == ReduceOp::Avg && !avg_supported(dt.base)) return false;
   if (!hc.usable) return false;
   if (count == 0) return true;
 
   const std::size_t elems = count * dt.count;
   const std::size_t esz = datatype_size(dt.base);
   const std::size_t bytes = elems * esz;
-  const auto grain =
-      static_cast<std::size_t>(hc.per_node) * static_cast<std::size_t>(hc.nodes);
-
-  const bool two_level =
-      is_pof2(hc.per_node) && is_pof2(hc.nodes) && elems >= grain;
-
-  std::size_t chunks = 1;
-  std::size_t unit;
-  if (two_level) {
-    if (bytes >= kPipelineMinBytes) {
-      chunks = std::min(kMaxPipelineChunks,
-                        std::max<std::size_t>(2, bytes / kPipelineChunkBytes));
-    }
-    unit = ceil_div(ceil_div(elems, chunks), grain) * grain;
-    chunks = ceil_div(elems, unit);  // drop now-empty tail chunks
-  } else {
-    unit = ceil_div(elems, static_cast<std::size_t>(hc.per_node)) *
-           static_cast<std::size_t>(hc.per_node);
-  }
-  const std::size_t padded = two_level ? unit * chunks : unit;
+  const AllreduceShape shape = allreduce_shape(elems, esz, hc.per_node, hc.nodes);
+  const bool two_level = shape.two_level;
+  const std::size_t chunks = shape.chunks;
+  const std::size_t unit = shape.unit;
+  const std::size_t padded = shape.padded;
 
   // Padded working copy. Every rank pads identically and the pad region is
   // never copied out, so whatever the reduction leaves there is irrelevant.
@@ -402,7 +446,11 @@ void HierEngine::two_level_allreduce(std::byte* ws, std::size_t unit,
 
 bool HierEngine::bcast(void* buf, std::size_t count, mini::Datatype dt, int root,
                        mini::Comm& comm) {
-  HierComms& hc = comms_for(comm);
+  return bcast(prepare(comm), buf, count, dt, root, comm);
+}
+
+bool HierEngine::bcast(HierComms& hc, void* buf, std::size_t count,
+                       mini::Datatype dt, int root, mini::Comm& comm) {
   if (!hc.usable) return false;
   if (count == 0) return true;
 
@@ -465,13 +513,23 @@ bool HierEngine::bcast(void* buf, std::size_t count, mini::Datatype dt, int root
 bool HierEngine::reduce(const void* sendbuf, void* recvbuf, std::size_t count,
                         mini::Datatype dt, ReduceOp op, int root,
                         mini::Comm& comm) {
+  if (sendbuf == mini::kInPlace && comm.rank() != root) {
+    return false;  // invalid; let the flat path report
+  }
+  if (!reduce_defined(dt.base, stage_op(op))) return false;
+  if (op == ReduceOp::Avg && !avg_supported(dt.base)) return false;
+  return reduce(prepare(comm), sendbuf, recvbuf, count, dt, op, root, comm);
+}
+
+bool HierEngine::reduce(HierComms& hc, const void* sendbuf, void* recvbuf,
+                        std::size_t count, mini::Datatype dt, ReduceOp op,
+                        int root, mini::Comm& comm) {
   if (sendbuf == mini::kInPlace) {
     if (comm.rank() != root) return false;  // invalid; let the flat path report
     sendbuf = recvbuf;
   }
   if (!reduce_defined(dt.base, stage_op(op))) return false;
   if (op == ReduceOp::Avg && !avg_supported(dt.base)) return false;
-  HierComms& hc = comms_for(comm);
   if (!hc.usable) return false;
   if (count == 0) return true;
 
@@ -511,9 +569,18 @@ bool HierEngine::allgather(const void* sendbuf, std::size_t sendcount,
                            std::size_t recvcount, mini::Datatype rt,
                            mini::Comm& comm) {
   if (sendbuf == mini::kInPlace) return false;  // caller resolves in-place
+  if (sendcount * st.size() != recvcount * rt.size()) return false;
+  return allgather(prepare(comm), sendbuf, sendcount, st, recvbuf, recvcount,
+                   rt, comm);
+}
+
+bool HierEngine::allgather(HierComms& hc, const void* sendbuf,
+                           std::size_t sendcount, mini::Datatype st,
+                           void* recvbuf, std::size_t recvcount,
+                           mini::Datatype rt, mini::Comm& /*comm*/) {
+  if (sendbuf == mini::kInPlace) return false;  // caller resolves in-place
   const std::size_t blk = sendcount * st.size();
   if (blk != recvcount * rt.size()) return false;
-  HierComms& hc = comms_for(comm);
   if (!hc.usable) return false;
   if (blk == 0) return true;
 
@@ -553,7 +620,17 @@ bool HierEngine::reduce_scatter_block(const void* sendbuf, void* recvbuf,
   if (sendbuf == mini::kInPlace) return false;  // mini rejects it; let it report
   if (!reduce_defined(dt.base, stage_op(op))) return false;
   if (op == ReduceOp::Avg && !avg_supported(dt.base)) return false;
-  HierComms& hc = comms_for(comm);
+  return reduce_scatter_block(prepare(comm), sendbuf, recvbuf, recvcount, dt,
+                              op, comm);
+}
+
+bool HierEngine::reduce_scatter_block(HierComms& hc, const void* sendbuf,
+                                      void* recvbuf, std::size_t recvcount,
+                                      mini::Datatype dt, ReduceOp op,
+                                      mini::Comm& comm) {
+  if (sendbuf == mini::kInPlace) return false;  // mini rejects it; let it report
+  if (!reduce_defined(dt.base, stage_op(op))) return false;
+  if (op == ReduceOp::Avg && !avg_supported(dt.base)) return false;
   if (!hc.usable) return false;
   if (recvcount == 0) return true;
 

@@ -50,22 +50,66 @@ class HierEngine {
  public:
   explicit HierEngine(mini::Mpi& mpi) : mpi_(&mpi) {}
 
+  /// Node/leader subcommunicators for one parent communicator: `node` spans
+  /// the L members on my node (rank = local index), `cross` spans the N
+  /// ranks sharing my local index across nodes (rank = node index). Exposed
+  /// as an opaque reusable handle so persistent plans can resolve the splits
+  /// once at init and replay collectives without the per-call cache lookup;
+  /// treat the fields as read-only outside this engine.
+  struct HierComms {
+    bool usable = false;
+    int nodes = 0;     ///< N
+    int per_node = 0;  ///< L
+    // Engaged iff usable (mini::Comm has no default state).
+    std::optional<mini::Comm> node;
+    std::optional<mini::Comm> cross;
+  };
+
+  /// Resolve (building the collective splits and caching them on first use)
+  /// the subcommunicator handle for `comm`. Check `.usable` before passing
+  /// the handle to the collective overloads below. The build is collective:
+  /// every member of `comm` must call it in the same order.
+  HierComms& prepare(mini::Comm& comm);
+
   // Each collective returns true when it served the call hierarchically and
   // false when this communicator (or argument combination) is not eligible;
   // the caller is expected to fall back to a flat engine. MPI_IN_PLACE must
-  // be resolved by the caller.
+  // be resolved by the caller. The HierComms overloads skip the per-call
+  // cache lookup (the persistent start/wait hot path); the plain overloads
+  // delegate after resolving the handle.
   bool allreduce(const void* sendbuf, void* recvbuf, std::size_t count,
                  mini::Datatype dt, ReduceOp op, mini::Comm& comm);
+  bool allreduce(HierComms& hc, const void* sendbuf, void* recvbuf,
+                 std::size_t count, mini::Datatype dt, ReduceOp op,
+                 mini::Comm& comm);
   bool bcast(void* buf, std::size_t count, mini::Datatype dt, int root,
              mini::Comm& comm);
+  bool bcast(HierComms& hc, void* buf, std::size_t count, mini::Datatype dt,
+             int root, mini::Comm& comm);
   bool reduce(const void* sendbuf, void* recvbuf, std::size_t count,
               mini::Datatype dt, ReduceOp op, int root, mini::Comm& comm);
+  bool reduce(HierComms& hc, const void* sendbuf, void* recvbuf,
+              std::size_t count, mini::Datatype dt, ReduceOp op, int root,
+              mini::Comm& comm);
   bool allgather(const void* sendbuf, std::size_t sendcount, mini::Datatype st,
                  void* recvbuf, std::size_t recvcount, mini::Datatype rt,
                  mini::Comm& comm);
+  bool allgather(HierComms& hc, const void* sendbuf, std::size_t sendcount,
+                 mini::Datatype st, void* recvbuf, std::size_t recvcount,
+                 mini::Datatype rt, mini::Comm& comm);
   bool reduce_scatter_block(const void* sendbuf, void* recvbuf,
                             std::size_t recvcount, mini::Datatype dt,
                             ReduceOp op, mini::Comm& comm);
+  bool reduce_scatter_block(HierComms& hc, const void* sendbuf, void* recvbuf,
+                            std::size_t recvcount, mini::Datatype dt,
+                            ReduceOp op, mini::Comm& comm);
+
+  /// Pre-size the scratch buffers an allreduce of `elems` base elements will
+  /// need through `hc`, so the first start() of a persistent plan does not
+  /// pay the allocation. Returns the scratch bytes now resident for this
+  /// shape (0 when the handle is unusable).
+  std::size_t reserve_allreduce(const HierComms& hc, std::size_t elems,
+                                DataType base);
 
   /// True when `comm` is node-blocked with >= 2 nodes and >= 2 ranks per
   /// node (builds and caches the subcommunicators on first use).
@@ -85,20 +129,6 @@ class HierEngine {
   static constexpr std::size_t kBcastScatterMinBytes = 1 << 16;
 
  private:
-  /// Node/leader subcommunicators for one parent communicator: `node` spans
-  /// the L members on my node (rank = local index), `cross` spans the N
-  /// ranks sharing my local index across nodes (rank = node index).
-  struct HierComms {
-    bool usable = false;
-    int nodes = 0;     ///< N
-    int per_node = 0;  ///< L
-    // Engaged iff usable (mini::Comm has no default state).
-    std::optional<mini::Comm> node;
-    std::optional<mini::Comm> cross;
-  };
-
-  HierComms& comms_for(mini::Comm& comm);
-
   /// Grow-on-demand device scratch (cached so repeated collectives do not
   /// pay the allocation).
   std::byte* scratch(device::DeviceBuffer& buf, std::size_t bytes);

@@ -1,13 +1,22 @@
 #include "mpi/comm.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
 namespace mpixccl::mini {
 
+std::uint64_t Comm::next_uid() {
+  // Ranks are threads of one process, so a process-wide counter hands every
+  // rank's Comm instance a distinct epoch without coordination.
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 Comm Comm::world(int my_world_rank, int world_size, fabric::ChannelId base) {
   require(my_world_rank >= 0 && my_world_rank < world_size, "Comm::world: bad rank");
   Comm c;
+  c.uid_ = next_uid();
   c.rank_ = my_world_rank;
   c.world_ranks_.resize(static_cast<std::size_t>(world_size));
   std::iota(c.world_ranks_.begin(), c.world_ranks_.end(), 0);
@@ -21,6 +30,7 @@ Comm Comm::create(int my_world_rank, std::vector<int> world_ranks,
   auto it = std::find(world_ranks.begin(), world_ranks.end(), my_world_rank);
   require(it != world_ranks.end(), "Comm::create: caller not in group");
   Comm c;
+  c.uid_ = next_uid();
   c.rank_ = static_cast<int>(it - world_ranks.begin());
   c.world_ranks_ = std::move(world_ranks);
   c.p2p_channel_ = fabric::derive_channel(channel, 1);

@@ -42,6 +42,13 @@ class Comm {
   /// Channel for point-to-point traffic on this communicator.
   [[nodiscard]] fabric::ChannelId p2p_channel() const { return p2p_channel_; }
 
+  /// Process-unique, monotonically increasing id assigned when this rank's
+  /// view of the communicator is constructed — the communicator *epoch*.
+  /// Copies of a Comm share the uid (same logical view); every world/create
+  /// (and thus dup/split) yields a fresh one, so caches keyed on it can
+  /// never confuse two incarnations even if a channel were ever reused.
+  [[nodiscard]] std::uint64_t uid() const { return uid_; }
+
   /// Allocate the channel for the next collective operation. Collective
   /// calls occur in the same order on every member (MPI semantics), so every
   /// rank derives the same channel.
@@ -58,9 +65,12 @@ class Comm {
  private:
   Comm() = default;
 
+  static std::uint64_t next_uid();
+
   int rank_ = 0;
   std::vector<int> world_ranks_;
   fabric::ChannelId p2p_channel_ = 0;
+  std::uint64_t uid_ = 0;
   fabric::ChannelId coll_base_ = 0;
   std::uint64_t coll_seq_ = 0;
   std::uint64_t create_seq_ = 0;

@@ -77,6 +77,24 @@ void FlightRecorder::clear() {
   floor_.store(0.0, std::memory_order_relaxed);
 }
 
+std::size_t FlightRecorder::purge_plan_records(
+    int rank, const std::vector<std::uint64_t>& live) {
+  std::lock_guard lock(mu_);
+  const std::size_t before = top_.size();
+  top_.erase(std::remove_if(top_.begin(), top_.end(),
+                            [&](const FlightRecord& r) {
+                              if (r.rank != rank || r.plan_id == 0) return false;
+                              return std::find(live.begin(), live.end(),
+                                               r.plan_id) == live.end();
+                            }),
+             top_.end());
+  // Removals can reopen the table: recompute the admission floor so future
+  // records are not bounced off a threshold set by a purged entry.
+  floor_.store(top_.size() == capacity_ ? top_.back().elapsed_us() : 0.0,
+               std::memory_order_relaxed);
+  return before - top_.size();
+}
+
 std::string FlightRecorder::to_json_field() const {
   std::lock_guard lock(mu_);
   std::ostringstream os;
@@ -89,7 +107,8 @@ std::string FlightRecorder::to_json_field() const {
        << to_string(r.engine) << "\",\"bytes\":" << r.bytes
        << ",\"rank\":" << r.rank << ",\"begin_us\":" << num(r.begin_us)
        << ",\"end_us\":" << num(r.end_us)
-       << ",\"elapsed_us\":" << num(r.elapsed_us()) << ",\"decision\":{"
+       << ",\"elapsed_us\":" << num(r.elapsed_us())
+       << ",\"plan_id\":" << r.plan_id << ",\"decision\":{"
        << "\"seq\":" << r.decision.seq << ",\"mode\":\""
        << to_string(r.decision.mode) << "\",\"breakpoint\":";
     if (r.decision.breakpoint == SIZE_MAX) {

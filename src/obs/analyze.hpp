@@ -45,6 +45,9 @@ struct FlightRecord {
   double begin_us = 0.0;
   double end_us = 0.0;
   DispatchDecision decision;  ///< the dispatch's fully-explained routing
+  /// Id of the compiled plan that routed this dispatch (joins against
+  /// PlanCache entries); 0 for planless paths (barrier, composed ops).
+  std::uint64_t plan_id = 0;
 
   [[nodiscard]] double elapsed_us() const { return end_us - begin_us; }
 };
@@ -66,6 +69,13 @@ class FlightRecorder {
   /// Retained records, slowest first.
   [[nodiscard]] std::vector<FlightRecord> records() const;
   void clear();
+  /// Drop `rank`'s records whose plan_id is set but absent from `live` —
+  /// they reference a plan that has been evicted or invalidated, so the
+  /// join they exist for can no longer resolve. Other ranks' records are
+  /// untouched (the recorder is process-wide, XcclMpi instances per-rank).
+  /// Returns the number of records removed.
+  std::size_t purge_plan_records(int rank,
+                                 const std::vector<std::uint64_t>& live);
 
   /// Raw JSON `"flight_recorder":[...]` top-level field, ready for
   /// MetricsSnapshot::to_json(extra_fields).

@@ -152,4 +152,101 @@ xcclResult_t xcclStreamSynchronize(xcclStream_t stream) {
   return XcclResult::Success;
 }
 
+// Persistent-op handle: the captured argument tuple plus which collective to
+// replay (the header's xcclOp_t forward-declares this type).
+struct xcclPersistentOp {
+  enum class Kind { AllReduce, Broadcast, Reduce, AllGather, ReduceScatter };
+  Kind kind = Kind::AllReduce;
+  const void* sendbuff = nullptr;
+  void* recvbuff = nullptr;
+  std::size_t count = 0;
+  xcclDataType_t datatype = DataType::Float32;
+  xcclRedOp_t redop = ReduceOp::Sum;
+  int root = 0;
+  xcclComm_t comm = nullptr;
+  xcclStream_t stream = nullptr;
+};
+
+namespace {
+xcclResult_t make_op(xcclOp_t* op, xcclPersistentOp captured) {
+  if (op == nullptr) return XcclResult::InvalidArgument;
+  if (auto r = check_handles(captured.comm, captured.stream); !ok(r)) return r;
+  *op = new xcclPersistentOp(captured);
+  return XcclResult::Success;
+}
+}  // namespace
+
+xcclResult_t xcclAllReduceInit(xcclOp_t* op, const void* sendbuff,
+                               void* recvbuff, std::size_t count,
+                               xcclDataType_t datatype, xcclRedOp_t redop,
+                               xcclComm_t comm, xcclStream_t stream) {
+  return make_op(op, {xcclPersistentOp::Kind::AllReduce, sendbuff, recvbuff,
+                      count, datatype, redop, 0, comm, stream});
+}
+
+xcclResult_t xcclBroadcastInit(xcclOp_t* op, void* buff, std::size_t count,
+                               xcclDataType_t datatype, int root,
+                               xcclComm_t comm, xcclStream_t stream) {
+  return make_op(op, {xcclPersistentOp::Kind::Broadcast, nullptr, buff, count,
+                      datatype, ReduceOp::Sum, root, comm, stream});
+}
+
+xcclResult_t xcclReduceInit(xcclOp_t* op, const void* sendbuff, void* recvbuff,
+                            std::size_t count, xcclDataType_t datatype,
+                            xcclRedOp_t redop, int root, xcclComm_t comm,
+                            xcclStream_t stream) {
+  return make_op(op, {xcclPersistentOp::Kind::Reduce, sendbuff, recvbuff, count,
+                      datatype, redop, root, comm, stream});
+}
+
+xcclResult_t xcclAllGatherInit(xcclOp_t* op, const void* sendbuff,
+                               void* recvbuff, std::size_t sendcount,
+                               xcclDataType_t datatype, xcclComm_t comm,
+                               xcclStream_t stream) {
+  return make_op(op, {xcclPersistentOp::Kind::AllGather, sendbuff, recvbuff,
+                      sendcount, datatype, ReduceOp::Sum, 0, comm, stream});
+}
+
+xcclResult_t xcclReduceScatterInit(xcclOp_t* op, const void* sendbuff,
+                                   void* recvbuff, std::size_t recvcount,
+                                   xcclDataType_t datatype, xcclRedOp_t redop,
+                                   xcclComm_t comm, xcclStream_t stream) {
+  return make_op(op, {xcclPersistentOp::Kind::ReduceScatter, sendbuff, recvbuff,
+                      recvcount, datatype, redop, 0, comm, stream});
+}
+
+xcclResult_t xcclOpStart(xcclOp_t op) {
+  if (op == nullptr) return XcclResult::InvalidArgument;
+  CclBackend& backend = xcclCurrentBackend();
+  switch (op->kind) {
+    case xcclPersistentOp::Kind::AllReduce:
+      return backend.all_reduce(op->sendbuff, op->recvbuff, op->count,
+                                op->datatype, op->redop, *op->comm, *op->stream);
+    case xcclPersistentOp::Kind::Broadcast:
+      return backend.broadcast(op->recvbuff, op->count, op->datatype, op->root,
+                               *op->comm, *op->stream);
+    case xcclPersistentOp::Kind::Reduce:
+      return backend.reduce(op->sendbuff, op->recvbuff, op->count, op->datatype,
+                            op->redop, op->root, *op->comm, *op->stream);
+    case xcclPersistentOp::Kind::AllGather:
+      return backend.all_gather(op->sendbuff, op->recvbuff, op->count,
+                                op->datatype, *op->comm, *op->stream);
+    case xcclPersistentOp::Kind::ReduceScatter:
+      return backend.reduce_scatter(op->sendbuff, op->recvbuff, op->count,
+                                    op->datatype, op->redop, *op->comm,
+                                    *op->stream);
+  }
+  return XcclResult::InvalidArgument;
+}
+
+xcclResult_t xcclOpWait(xcclOp_t op) {
+  if (op == nullptr) return XcclResult::InvalidArgument;
+  return xcclStreamSynchronize(op->stream);
+}
+
+xcclResult_t xcclOpFree(xcclOp_t op) {
+  delete op;
+  return XcclResult::Success;
+}
+
 }  // namespace mpixccl::xccl

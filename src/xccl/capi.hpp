@@ -93,4 +93,41 @@ xcclResult_t xcclGroupEnd();
 /// Block the calling rank until the stream drains (cudaStreamSynchronize).
 xcclResult_t xcclStreamSynchronize(xcclStream_t stream);
 
+// ---- Persistent collectives (MPI_Allreduce_init-shaped) ---------------------
+// Init binds the full argument tuple — buffers, count, datatype, op, comm,
+// stream — into a reusable handle; xcclOpStart launches the captured
+// collective on the captured stream without re-validating any of it, and
+// xcclOpWait synchronizes that stream. start/wait must alternate; free after
+// wait (or before any start). The higher-level plan cache lives in
+// core::XcclMpi — this is the raw per-backend replay primitive it maps onto.
+
+/// Opaque persistent-op handle (owned; release with xcclOpFree).
+using xcclOp_t = struct xcclPersistentOp*;
+
+xcclResult_t xcclAllReduceInit(xcclOp_t* op, const void* sendbuff,
+                               void* recvbuff, std::size_t count,
+                               xcclDataType_t datatype, xcclRedOp_t redop,
+                               xcclComm_t comm, xcclStream_t stream);
+xcclResult_t xcclBroadcastInit(xcclOp_t* op, void* buff, std::size_t count,
+                               xcclDataType_t datatype, int root,
+                               xcclComm_t comm, xcclStream_t stream);
+xcclResult_t xcclReduceInit(xcclOp_t* op, const void* sendbuff, void* recvbuff,
+                            std::size_t count, xcclDataType_t datatype,
+                            xcclRedOp_t redop, int root, xcclComm_t comm,
+                            xcclStream_t stream);
+xcclResult_t xcclAllGatherInit(xcclOp_t* op, const void* sendbuff,
+                               void* recvbuff, std::size_t sendcount,
+                               xcclDataType_t datatype, xcclComm_t comm,
+                               xcclStream_t stream);
+xcclResult_t xcclReduceScatterInit(xcclOp_t* op, const void* sendbuff,
+                                   void* recvbuff, std::size_t recvcount,
+                                   xcclDataType_t datatype, xcclRedOp_t redop,
+                                   xcclComm_t comm, xcclStream_t stream);
+
+/// Launch the captured collective (backend launch only; no sync).
+xcclResult_t xcclOpStart(xcclOp_t op);
+/// Synchronize the captured stream, completing the last start.
+xcclResult_t xcclOpWait(xcclOp_t op);
+xcclResult_t xcclOpFree(xcclOp_t op);
+
 }  // namespace mpixccl::xccl

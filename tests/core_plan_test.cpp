@@ -1,0 +1,408 @@
+// Tests for the persistent-collective plan layer: the PlanCache data
+// structure (hit/miss byte bands, LRU eviction, invalidation), the XcclMpi
+// integration (one-shot dispatch populating and hitting the cache, tuning
+// reload invalidation, reset_stats hygiene), and bit-identical results
+// between one-shot and persistent start/wait across all three engines and
+// several topologies.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "core/xccl_mpi.hpp"
+#include "device/device.hpp"
+#include "fabric/world.hpp"
+#include "obs/analyze.hpp"
+#include "sim/profiles.hpp"
+
+namespace mpixccl::core {
+namespace {
+
+void with_runtime(const sim::SystemProfile& prof, int nodes,
+                  XcclMpiOptions options,
+                  const std::function<void(XcclMpi&)>& body, int dpn = 0) {
+  fabric::World world(fabric::WorldConfig{prof, nodes, dpn});
+  world.run([&](fabric::RankContext& ctx) {
+    XcclMpi rt(ctx, options);
+    body(rt);
+  });
+}
+
+PlanKey key_of(CollOp op, std::size_t bytes, std::uint64_t comm_uid = 1) {
+  return PlanKey{op, DataType::Float32, ReduceOp::Sum, true,
+                 plan_size_class(bytes), comm_uid};
+}
+
+std::shared_ptr<Plan> make_plan(PlanKey key, std::uint64_t id,
+                                std::size_t min_b = 0,
+                                std::size_t max_b = SIZE_MAX) {
+  auto p = std::make_shared<Plan>();
+  p->key = key;
+  p->id = id;
+  p->min_bytes = min_b;
+  p->max_bytes = max_b;
+  return p;
+}
+
+/// The three-engine tuning table every integration test routes through.
+TuningTable three_engine_table() {
+  TuningTable t;
+  t.set_rules(CollOp::Allreduce, {{16384, Engine::Mpi},
+                                  {1u << 20, Engine::Hier},
+                                  {SIZE_MAX, Engine::Xccl}});
+  return t;
+}
+
+// ---- PlanCache unit tests ---------------------------------------------------
+
+TEST(PlanCacheUnit, HitBumpsCountersMissOnUnknownKey) {
+  PlanCache cache;
+  const PlanKey k = key_of(CollOp::Allreduce, 4096);
+  cache.insert(make_plan(k, 1));
+  auto hit = cache.find(k, 4096);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->id, 1u);
+  EXPECT_EQ(hit->hits, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  EXPECT_EQ(cache.find(key_of(CollOp::Bcast, 4096), 4096), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheUnit, ByteBandMismatchIsMiss) {
+  // Two sizes can share a size class while straddling a tuning breakpoint;
+  // a cached plan only serves bytes inside the rule band it was built from.
+  PlanCache cache;
+  const PlanKey k = key_of(CollOp::Allreduce, 12000);
+  cache.insert(make_plan(k, 7, /*min_b=*/0, /*max_b=*/10000));
+  EXPECT_NE(cache.find(k, 9000), nullptr);
+  EXPECT_EQ(cache.find(k, 12000), nullptr);  // same class, out of band
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(PlanCacheUnit, LruEvictsOldestAndHitRefreshes) {
+  PlanCache cache(/*capacity=*/2);
+  const PlanKey a = key_of(CollOp::Allreduce, 64);
+  const PlanKey b = key_of(CollOp::Allreduce, 4096);
+  const PlanKey c = key_of(CollOp::Allreduce, 1u << 20);
+  cache.insert(make_plan(a, 1));
+  cache.insert(make_plan(b, 2));
+  ASSERT_NE(cache.find(a, 64), nullptr);  // refresh a: b is now LRU
+  EXPECT_EQ(cache.insert(make_plan(c, 3)), 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.find(b, 4096), nullptr);  // b was evicted
+  EXPECT_NE(cache.find(a, 64), nullptr);
+  EXPECT_NE(cache.find(c, 1u << 20), nullptr);
+}
+
+TEST(PlanCacheUnit, InsertReplacesSameKeyWithoutEvictionTick) {
+  PlanCache cache(2);
+  const PlanKey k = key_of(CollOp::Allreduce, 4096);
+  cache.insert(make_plan(k, 1));
+  EXPECT_EQ(cache.insert(make_plan(k, 2)), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.find(k, 4096)->id, 2u);
+}
+
+TEST(PlanCacheUnit, InvalidateAllEmptiesAndCounts) {
+  PlanCache cache;
+  cache.insert(make_plan(key_of(CollOp::Allreduce, 64), 1));
+  cache.insert(make_plan(key_of(CollOp::Bcast, 64), 2));
+  EXPECT_EQ(cache.invalidate_all(), 2u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+  EXPECT_TRUE(cache.live_ids().empty());
+}
+
+TEST(PlanCacheUnit, ShrinkingCapacityEvictsTail) {
+  PlanCache cache;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    cache.insert(make_plan(key_of(CollOp::Allreduce, 64u << i), i + 1));
+  }
+  cache.set_capacity(2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  // Newest two survive.
+  EXPECT_NE(cache.find(key_of(CollOp::Allreduce, 64u << 3), 64u << 3), nullptr);
+  EXPECT_NE(cache.find(key_of(CollOp::Allreduce, 64u << 2), 64u << 2), nullptr);
+}
+
+TEST(PlanCacheUnit, ReportListsPlansAndCounters) {
+  PlanCache cache;
+  cache.insert(make_plan(key_of(CollOp::Allreduce, 4096), 42));
+  cache.find(key_of(CollOp::Allreduce, 4096), 4096);
+  const std::string r = cache.report();
+  EXPECT_NE(r.find("allreduce"), std::string::npos);
+  EXPECT_NE(r.find("42"), std::string::npos);
+  EXPECT_NE(r.find("hits 1"), std::string::npos);
+}
+
+// ---- Flight-recorder purge --------------------------------------------------
+
+TEST(FlightPurge, DropsDeadPlanRecordsForRankOnly) {
+  auto& fr = obs::FlightRecorder::instance();
+  fr.clear();
+  auto rec = [&](int rank, std::uint64_t plan_id, double dur) {
+    obs::FlightRecord r;
+    r.rank = rank;
+    r.plan_id = plan_id;
+    r.begin_us = 0.0;
+    r.end_us = dur;
+    fr.record(r);
+  };
+  rec(0, 10, 100.0);  // dead plan, rank 0 -> purged
+  rec(0, 11, 90.0);   // live plan, rank 0 -> kept
+  rec(0, 0, 80.0);    // planless, rank 0 -> kept
+  rec(1, 10, 70.0);   // other rank -> kept even though plan 10 is dead
+  EXPECT_EQ(fr.purge_plan_records(0, {11}), 1u);
+  const auto records = fr.records();
+  ASSERT_EQ(records.size(), 3u);
+  for (const auto& r : records) {
+    EXPECT_FALSE(r.rank == 0 && r.plan_id == 10);
+  }
+  fr.clear();
+}
+
+// ---- XcclMpi integration ----------------------------------------------------
+
+TEST(PlanRuntime, OneShotPopulatesAndHitsCache) {
+  with_runtime(sim::thetagpu(), 1, {}, [](XcclMpi& rt) {
+    auto& dev = rt.context().device();
+    device::DeviceBuffer send(dev, 1u << 20);
+    device::DeviceBuffer recv(dev, 1u << 20);
+    auto ar = [&](std::size_t floats) {
+      rt.allreduce(send.get(), recv.get(), floats, mini::kFloat, ReduceOp::Sum,
+                   rt.comm_world());
+    };
+    ar(64);   // 256 bytes: build (miss)
+    ar(64);   // replay (hit)
+    ar(100);  // 400 bytes, same log2 class as 256 -> hit
+    ar(1 << 18);  // new size class -> miss
+    const auto& st = rt.plan_cache().stats();
+    EXPECT_EQ(st.misses, 2u);
+    EXPECT_EQ(st.hits, 2u);
+    EXPECT_EQ(rt.plan_cache().size(), 2u);
+
+    // A persistent init for a cached tuple reuses the compiled plan.
+    Persistent h = rt.allreduce_init(send.as<float>(), recv.as<float>(), 64,
+                                     mini::kFloat, ReduceOp::Sum,
+                                     rt.comm_world());
+    EXPECT_TRUE(h.valid());
+    EXPECT_EQ(rt.plan_cache().stats().hits, 3u);
+    h.free();
+    EXPECT_FALSE(h.valid());
+  });
+}
+
+TEST(PlanRuntime, TuningReloadInvalidatesPlans) {
+  with_runtime(sim::thetagpu(), 1, {}, [](XcclMpi& rt) {
+    auto& dev = rt.context().device();
+    device::DeviceBuffer buf(dev, 1u << 20);
+    rt.allreduce(buf.get(), buf.get(), 64, mini::kFloat, ReduceOp::Sum,
+                 rt.comm_world());
+    ASSERT_EQ(rt.plan_cache().size(), 1u);
+
+    rt.set_tuning(three_engine_table());
+    EXPECT_EQ(rt.plan_cache().size(), 0u);
+    EXPECT_EQ(rt.plan_cache().stats().invalidations, 1u);
+
+    // The next call rebuilds under the new table.
+    rt.allreduce(buf.get(), buf.get(), 64, mini::kFloat, ReduceOp::Sum,
+                 rt.comm_world());
+    EXPECT_EQ(rt.plan_cache().size(), 1u);
+    EXPECT_EQ(rt.plan_cache().stats().misses, 2u);
+
+    // Mode changes invalidate too.
+    rt.set_mode(Mode::PureXccl);
+    EXPECT_EQ(rt.plan_cache().size(), 0u);
+  });
+}
+
+TEST(PlanRuntime, ResetStatsClearsPlanCountersAndPurgesFlightRecords) {
+  with_runtime(sim::thetagpu(), 1, {}, [](XcclMpi& rt) {
+    obs::FlightRecorder::instance().clear();
+    auto& dev = rt.context().device();
+    device::DeviceBuffer buf(dev, 1u << 20);
+    for (int i = 0; i < 3; ++i) {
+      rt.allreduce(buf.get(), buf.get(), 1 << 18, mini::kFloat, ReduceOp::Sum,
+                   rt.comm_world());
+    }
+    ASSERT_GT(rt.plan_cache().stats().misses, 0u);
+
+    // Free every plan, then reset: the counters must zero and this rank's
+    // flight records referencing the freed plans must disappear (they can
+    // no longer join against a cache entry).
+    rt.invalidate_plans();
+    rt.reset_stats();
+    const auto& st = rt.plan_cache().stats();
+    EXPECT_EQ(st.hits, 0u);
+    EXPECT_EQ(st.misses, 0u);
+    EXPECT_EQ(st.evictions, 0u);
+    EXPECT_EQ(st.invalidations, 0u);
+    for (const auto& r : obs::FlightRecorder::instance().records()) {
+      EXPECT_FALSE(r.rank == rt.rank() && r.plan_id != 0)
+          << "stale flight record for freed plan " << r.plan_id;
+    }
+  });
+}
+
+TEST(PlanRuntime, StartWaitLifecycleIsEnforced) {
+  with_runtime(sim::thetagpu(), 1, {}, [](XcclMpi& rt) {
+    auto& dev = rt.context().device();
+    device::DeviceBuffer send(dev, 4096), recv(dev, 4096);
+    Persistent h = rt.allreduce_init(send.as<float>(), recv.as<float>(), 64,
+                                     mini::kFloat, ReduceOp::Sum,
+                                     rt.comm_world());
+    EXPECT_THROW(h.wait(), Error);  // wait before start
+    h.start();
+    EXPECT_TRUE(h.active());
+    EXPECT_THROW(h.start(), Error);  // overlapping start on one handle
+    EXPECT_THROW(h.free(), Error);   // free while in flight
+    h.wait();
+    EXPECT_FALSE(h.active());
+    h.free();
+    h.free();  // safe to call twice
+  });
+}
+
+// ---- Persistent vs one-shot equivalence -------------------------------------
+
+/// Runs every collective both ways on one topology and expects bit-identical
+/// results. The tuning table routes the three allreduce sizes to the three
+/// engines (hier degrades to its fallback on single-node worlds and still
+/// must produce the same bytes).
+void check_equivalence(const sim::SystemProfile& prof, int nodes, int dpn) {
+  with_runtime(
+      prof, nodes, {.tuning = three_engine_table()},
+      [](XcclMpi& rt) {
+        auto& dev = rt.context().device();
+        auto& comm = rt.comm_world();
+        const int rank = rt.rank();
+        const int size = rt.size();
+
+        for (const std::size_t floats :
+             {std::size_t{1024}, std::size_t{65536}, std::size_t{1u << 20}}) {
+          const std::size_t bytes = floats * sizeof(float);
+          device::DeviceBuffer send(dev, bytes);
+          device::DeviceBuffer one(dev, bytes);
+          device::DeviceBuffer per(dev, bytes);
+          for (std::size_t i = 0; i < floats; ++i) {
+            send.as<float>()[i] =
+                static_cast<float>(rank + 1) + static_cast<float>(i % 17);
+          }
+          rt.allreduce(send.get(), one.get(), floats, mini::kFloat,
+                       ReduceOp::Sum, comm);
+          Persistent h = rt.allreduce_init(send.as<float>(), per.as<float>(),
+                                           floats, mini::kFloat, ReduceOp::Sum,
+                                           comm);
+          h.start();
+          h.wait();
+          // Replays stay identical (the handle is reusable).
+          h.start();
+          h.wait();
+          EXPECT_EQ(std::memcmp(one.get(), per.get(), bytes), 0)
+              << "allreduce mismatch at " << bytes << " bytes";
+        }
+
+        // The other four collectives at one mid size.
+        const std::size_t n = 4096;
+        device::DeviceBuffer a(dev, n * sizeof(float));
+        device::DeviceBuffer b(dev, n * sizeof(float));
+        for (std::size_t i = 0; i < n; ++i) {
+          a.as<float>()[i] = static_cast<float>(rank * 3 + 1);
+          b.as<float>()[i] = a.as<float>()[i];
+        }
+        rt.bcast(a.get(), n, mini::kFloat, 0, comm);
+        Persistent hb =
+            rt.bcast_init(b.get(), n, mini::kFloat, 0, comm);
+        hb.start();
+        hb.wait();
+        EXPECT_EQ(std::memcmp(a.get(), b.get(), n * sizeof(float)), 0);
+
+        device::DeviceBuffer r1(dev, n * sizeof(float));
+        device::DeviceBuffer r2(dev, n * sizeof(float));
+        rt.reduce(a.get(), r1.get(), n, mini::kFloat, ReduceOp::Max, 0, comm);
+        Persistent hr = rt.reduce_init(a.as<float>(), r2.as<float>(), n,
+                                       mini::kFloat, ReduceOp::Max, 0, comm);
+        hr.start();
+        hr.wait();
+        if (rank == 0) {
+          EXPECT_EQ(std::memcmp(r1.get(), r2.get(), n * sizeof(float)), 0);
+        }
+
+        const std::size_t per_rank = 512;
+        device::DeviceBuffer g1(dev, per_rank * size * sizeof(float));
+        device::DeviceBuffer g2(dev, per_rank * size * sizeof(float));
+        rt.allgather(a.get(), per_rank, mini::kFloat, g1.get(), per_rank,
+                     mini::kFloat, comm);
+        Persistent hg = rt.allgather_init(a.get(), per_rank, mini::kFloat,
+                                          g2.get(), per_rank, mini::kFloat,
+                                          comm);
+        hg.start();
+        hg.wait();
+        EXPECT_EQ(
+            std::memcmp(g1.get(), g2.get(), per_rank * size * sizeof(float)),
+            0);
+
+        device::DeviceBuffer s1(dev, per_rank * sizeof(float));
+        device::DeviceBuffer s2(dev, per_rank * sizeof(float));
+        device::DeviceBuffer big(dev, per_rank * size * sizeof(float));
+        for (std::size_t i = 0; i < per_rank * static_cast<std::size_t>(size);
+             ++i) {
+          big.as<float>()[i] = static_cast<float>(rank) + 0.5f;
+        }
+        rt.reduce_scatter_block(big.get(), s1.get(), per_rank, mini::kFloat,
+                                ReduceOp::Sum, comm);
+        Persistent hs = rt.reduce_scatter_init(big.as<float>(), s2.as<float>(),
+                                               per_rank, mini::kFloat,
+                                               ReduceOp::Sum, comm);
+        hs.start();
+        hs.wait();
+        EXPECT_EQ(std::memcmp(s1.get(), s2.get(), per_rank * sizeof(float)), 0);
+      },
+      dpn);
+}
+
+TEST(PersistentEquivalence, OneNodeEightDevices) {
+  check_equivalence(sim::thetagpu(), 1, 8);
+}
+
+TEST(PersistentEquivalence, TwoNodesFourDevices) {
+  check_equivalence(sim::thetagpu(), 2, 4);
+}
+
+TEST(PersistentEquivalence, FourNodesFourDevices) {
+  check_equivalence(sim::thetagpu(), 4, 4);
+}
+
+TEST(PersistentEquivalence, EnginesMatchTheTable) {
+  // On a hier-capable topology the three allreduce size classes compile to
+  // the three engines, and the persistent handles expose which.
+  with_runtime(
+      sim::thetagpu(), 2, {.tuning = three_engine_table()},
+      [](XcclMpi& rt) {
+        auto& dev = rt.context().device();
+        device::DeviceBuffer send(dev, 4u << 20);
+        device::DeviceBuffer recv(dev, 4u << 20);
+        auto engine_at = [&](std::size_t floats) {
+          Persistent h = rt.allreduce_init(send.as<float>(), recv.as<float>(),
+                                           floats, mini::kFloat, ReduceOp::Sum,
+                                           rt.comm_world());
+          return h.plan().pick.engine;
+        };
+        EXPECT_EQ(engine_at(1024), Engine::Mpi);
+        EXPECT_EQ(engine_at(65536), Engine::Hier);
+        EXPECT_EQ(engine_at(1u << 20), Engine::Xccl);
+      },
+      2);
+}
+
+}  // namespace
+}  // namespace mpixccl::core

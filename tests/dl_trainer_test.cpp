@@ -2,8 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "core/xccl_mpi.hpp"
+#include "device/device.hpp"
 #include "dl/horovod.hpp"
 #include "dl/model.hpp"
+#include "fabric/world.hpp"
 #include "sim/profiles.hpp"
 
 namespace mpixccl::dl {
@@ -95,6 +102,83 @@ TEST(Trainer, CommWaitDropsWithOverlap) {
   // Without overlap the comm cost shows up during the bucket loop, not the
   // final wait; with overlap the wait absorbs only the unhidden tail.
   EXPECT_LT(r_with.step_time_us, r_without.step_time_us);
+}
+
+TEST(Trainer, PersistentMatchesOneShotTiming) {
+  // The persistent path replays the same engines over the same bytes, so
+  // virtual step time must match the per-step iallreduce dispatch; only
+  // host-side overhead differs, which virtual clocks cannot see.
+  TrainerConfig oneshot = quick_config(omb::Flavor::HybridXccl);
+  TrainerConfig persistent = oneshot;
+  persistent.persistent = true;
+  const TrainerResult r_one = run_training(sim::thetagpu(), 1, oneshot);
+  const TrainerResult r_per = run_training(sim::thetagpu(), 1, persistent);
+  EXPECT_GT(r_per.images_per_sec, 0.0);
+  EXPECT_EQ(r_per.buckets_per_step, r_one.buckets_per_step);
+  EXPECT_NEAR(r_per.step_time_us, r_one.step_time_us,
+              r_one.step_time_us * 0.02);
+}
+
+TEST(Trainer, PersistentRunsOnAllXcclMpiFlavors) {
+  for (const omb::Flavor flavor :
+       {omb::Flavor::HybridXccl, omb::Flavor::PureXcclInMpi,
+        omb::Flavor::GpuAwareMpi}) {
+    TrainerConfig cfg = quick_config(flavor);
+    cfg.persistent = true;
+    cfg.steps = 2;
+    EXPECT_GT(run_training(sim::mri(), 1, cfg).images_per_sec, 0.0)
+        << to_string(flavor);
+  }
+}
+
+TEST(Trainer, FusionBytesControlsBucketCount) {
+  TrainerConfig per_tensor = quick_config(omb::Flavor::PureXcclInMpi);
+  per_tensor.fusion_bytes = 1;  // every layer flushes its own bucket
+  per_tensor.steps = 2;
+  TrainerConfig fused = per_tensor;
+  fused.fusion_bytes = 8u << 20;
+  const TrainerResult r_pt = run_training(sim::thetagpu(), 1, per_tensor);
+  const TrainerResult r_f = run_training(sim::thetagpu(), 1, fused);
+  EXPECT_EQ(r_pt.buckets_per_step,
+            static_cast<int>(per_tensor.model.layers.size()));
+  EXPECT_LT(r_f.buckets_per_step, r_pt.buckets_per_step);
+  EXPECT_GT(r_f.images_per_sec, 0.0);
+}
+
+TEST(Trainer, FusedBucketReductionMatchesPerTensor) {
+  // Gradient math is invariant under fusion: one persistent allreduce over
+  // the concatenated bucket must produce bit-identical floats to a separate
+  // allreduce per layer slice.
+  const std::vector<std::size_t> layers = {300, 500, 220, 1000};
+  const std::size_t total =
+      std::accumulate(layers.begin(), layers.end(), std::size_t{0});
+  fabric::World world(fabric::WorldConfig{sim::thetagpu(), 1, 0});
+  world.run([&](fabric::RankContext& ctx) {
+    core::XcclMpi rt(ctx);
+    auto& comm = rt.comm_world();
+    device::DeviceBuffer grads(ctx.device(), total * sizeof(float));
+    device::DeviceBuffer fused(ctx.device(), total * sizeof(float));
+    device::DeviceBuffer per_tensor(ctx.device(), total * sizeof(float));
+    for (std::size_t i = 0; i < total; ++i) {
+      grads.as<float>()[i] = static_cast<float>(ctx.rank() + 1) * 0.125f +
+                             static_cast<float>(i % 29) * 0.0625f;
+    }
+
+    core::Persistent h =
+        rt.allreduce_init(grads.as<float>(), fused.as<float>(), total,
+                          mini::kFloat, ReduceOp::Sum, comm);
+    h.start();
+    h.wait();
+
+    std::size_t off = 0;
+    for (const std::size_t n : layers) {
+      rt.allreduce(grads.as<float>() + off, per_tensor.as<float>() + off, n,
+                   mini::kFloat, ReduceOp::Sum, comm);
+      off += n;
+    }
+    EXPECT_EQ(
+        std::memcmp(fused.get(), per_tensor.get(), total * sizeof(float)), 0);
+  });
 }
 
 }  // namespace

@@ -59,17 +59,25 @@ TEST_F(TraceFixture, XcclMpiCollectivesAppear) {
                  rt.comm_world());
   });
   const auto events = Trace::instance().events();
-  // 8 ranks x 2 collectives.
-  EXPECT_EQ(events.size(), 16u);
+  // 8 ranks x 2 collectives, plus one "plan.build" span per rank per
+  // distinct dispatch tuple (the plan cache compiles each size class once).
+  EXPECT_EQ(events.size(), 32u);
   int mpi_spans = 0;
   int xccl_spans = 0;
+  int build_spans = 0;
   for (const TraceEvent& e : events) {
-    EXPECT_EQ(e.name, "allreduce");
     EXPECT_GE(e.end_us, e.begin_us);
+    if (e.name == "plan.build") {
+      EXPECT_EQ(e.category, "core.plan");
+      ++build_spans;
+      continue;
+    }
+    EXPECT_EQ(e.name, "allreduce");
     (e.category == "mpi" ? mpi_spans : xccl_spans)++;
   }
-  EXPECT_EQ(mpi_spans, 8);   // small message -> MPI engine on every rank
-  EXPECT_EQ(xccl_spans, 8);  // large -> NCCL
+  EXPECT_EQ(mpi_spans, 8);    // small message -> MPI engine on every rank
+  EXPECT_EQ(xccl_spans, 8);   // large -> NCCL
+  EXPECT_EQ(build_spans, 16); // two size classes x 8 ranks, each built once
 }
 
 TEST_F(TraceFixture, HostileNamesAreEscaped) {

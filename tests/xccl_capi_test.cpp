@@ -135,6 +135,56 @@ TEST(XcclCApi, PaperListing1Alltoallv) {
   });
 }
 
+TEST(XcclCApi, PersistentOpReplaysAndValidates) {
+  fabric::run_world(sim::thetagpu(), 1, [](fabric::RankContext& ctx) {
+    xcclBindDevice(ctx);
+    xcclComm_t comm = nullptr;
+    ASSERT_EQ(xcclCommInitRank(&comm, ctx.size(), UniqueId::derive(21, 21),
+                               ctx.rank()),
+              XcclResult::Success);
+    device::Stream* stream = &ctx.stream();
+    std::vector<float> in(256, static_cast<float>(ctx.rank() + 1));
+    std::vector<float> out(256, -1.0f);
+
+    // Invalid handles are rejected at init, not at start.
+    xcclOp_t bad = nullptr;
+    EXPECT_EQ(xcclAllReduceInit(&bad, in.data(), out.data(), 256, xcclFloat,
+                                xcclSum, nullptr, stream),
+              XcclResult::InvalidArgument);
+    EXPECT_EQ(xcclAllReduceInit(nullptr, in.data(), out.data(), 256, xcclFloat,
+                                xcclSum, comm, stream),
+              XcclResult::InvalidArgument);
+    EXPECT_EQ(xcclOpStart(nullptr), XcclResult::InvalidArgument);
+
+    xcclOp_t op = nullptr;
+    ASSERT_EQ(xcclAllReduceInit(&op, in.data(), out.data(), 256, xcclFloat,
+                                xcclSum, comm, stream),
+              XcclResult::Success);
+    const int p = ctx.size();
+    const float expect = static_cast<float>(p * (p + 1) / 2);
+    for (int rep = 0; rep < 3; ++rep) {
+      ASSERT_EQ(xcclOpStart(op), XcclResult::Success);
+      ASSERT_EQ(xcclOpWait(op), XcclResult::Success);
+      EXPECT_FLOAT_EQ(out[7], expect);
+      out[7] = -1.0f;  // prove the next replay recomputes it
+    }
+    EXPECT_EQ(xcclOpFree(op), XcclResult::Success);
+    EXPECT_EQ(xcclOpFree(nullptr), XcclResult::Success);  // like free()
+
+    // Broadcast captures its buffer once and replays from the root.
+    std::vector<float> buf(64, static_cast<float>(ctx.rank()));
+    xcclOp_t bop = nullptr;
+    ASSERT_EQ(xcclBroadcastInit(&bop, buf.data(), 64, xcclFloat, 0, comm,
+                                stream),
+              XcclResult::Success);
+    ASSERT_EQ(xcclOpStart(bop), XcclResult::Success);
+    ASSERT_EQ(xcclOpWait(bop), XcclResult::Success);
+    EXPECT_FLOAT_EQ(buf[3], 0.0f);
+    EXPECT_EQ(xcclOpFree(bop), XcclResult::Success);
+    xcclCommDestroy(comm);
+  });
+}
+
 TEST(XcclCApi, BindSelectsBackendByVendor) {
   fabric::run_world(sim::voyager(), 1, [](fabric::RankContext& ctx) {
     xcclBindDevice(ctx);

@@ -8,6 +8,7 @@
 //   mpixccl hier  --system=mri --nodes=4 --op=allreduce
 //   mpixccl trace --system=thetagpu --out=/tmp/trace.json
 //   mpixccl top   --system=thetagpu [--nodes=2] [--rows=20]
+//   mpixccl plan  --system=thetagpu [--nodes=2] [--steps=4]
 //   mpixccl perf diff BASELINE.json CURRENT.json [--rel=0.10] [--abs=0.5]
 //
 // Every command runs entirely in-process (threads-as-ranks simulation) and
@@ -367,6 +368,64 @@ int cmd_top(const Args& args) {
   return 0;
 }
 
+int cmd_plan(const Args& args) {
+  // Plan-cache surface: run a persistent-collective demo workload, then dump
+  // rank 0's plan cache — keys, chosen engine, validity band, hit counts and
+  // resident staging bytes — followed by the hit/miss/eviction counters.
+  const sim::SystemProfile prof =
+      sim::profile_by_name(get(args, "system", "thetagpu"));
+  const int nodes = std::stoi(get(args, "nodes", "2"));
+  const int steps = std::stoi(get(args, "steps", "4"));
+
+  core::TuningTable table;
+  table.set_rules(core::CollOp::Allreduce,
+                  {{16384, core::Engine::Mpi},
+                   {1u << 20, core::Engine::Hier},
+                   {SIZE_MAX, core::Engine::Xccl}});
+
+  std::string report;
+  fabric::World world(fabric::WorldConfig{prof, nodes, /*devices_per_node=*/2});
+  world.run([&](fabric::RankContext& ctx) {
+    core::XcclMpi rt(ctx, {.tuning = table});
+    auto& comm = rt.comm_world();
+    device::DeviceBuffer send(ctx.device(), 4u << 20);
+    device::DeviceBuffer recv(ctx.device(), 4u << 20);
+
+    // Persistent handles across the table's three engines: one per size
+    // class, started `steps` times each (start/wait replays the plan).
+    core::Persistent small = rt.allreduce_init(
+        send.as<float>(), recv.as<float>(), 1024, mini::kFloat, ReduceOp::Sum,
+        comm);
+    core::Persistent medium = rt.allreduce_init(
+        send.as<float>(), recv.as<float>(), 65536, mini::kFloat, ReduceOp::Sum,
+        comm);
+    core::Persistent large = rt.allreduce_init(
+        send.as<float>(), recv.as<float>(), 1u << 20, mini::kFloat,
+        ReduceOp::Sum, comm);
+    for (int s = 0; s < steps; ++s) {
+      for (core::Persistent* h : {&small, &medium, &large}) {
+        h->start();
+        h->wait();
+      }
+    }
+    // One-shot calls in the same size classes hit the plans the init calls
+    // compiled; the bcast misses (no plan yet) and lands as a new entry.
+    for (int s = 0; s < steps; ++s) {
+      for (const std::size_t n : {std::size_t{1024}, std::size_t{65536},
+                                  std::size_t{1u << 20}}) {
+        rt.allreduce(send.get(), recv.get(), n, mini::kFloat, ReduceOp::Sum,
+                     comm);
+      }
+    }
+    rt.bcast(send.get(), 4096, mini::kFloat, 0, comm);
+    if (ctx.rank() == 0) report = rt.plan_cache().report();
+  });
+
+  std::printf("plan cache on %s (%d nodes, rank 0, %d steps/handle):\n%s",
+              prof.name.c_str(), nodes, steps, report.c_str());
+  return 0;
+}
+
 int cmd_perf(int argc, char** argv) {
   // perf diff BASELINE CURRENT [--rel=X] [--abs=Y] — the regression gate.
   // Positional file arguments, unlike the other commands, so the paths read
@@ -425,6 +484,9 @@ int usage() {
       "report\n"
       "  top    --system=S [--nodes=N] [--rows=K]  hottest rows, flight\n"
       "                                         recorder, critical path\n"
+      "  plan   --system=S [--nodes=N] [--steps=K]  persistent-collective "
+      "demo,\n"
+      "                                         dump the plan cache\n"
       "  perf diff BASELINE.json CURRENT.json [--rel=0.10] [--abs=0.5]\n"
       "                                         bench-regression gate "
       "(exit 1\n"
@@ -450,6 +512,7 @@ int main(int argc, char** argv) {
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "obs") return cmd_obs(args);
     if (cmd == "top") return cmd_top(args);
+    if (cmd == "plan") return cmd_plan(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mpixccl: %s\n", e.what());
