@@ -68,6 +68,22 @@ std::size_t PlanCache::invalidate_all() {
   return n;
 }
 
+std::size_t PlanCache::invalidate_if(
+    const std::function<bool(const Plan&)>& pred) {
+  std::size_t n = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (pred(**it)) {
+      index_.erase((*it)->key);
+      it = lru_.erase(it);
+      ++n;
+    } else {
+      ++it;
+    }
+  }
+  stats_.invalidations += n;
+  return n;
+}
+
 void PlanCache::set_capacity(std::size_t n) {
   capacity_ = n;
   const std::size_t before = lru_.size();

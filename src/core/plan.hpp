@@ -23,6 +23,7 @@
 // so an evicted or invalidated plan stays alive until its last handle drops.
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -122,6 +123,11 @@ class PlanCache {
   /// Drop every plan (tuning table or mode changed). Returns the count,
   /// which is also added to stats().invalidations.
   std::size_t invalidate_all();
+
+  /// Drop only the plans for which `pred` returns true (an online retune
+  /// changed one arm's engine; untouched arms keep their compiled plans).
+  /// Returns the count, also added to stats().invalidations.
+  std::size_t invalidate_if(const std::function<bool(const Plan&)>& pred);
 
   [[nodiscard]] const PlanCacheStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }

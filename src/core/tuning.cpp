@@ -94,11 +94,26 @@ TuningTable::Entry TuningTable::select_entry(CollOp op, std::size_t bytes) const
 }
 
 void TuningTable::set_rules(CollOp op, std::vector<Entry> entries) {
-  require(!entries.empty(), "TuningTable::set_rules: empty rule list");
+  require(!entries.empty(), "TuningTable::set_rules: empty rule list for " +
+                                std::string(to_string(op)));
   std::stable_sort(entries.begin(), entries.end(),
                    [](const Entry& a, const Entry& b) {
                      return a.max_bytes < b.max_bytes;
                    });
+  // Duplicate breakpoints must be rejected before the SIZE_MAX extension
+  // hides them: with two rules at one max_bytes the earlier would silently
+  // shadow the later for every message, which is never what a table meant.
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i].max_bytes == entries[i - 1].max_bytes) {
+      const std::size_t bp = entries[i].max_bytes;
+      throw Error("TuningTable: duplicate breakpoint " +
+                  (bp == SIZE_MAX ? std::string("max") : std::to_string(bp)) +
+                  " for " + std::string(to_string(op)) + " (" +
+                  std::string(to_string(entries[i - 1].engine)) + " vs " +
+                  std::string(to_string(entries[i].engine)) +
+                  "): overlapping rules would shadow each other");
+    }
+  }
   entries.back().max_bytes = SIZE_MAX;
   rules_[op] = std::move(entries);
 }
@@ -158,6 +173,11 @@ TuningTable TuningTable::deserialize(const std::string& text) {
     const auto colon = section.find(':');
     require(colon != std::string::npos, "TuningTable: missing ':' in " + section);
     const CollOp op = coll_from_string(section.substr(0, colon));
+    // A repeated section would silently overwrite the earlier rules — in a
+    // hand-edited table that is a merge mistake, not an intent.
+    require(t.rules(op) == nullptr,
+            "TuningTable: duplicate section for '" +
+                std::string(to_string(op)) + "'");
     std::vector<Entry> entries;
     std::istringstream rules(section.substr(colon + 1));
     std::string rule;

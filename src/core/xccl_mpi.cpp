@@ -70,15 +70,43 @@ void XcclMpi::invalidate_plans() {
   if (dropped > 0) ctr_plan_invalidate_->add(dropped, rank());
 }
 
+std::size_t XcclMpi::retune_range(CollOp op, std::size_t lo, std::size_t hi,
+                                  Engine engine) {
+  if (!adaptive_.manages(op)) adapt_op(op);
+  adaptive_.set_range(op, lo, hi, engine);
+  // Targeted invalidation: a plan survives iff its validity band still sits
+  // inside a single effective rule whose engine matches the plan's original
+  // table choice. Only Hybrid device plans consulted the table; everything
+  // else decided independently of it and is untouched.
+  const auto* rules = effective_rules(op);
+  const std::size_t dropped = plans_.invalidate_if([&](const Plan& p) {
+    if (p.key.op != op) return false;
+    if (p.mode != Mode::Hybrid || !p.key.device) return false;
+    if (rules == nullptr) return true;
+    for (const TuningTable::Entry& e : *rules) {
+      if (p.min_bytes <= e.max_bytes) {
+        return p.max_bytes > e.max_bytes || e.engine != p.pick.table_choice;
+      }
+    }
+    return true;
+  });
+  if (dropped > 0) ctr_plan_invalidate_->add(dropped, rank());
+  return dropped;
+}
+
+void XcclMpi::clear_adaptive() {
+  if (adaptive_.empty()) return;
+  adaptive_.clear();
+  invalidate_plans();
+}
+
 bool XcclMpi::any_device_buffer(const void* a, const void* b) const {
   const auto& reg = device::BufferRegistry::instance();
   return (a != nullptr && reg.lookup(a).has_value()) ||
          (b != nullptr && reg.lookup(b).has_value());
 }
 
-EnginePick XcclMpi::pick_from_table(const TuningTable& tuning,
-                                    CollOp op, std::size_t bytes) {
-  const TuningTable::Entry e = tuning.select_entry(op, bytes);
+EnginePick XcclMpi::pick_from_entry(CollOp op, const TuningTable::Entry& e) {
   EnginePick pick;
   pick.table_choice = e.engine;
   pick.breakpoint = e.max_bytes;
@@ -92,6 +120,18 @@ EnginePick XcclMpi::pick_from_table(const TuningTable& tuning,
   return pick;
 }
 
+EnginePick XcclMpi::pick_from_table(const TuningTable& tuning,
+                                    CollOp op, std::size_t bytes) {
+  return pick_from_entry(op, tuning.select_entry(op, bytes));
+}
+
+EnginePick XcclMpi::pick_table(CollOp op, std::size_t bytes) const {
+  if (adaptive_.manages(op)) {
+    return pick_from_entry(op, adaptive_.select_entry(op, bytes));
+  }
+  return pick_from_table(tuning_, op, bytes);
+}
+
 EnginePick XcclMpi::pick_classified(CollOp op, std::size_t bytes,
                                     bool device) const {
   if (options_.mode == Mode::PureMpi) return {};
@@ -103,7 +143,7 @@ EnginePick XcclMpi::pick_classified(CollOp op, std::size_t bytes,
   if (options_.mode == Mode::PureXccl) {
     return {Engine::Xccl, Engine::Xccl, 0, obs::FallbackReason::None};
   }
-  return pick_from_table(tuning_, op, bytes);
+  return pick_table(op, bytes);
 }
 
 EnginePick XcclMpi::pick_engine(CollOp op, std::size_t bytes,
@@ -124,7 +164,7 @@ EnginePick XcclMpi::pick_engine_agreed(CollOp op,
   }
   const double agreed =
       mpi_.max_over_ranks(static_cast<double>(local_bytes), comm);
-  return pick_from_table(tuning_, op, static_cast<std::size_t>(agreed));
+  return pick_table(op, static_cast<std::size_t>(agreed));
 }
 
 xccl::CclComm& XcclMpi::ccl_comm(mini::Comm& comm) {
@@ -191,7 +231,7 @@ std::shared_ptr<Plan> XcclMpi::build_plan(const PlanKey& key, CollOp op,
   // thus this plan's engine) holds. Only Hybrid device dispatches consult
   // the table; everything else decides independently of the byte count.
   if (options_.mode == Mode::Hybrid && key.device) {
-    if (const auto* rules = tuning_.rules(op); rules != nullptr) {
+    if (const auto* rules = effective_rules(op); rules != nullptr) {
       std::size_t lo = 0;
       for (const TuningTable::Entry& e : *rules) {
         // select_entry extends the last rule to SIZE_MAX.

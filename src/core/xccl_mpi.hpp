@@ -34,6 +34,7 @@
 #include "hier/hier.hpp"
 #include "mpi/mpi.hpp"
 #include "obs/decision.hpp"
+#include "tune/adaptive.hpp"
 #include "xccl/backend.hpp"
 
 namespace mpixccl::obs {
@@ -111,15 +112,44 @@ class XcclMpi {
   [[nodiscard]] const XcclMpiOptions& options() const { return options_; }
   [[nodiscard]] const TuningTable& tuning() const { return tuning_; }
   /// Swapping the table (or mode) changes what future picks would decide,
-  /// so both invalidate every cached plan.
+  /// so both invalidate every cached plan. A new static table also drops the
+  /// adaptive overlay: its arms were seeded from the table being replaced.
   void set_tuning(TuningTable t) {
     tuning_ = std::move(t);
+    adaptive_.clear();
     invalidate_plans();
   }
   void set_mode(Mode m) {
     if (m == options_.mode) return;
     options_.mode = m;
     invalidate_plans();
+  }
+
+  // ---- Adaptive tuning overlay (driven by tune::OnlineTuner) ---------------
+  /// The per-runtime overlay the online controller rewrites. Hybrid device
+  /// dispatches consult it before the static table.
+  [[nodiscard]] const tune::AdaptiveTable& adaptive() const { return adaptive_; }
+  /// Copy the static rules for `op` into the overlay (behavior-neutral: the
+  /// seeded rules select exactly what the static table would). Idempotent:
+  /// an already-managed op keeps its overlay — a repeated adopt must never
+  /// wipe retunes applied earlier in the same directive batch.
+  void adapt_op(CollOp op) {
+    if (!adaptive_.manages(op)) adaptive_.adopt(op, tuning_.rules(op));
+  }
+  /// Point every message in [lo, hi] at `engine` (adopting `op` first if
+  /// needed), purging only the cached plans whose pick the rewrite changed.
+  /// Must be called uniformly on every rank sharing a communicator — a
+  /// divergent overlay would send ranks down different engine channels.
+  /// Returns the number of plans purged.
+  std::size_t retune_range(CollOp op, std::size_t lo, std::size_t hi,
+                           Engine engine);
+  /// Drop the overlay, reverting to the static table (full plan flush).
+  void clear_adaptive();
+  /// Overlay rules when the op is managed, else the static table's.
+  [[nodiscard]] const std::vector<TuningTable::Entry>* effective_rules(
+      CollOp op) const {
+    if (const auto* r = adaptive_.rules(op)) return r;
+    return tuning_.rules(op);
   }
 
   // ---- Communicators (delegate to MiniMPI) --------------------------------
@@ -271,10 +301,15 @@ class XcclMpi {
  private:
   friend class Persistent;
 
+  /// Wrap one matched rule into a pick, remapping unsupported hier choices
+  /// to Xccl (recorded as a redirect).
+  static EnginePick pick_from_entry(CollOp op, const TuningTable::Entry& e);
   /// Shared tail of both pick paths once the decided byte count is known:
   /// consult the tuning table and remap unsupported hier picks to Xccl.
   static EnginePick pick_from_table(const TuningTable& tuning, CollOp op,
                                     std::size_t bytes);
+  /// Instance variant: the adaptive overlay shadows the static table.
+  [[nodiscard]] EnginePick pick_table(CollOp op, std::size_t bytes) const;
 
   /// Decide the engine for a collective touching `bytes` bytes with the
   /// given buffers (nullptr buffers are ignored for classification). `bytes`
@@ -386,6 +421,7 @@ class XcclMpi {
   mini::Mpi mpi_;
   XcclMpiOptions options_;
   TuningTable tuning_;
+  tune::AdaptiveTable adaptive_;  ///< online overlay; empty until adopted
   std::unique_ptr<xccl::CclBackend> backend_;
   std::unique_ptr<hier::HierEngine> hier_;
   std::map<fabric::ChannelId, xccl::CclComm> ccl_comms_;

@@ -10,6 +10,7 @@
 #include "fabric/world.hpp"
 #include "mpi/mpi.hpp"
 #include "obs/obs.hpp"
+#include "tune/online.hpp"
 #include "xccl/backend.hpp"
 
 namespace mpixccl::dl {
@@ -50,6 +51,9 @@ class CommRuntime {
   virtual void allreduce(std::size_t bucket, float* sendbuf, float* recvbuf,
                          std::size_t count, bool async) = 0;
   virtual void wait_all() = 0;
+  /// End-of-step hook: runtimes with an online tuner run one control round
+  /// here (collective — every rank's trainer calls it at the same point).
+  virtual void tune_step() {}
 };
 
 class XcclMpiComm final : public CommRuntime {
@@ -61,6 +65,13 @@ class XcclMpiComm final : public CommRuntime {
     opts.mode = mode;
     opts.backend = backend;
     rt_ = std::make_unique<core::XcclMpi>(ctx, std::move(opts));
+    if (tune::online_tuning_enabled()) {
+      tuner_ = std::make_unique<tune::OnlineTuner>(
+          tune::OnlineTunerConfig::from_env());
+    }
+  }
+  void tune_step() override {
+    if (tuner_) tuner_->step(*rt_, rt_->comm_world());
   }
   void bind_buckets(float* sendbuf, float* recvbuf,
                     const std::vector<std::size_t>& counts) override {
@@ -103,6 +114,7 @@ class XcclMpiComm final : public CommRuntime {
  private:
   bool persistent_;
   std::unique_ptr<core::XcclMpi> rt_;
+  std::unique_ptr<tune::OnlineTuner> tuner_;  ///< MPIXCCL_TUNE_ONLINE only
   std::vector<core::Persistent> handles_;   ///< per bucket index
   std::vector<core::Persistent*> started_;  ///< started but not yet waited
   std::vector<mini::Request> pending_;
@@ -266,6 +278,7 @@ TrainerResult run_training(const sim::SystemProfile& profile, int nodes,
       registry.counter("dl.steps").add(1, ctx.rank());
       registry.histogram("dl.step_us").observe(clock.now() - step_t0);
       registry.histogram("dl.comm_wait_us").observe(wait_us);
+      comm->tune_step();
     };
 
     for (int s = 0; s < config.warmup_steps; ++s) train_step();

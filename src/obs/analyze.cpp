@@ -616,7 +616,13 @@ BenchDoc load_bench_json(const std::string& path) {
   require(in.good(), "load_bench_json: cannot open " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return parse_bench_json(buf.str());
+  try {
+    return parse_bench_json(buf.str());
+  } catch (const std::exception& e) {
+    // Parse errors name only the offset; a CI log needs to say which of the
+    // two diffed files was the broken one.
+    throw Error("load_bench_json: " + path + ": " + e.what());
+  }
 }
 
 BenchDiff bench_diff(const BenchDoc& baseline, const BenchDoc& current,

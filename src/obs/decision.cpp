@@ -31,6 +31,15 @@ std::string breakpoint_text(std::size_t bp) {
 
 std::string to_line(const DispatchDecision& d) {
   std::ostringstream os;
+  if (d.tune != TuneAudit::None) {
+    // Audit record: [bytes, breakpoint] is the retuned range and
+    // table_choice -> engine the before/after engines (see TuneAudit).
+    os << '#' << d.seq << " tune." << to_string(d.tune) << ' '
+       << to_string(d.op) << " [" << human_bytes(d.bytes) << ", "
+       << breakpoint_text(d.breakpoint) << "] " << to_string(d.table_choice);
+    if (d.table_choice != d.engine) os << "->" << to_string(d.engine);
+    return os.str();
+  }
   os << '#' << d.seq << " r" << d.rank << ' ' << to_string(d.op) << ' '
      << human_bytes(d.bytes) << " mode=" << to_string(d.mode)
      << " bp<=" << breakpoint_text(d.breakpoint) << ' '
@@ -70,8 +79,12 @@ std::uint64_t DecisionLog::push(DispatchDecision d) {
   if (!enabled()) return 0;
   std::lock_guard lock(mu_);
   d.seq = ++total_;
-  ++reason_counts_[static_cast<std::size_t>(d.reason)];
-  ++engine_counts_[static_cast<std::size_t>(d.engine)];
+  if (d.tune == TuneAudit::None) {
+    // Tuner audit records are not dispatches; keep them out of the
+    // per-engine and per-reason dispatch tallies.
+    ++reason_counts_[static_cast<std::size_t>(d.reason)];
+    ++engine_counts_[static_cast<std::size_t>(d.engine)];
+  }
   if (ring_.size() < capacity_) {
     ring_.push_back(d);
   } else {

@@ -63,6 +63,31 @@ constexpr FallbackReason fallback_reason_of(XcclResult r) {
   }
 }
 
+/// Online-tuner audit stamp. Table mutations flow through the same ring as
+/// dispatch decisions so every engine switch is explainable next to the
+/// calls it rerouted; `None` marks an ordinary dispatch record. Audit
+/// records reuse the decision fields: `bytes`/`breakpoint` carry the
+/// retuned range [lo, hi], `table_choice` the engine the range pointed at
+/// before the mutation, `engine` the one it points at after.
+enum class TuneAudit : std::uint8_t {
+  None,       ///< not an audit record: a normal dispatch decision
+  Adopt,      ///< arm cell created; static rules copied into the overlay
+  Explore,    ///< epsilon-greedy trial install (or its revert)
+  Switch,     ///< challenger beat the leader past hysteresis; promoted
+  Eliminate,  ///< successive halving retired an arm's engine
+};
+
+constexpr std::string_view to_string(TuneAudit a) {
+  switch (a) {
+    case TuneAudit::None: return "none";
+    case TuneAudit::Adopt: return "adopt";
+    case TuneAudit::Explore: return "explore";
+    case TuneAudit::Switch: return "switch";
+    case TuneAudit::Eliminate: return "eliminate";
+  }
+  return "?";
+}
+
 /// One dispatch decision, fully explained.
 struct DispatchDecision {
   std::uint64_t seq = 0;  ///< assigned by the log at append time
@@ -80,6 +105,9 @@ struct DispatchDecision {
   bool fell_back = false;  ///< engine attempt bounced back to MPI at runtime
   bool composed = false;   ///< group send/recv or staged composition
   double time_us = 0.0;    ///< virtual time at completion of the decision
+  /// Non-None marks an online-tuner table mutation rather than a dispatch
+  /// (excluded from the per-engine/per-reason dispatch tallies).
+  TuneAudit tune = TuneAudit::None;
 };
 
 /// Render one decision as a single human-readable line.

@@ -150,6 +150,12 @@ void Registry::record_latency(core::CollOp op, core::Engine engine,
   c.band_latency_us[size_band_of(bytes)].observe(us);
 }
 
+HistogramSnapshot Registry::band_latency(core::CollOp op, core::Engine engine,
+                                         std::size_t band) const {
+  require(band < kSizeBands, "Registry::band_latency: band out of range");
+  return cell(op, engine).band_latency_us[band].snapshot();
+}
+
 Counter& Registry::counter(std::string_view name) {
   std::lock_guard lock(names_mu_);
   return counters_[std::string(name)];

@@ -215,6 +215,12 @@ class Registry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
+  /// Merged per-(collective, engine, size-band) latency distribution — the
+  /// sample export the online tuner's arms are scored from.
+  [[nodiscard]] HistogramSnapshot band_latency(core::CollOp op,
+                                               core::Engine engine,
+                                               std::size_t band) const;
+
   // ---- Snapshot / export -----------------------------------------------------
   [[nodiscard]] MetricsSnapshot snapshot() const;
   void save_json(const std::string& path) const;

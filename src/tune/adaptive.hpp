@@ -1,0 +1,119 @@
+#pragma once
+// Adaptive tuning overlay: the mutable half of the online-tuning subsystem
+// (src/tune/). A static TuningTable is tuned offline and never changes; the
+// AdaptiveTable layers per-collective rule lists over it that the online
+// controller rewrites at runtime. XcclMpi consults the overlay first and
+// falls through to the static table for any collective the overlay does not
+// manage, so adopting an op is behavior-neutral until the first retune.
+//
+// Header-only on purpose: core dispatch must consult the overlay on its
+// pick path, and the compiled tune library (online.cpp, the controller)
+// links core — the same one-way arrangement obs uses for core/tuning.hpp.
+// Everything here depends only on core/tuning.hpp.
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/tuning.hpp"
+
+namespace mpixccl::tune {
+
+/// Per-collective rule lists with the same selection semantics as
+/// TuningTable (sorted breakpoints, first entry with bytes <= max_bytes
+/// wins, last entry covers SIZE_MAX), plus surgical range rewrites.
+class AdaptiveTable {
+ public:
+  using Entry = core::TuningTable::Entry;
+
+  /// Begin managing `op`, seeded with an exact copy of the static rules
+  /// (`seed` may be nullptr for an op without rules: the implicit catch-all
+  /// {SIZE_MAX, Xccl} is adopted). Re-adopting resets to the seed.
+  void adopt(core::CollOp op, const std::vector<Entry>* seed) {
+    if (seed != nullptr && !seed->empty()) {
+      rules_[op] = *seed;
+    } else {
+      rules_[op] = {Entry{SIZE_MAX, core::Engine::Xccl}};
+    }
+  }
+
+  [[nodiscard]] bool manages(core::CollOp op) const {
+    return rules_.find(op) != rules_.end();
+  }
+  [[nodiscard]] bool empty() const { return rules_.empty(); }
+  void clear() { rules_.clear(); }
+  void forget(core::CollOp op) { rules_.erase(op); }
+
+  [[nodiscard]] const std::vector<Entry>* rules(core::CollOp op) const {
+    auto it = rules_.find(op);
+    return it == rules_.end() ? nullptr : &it->second;
+  }
+
+  /// Matching rule for (op, bytes); op must be managed.
+  [[nodiscard]] Entry select_entry(core::CollOp op, std::size_t bytes) const {
+    auto it = rules_.find(op);
+    require(it != rules_.end(), "AdaptiveTable::select_entry: op not managed");
+    for (const Entry& e : it->second) {
+      if (bytes <= e.max_bytes) return e;
+    }
+    return it->second.back();  // unreachable: last entry is SIZE_MAX
+  }
+
+  /// Rewrite the rules so every message in [lo, hi] selects `engine` while
+  /// selection outside the range is unchanged: the covering rules are split
+  /// at the range edges and adjacent same-engine intervals are merged back.
+  /// Auto-adopts the implicit catch-all when the op is not yet managed.
+  void set_range(core::CollOp op, std::size_t lo, std::size_t hi,
+                 core::Engine engine) {
+    require(lo <= hi, "AdaptiveTable::set_range: lo > hi");
+    if (!manages(op)) adopt(op, nullptr);
+
+    struct Interval {
+      std::size_t lo, hi;
+      core::Engine engine;
+    };
+    std::vector<Interval> ivs;
+    std::size_t start = 0;
+    for (const Entry& e : rules_[op]) {
+      ivs.push_back({start, e.max_bytes, e.engine});
+      start = e.max_bytes + 1;  // wraps after the SIZE_MAX tail; never read
+    }
+    std::vector<Interval> out;
+    for (const Interval& iv : ivs) {
+      if (iv.hi < lo || iv.lo > hi) {
+        out.push_back(iv);
+        continue;
+      }
+      if (iv.lo < lo) out.push_back({iv.lo, lo - 1, iv.engine});
+      if (iv.hi > hi) out.push_back({hi + 1, iv.hi, iv.engine});
+    }
+    out.push_back({lo, hi, engine});
+    std::sort(out.begin(), out.end(),
+              [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+    std::vector<Entry> entries;
+    for (const Interval& iv : out) {
+      if (!entries.empty() && entries.back().engine == iv.engine) {
+        entries.back().max_bytes = iv.hi;  // merge with the previous interval
+      } else {
+        entries.push_back(Entry{iv.hi, iv.engine});
+      }
+    }
+    rules_[op] = std::move(entries);
+  }
+
+  /// The overlay as a standalone TuningTable (serialization, reports).
+  [[nodiscard]] core::TuningTable to_table() const {
+    core::TuningTable t;
+    for (const auto& [op, entries] : rules_) t.set_rules(op, entries);
+    return t;
+  }
+  [[nodiscard]] std::string serialize() const { return to_table().serialize(); }
+
+ private:
+  std::map<core::CollOp, std::vector<Entry>> rules_;
+};
+
+}  // namespace mpixccl::tune

@@ -121,6 +121,25 @@ TEST(PlanCacheUnit, InvalidateAllEmptiesAndCounts) {
   EXPECT_TRUE(cache.live_ids().empty());
 }
 
+TEST(PlanCacheUnit, InvalidateIfDropsOnlyMatchingPlans) {
+  PlanCache cache;
+  cache.insert(make_plan(key_of(CollOp::Allreduce, 64), 1, 0, 16384));
+  cache.insert(make_plan(key_of(CollOp::Allreduce, 1 << 20), 2, 16385, SIZE_MAX));
+  cache.insert(make_plan(key_of(CollOp::Bcast, 64), 3, 0, 16384));
+  const std::size_t dropped = cache.invalidate_if([](const Plan& p) {
+    return p.key.op == CollOp::Allreduce && p.max_bytes <= 16384;
+  });
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  // The survivors still serve.
+  EXPECT_NE(cache.find(key_of(CollOp::Allreduce, 1 << 20), 1 << 20), nullptr);
+  EXPECT_NE(cache.find(key_of(CollOp::Bcast, 64), 64), nullptr);
+  EXPECT_EQ(cache.find(key_of(CollOp::Allreduce, 64), 64), nullptr);
+  // A predicate matching nothing drops nothing.
+  EXPECT_EQ(cache.invalidate_if([](const Plan&) { return false; }), 0u);
+}
+
 TEST(PlanCacheUnit, ShrinkingCapacityEvictsTail) {
   PlanCache cache;
   for (std::uint64_t i = 0; i < 4; ++i) {

@@ -42,6 +42,42 @@ TEST(TuningTable, SetRulesSortsAndCapsLastEntry) {
   EXPECT_THROW(t.set_rules(CollOp::Bcast, {}), Error);
 }
 
+TEST(TuningTable, SetRulesRejectsDuplicateBreakpoints) {
+  TuningTable t;
+  // Two rules at one breakpoint: the earlier would silently shadow the
+  // later for every message — must be a loud error naming the conflict.
+  try {
+    t.set_rules(CollOp::Allreduce, {{4096, Engine::Mpi}, {4096, Engine::Xccl}});
+    FAIL() << "duplicate breakpoint accepted";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("4096"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("allreduce"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("mpi"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("xccl"), std::string::npos) << msg;
+  }
+  // The check runs before the SIZE_MAX extension: two tail rules collide
+  // even when their written breakpoints differ from the serialized "max".
+  EXPECT_THROW(t.set_rules(CollOp::Allreduce, {{1024, Engine::Mpi},
+                                               {SIZE_MAX, Engine::Xccl},
+                                               {SIZE_MAX, Engine::Hier}}),
+               Error);
+  // ...but a single finite tail is still legally capped to SIZE_MAX.
+  t.set_rules(CollOp::Allreduce, {{1024, Engine::Mpi}, {4096, Engine::Xccl}});
+  EXPECT_EQ(t.select(CollOp::Allreduce, SIZE_MAX), Engine::Xccl);
+}
+
+TEST(TuningTable, DeserializeRejectsDuplicateOpSectionAndMixedBadEngine) {
+  EXPECT_THROW(
+      TuningTable::deserialize("allreduce:8=mpi,max=xccl;allreduce:max=hier"),
+      Error);
+  // An unknown engine token among valid ones must not half-apply the list.
+  EXPECT_THROW(
+      TuningTable::deserialize("allreduce:8=mpi,64=bogus,max=xccl"), Error);
+  EXPECT_THROW(
+      TuningTable::deserialize("allreduce:8=mpi,8=xccl,max=hier"), Error);
+}
+
 TEST(TuningTable, SerializeRoundTrip) {
   const TuningTable t = TuningTable::default_for(sim::thetagpu());
   const std::string text = t.serialize();

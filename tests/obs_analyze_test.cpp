@@ -213,6 +213,31 @@ TEST(BenchJson, RejectsWrongSchemaAndGarbage) {
   EXPECT_THROW(load_bench_json("/no/such/file.json"), Error);
 }
 
+TEST(BenchJson, LoadErrorsNameTheFile) {
+  // A gate failing on an unusable baseline must say *which* file: the CI
+  // log is all the operator gets.
+  const std::string path = testing::TempDir() + "mpixccl_bad_bench.json";
+  {
+    std::ofstream out(path);
+    out << "{\"schema\":\"mpixccl.bench.v1\",\"points\":oops";
+  }
+  try {
+    load_bench_json(path);
+    FAIL() << "unparsable baseline accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+  try {
+    load_bench_json("/no/such/file.json");
+    FAIL() << "missing baseline accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("/no/such/file.json"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(BenchDiff, DetectsInjectedRegressionAndNamesThePoint) {
   BenchDoc base;
   for (int i = 0; i < 8; ++i) {

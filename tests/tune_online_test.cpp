@@ -1,0 +1,487 @@
+// Tests for the online adaptive-tuning subsystem (src/tune/): the
+// AdaptiveTable overlay (range rewrites, splits/merges, serialization), its
+// XcclMpi integration (overlay-first picks, targeted plan invalidation,
+// adopt idempotence), and the OnlineTuner controller (convergence away from
+// a mis-tuned table, hysteresis, freeze settling, audit records, env
+// config parsing).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+#include "core/xccl_mpi.hpp"
+#include "device/device.hpp"
+#include "fabric/world.hpp"
+#include "obs/obs.hpp"
+#include "sim/profiles.hpp"
+#include "tune/adaptive.hpp"
+#include "tune/online.hpp"
+
+namespace mpixccl::tune {
+namespace {
+
+using core::CollOp;
+using core::Engine;
+using core::TuningTable;
+
+std::vector<Engine> engines_of(const AdaptiveTable& t, CollOp op,
+                               const std::vector<std::size_t>& probes) {
+  std::vector<Engine> out;
+  for (std::size_t b : probes) out.push_back(t.select_entry(op, b).engine);
+  return out;
+}
+
+// ---- AdaptiveTable unit tests ----------------------------------------------
+
+TEST(AdaptiveTable, AdoptCopiesSeedAndNullSeedGetsCatchAll) {
+  TuningTable t;
+  t.set_rules(CollOp::Allreduce, {{16384, Engine::Mpi}, {SIZE_MAX, Engine::Xccl}});
+  AdaptiveTable a;
+  EXPECT_FALSE(a.manages(CollOp::Allreduce));
+  a.adopt(CollOp::Allreduce, t.rules(CollOp::Allreduce));
+  ASSERT_TRUE(a.manages(CollOp::Allreduce));
+  EXPECT_EQ(a.select_entry(CollOp::Allreduce, 1024).engine, Engine::Mpi);
+  EXPECT_EQ(a.select_entry(CollOp::Allreduce, 1 << 20).engine, Engine::Xccl);
+
+  a.adopt(CollOp::Bcast, nullptr);
+  EXPECT_EQ(a.select_entry(CollOp::Bcast, 1).engine, Engine::Xccl);
+  EXPECT_EQ(a.select_entry(CollOp::Bcast, SIZE_MAX).engine, Engine::Xccl);
+}
+
+TEST(AdaptiveTable, SetRangeSplitsCoveringRule) {
+  AdaptiveTable a;
+  a.adopt(CollOp::Allreduce, nullptr);  // all xccl
+  a.set_range(CollOp::Allreduce, 4097, 65536, Engine::Mpi);
+  EXPECT_EQ(engines_of(a, CollOp::Allreduce, {4096, 4097, 65536, 65537}),
+            (std::vector<Engine>{Engine::Xccl, Engine::Mpi, Engine::Mpi,
+                                 Engine::Xccl}));
+  // Three rules now: [0,4096]=xccl, (4096,65536]=mpi, rest xccl.
+  ASSERT_NE(a.rules(CollOp::Allreduce), nullptr);
+  EXPECT_EQ(a.rules(CollOp::Allreduce)->size(), 3u);
+}
+
+TEST(AdaptiveTable, SetRangeAtZeroAndSizeMaxEdges) {
+  AdaptiveTable a;
+  a.adopt(CollOp::Allreduce, nullptr);
+  a.set_range(CollOp::Allreduce, 0, 4096, Engine::Mpi);
+  EXPECT_EQ(a.select_entry(CollOp::Allreduce, 0).engine, Engine::Mpi);
+  EXPECT_EQ(a.select_entry(CollOp::Allreduce, 4096).engine, Engine::Mpi);
+  EXPECT_EQ(a.select_entry(CollOp::Allreduce, 4097).engine, Engine::Xccl);
+
+  a.set_range(CollOp::Allreduce, 1 << 20, SIZE_MAX, Engine::Hier);
+  EXPECT_EQ(a.select_entry(CollOp::Allreduce, SIZE_MAX).engine, Engine::Hier);
+  EXPECT_EQ(a.select_entry(CollOp::Allreduce, (1 << 20) - 1).engine,
+            Engine::Xccl);
+}
+
+TEST(AdaptiveTable, SetRangeMergesAdjacentSameEngine) {
+  AdaptiveTable a;
+  a.adopt(CollOp::Allreduce, nullptr);
+  a.set_range(CollOp::Allreduce, 0, 4096, Engine::Mpi);
+  a.set_range(CollOp::Allreduce, 4097, 65536, Engine::Mpi);
+  // Adjacent mpi intervals merge back into one rule + the xccl tail.
+  ASSERT_NE(a.rules(CollOp::Allreduce), nullptr);
+  EXPECT_EQ(a.rules(CollOp::Allreduce)->size(), 2u);
+  EXPECT_EQ(a.select_entry(CollOp::Allreduce, 65536).engine, Engine::Mpi);
+  // Rewriting the whole line merges everything into one catch-all.
+  a.set_range(CollOp::Allreduce, 0, SIZE_MAX, Engine::Xccl);
+  EXPECT_EQ(a.rules(CollOp::Allreduce)->size(), 1u);
+}
+
+TEST(AdaptiveTable, SetRangeAutoAdoptsAndRejectsInvertedRange) {
+  AdaptiveTable a;
+  a.set_range(CollOp::Bcast, 0, 1024, Engine::Mpi);
+  EXPECT_TRUE(a.manages(CollOp::Bcast));
+  EXPECT_EQ(a.select_entry(CollOp::Bcast, 2048).engine, Engine::Xccl);
+  EXPECT_THROW(a.set_range(CollOp::Bcast, 10, 5, Engine::Mpi), Error);
+}
+
+TEST(AdaptiveTable, SerializeRoundTripsThroughTuningTable) {
+  AdaptiveTable a;
+  a.adopt(CollOp::Allreduce, nullptr);
+  a.set_range(CollOp::Allreduce, 0, 16384, Engine::Mpi);
+  const TuningTable t = TuningTable::deserialize(a.serialize());
+  EXPECT_EQ(t.select(CollOp::Allreduce, 16384), Engine::Mpi);
+  EXPECT_EQ(t.select(CollOp::Allreduce, 16385), Engine::Xccl);
+}
+
+TEST(AdaptiveTable, ForgetAndClear) {
+  AdaptiveTable a;
+  a.adopt(CollOp::Allreduce, nullptr);
+  a.adopt(CollOp::Bcast, nullptr);
+  a.forget(CollOp::Bcast);
+  EXPECT_FALSE(a.manages(CollOp::Bcast));
+  EXPECT_TRUE(a.manages(CollOp::Allreduce));
+  a.clear();
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(BandBytes, EdgesMatchObsSizeBands) {
+  for (std::size_t band = 0; band < obs::kSizeBands; ++band) {
+    EXPECT_EQ(obs::size_band_of(band_lo_bytes(band)), band);
+    EXPECT_EQ(obs::size_band_of(band_hi_bytes(band)), band);
+  }
+  EXPECT_EQ(band_lo_bytes(0), 0u);
+  EXPECT_EQ(band_hi_bytes(obs::kSizeBands - 1), SIZE_MAX);
+  EXPECT_THROW((void)band_lo_bytes(obs::kSizeBands), Error);
+}
+
+// ---- XcclMpi integration ----------------------------------------------------
+
+void with_runtime(const std::function<void(core::XcclMpi&, fabric::RankContext&)>& body) {
+  core::TuningTable table;
+  table.set_rules(CollOp::Allreduce, {{16384, Engine::Mpi},
+                                      {1u << 20, Engine::Hier},
+                                      {SIZE_MAX, Engine::Xccl}});
+  fabric::World world(
+      fabric::WorldConfig{sim::thetagpu(), 2, /*devices_per_node=*/2});
+  world.run([&](fabric::RankContext& ctx) {
+    core::XcclMpi rt(ctx, {.tuning = table});
+    body(rt, ctx);
+  });
+}
+
+TEST(RetuneRange, ChangesDispatchPick) {
+  with_runtime([](core::XcclMpi& rt, fabric::RankContext& ctx) {
+    auto& comm = rt.comm_world();
+    device::DeviceBuffer send(ctx.device(), 8 << 20), recv(ctx.device(), 8 << 20);
+    rt.allreduce(send.get(), recv.get(), 1024, mini::kFloat, ReduceOp::Sum,
+                 comm);  // 4096 B -> static mpi
+    EXPECT_EQ(rt.last_dispatch().engine, Engine::Mpi);
+    rt.retune_range(CollOp::Allreduce, 0, 4096, Engine::Xccl);
+    rt.allreduce(send.get(), recv.get(), 1024, mini::kFloat, ReduceOp::Sum,
+                 comm);
+    EXPECT_EQ(rt.last_dispatch().engine, Engine::Xccl);
+    // Other sizes keep their static picks: the overlay split, not replaced.
+    rt.allreduce(send.get(), recv.get(), 2 << 20, mini::kFloat, ReduceOp::Sum,
+                 comm);  // 8 MB -> xccl tail
+    EXPECT_EQ(rt.last_dispatch().engine, Engine::Xccl);
+  });
+}
+
+TEST(RetuneRange, InvalidatesOnlyTheRetunedBandPlans) {
+  with_runtime([](core::XcclMpi& rt, fabric::RankContext& ctx) {
+    auto& comm = rt.comm_world();
+    device::DeviceBuffer send(ctx.device(), 8 << 20), recv(ctx.device(), 8 << 20);
+    // Warm one plan per table regime: 4 KB (mpi), 256 KB (hier), 8 MB (xccl).
+    for (std::size_t count : {std::size_t{1024}, std::size_t{65536},
+                              std::size_t{2u << 20}}) {
+      rt.allreduce(send.get(), recv.get(), count, mini::kFloat, ReduceOp::Sum,
+                   comm);
+    }
+    rt.plan_cache().reset_stats();
+    ASSERT_EQ(rt.plan_cache().size(), 3u);
+
+    // Flip only the small band; the single-arm switch every online-tuner
+    // step performs must not cost the other regimes their plans.
+    const std::size_t dropped =
+        rt.retune_range(CollOp::Allreduce, 0, 4096, Engine::Xccl);
+    EXPECT_EQ(dropped, 1u);
+    EXPECT_EQ(rt.plan_cache().size(), 2u);
+    EXPECT_EQ(rt.plan_cache().stats().invalidations, 1u);
+
+    // Untouched plans still hit; the retuned size rebuilds once then hits.
+    for (std::size_t count : {std::size_t{65536}, std::size_t{2u << 20}}) {
+      rt.allreduce(send.get(), recv.get(), count, mini::kFloat, ReduceOp::Sum,
+                   comm);
+    }
+    EXPECT_EQ(rt.plan_cache().stats().hits, 2u);
+    EXPECT_EQ(rt.plan_cache().stats().misses, 0u);
+    rt.allreduce(send.get(), recv.get(), 1024, mini::kFloat, ReduceOp::Sum,
+                 comm);
+    EXPECT_EQ(rt.plan_cache().stats().misses, 1u);
+    EXPECT_EQ(rt.last_dispatch().engine, Engine::Xccl);
+  });
+}
+
+TEST(RetuneRange, RetuneInsideAPlanBandInvalidatesIt) {
+  with_runtime([](core::XcclMpi& rt, fabric::RankContext& ctx) {
+    auto& comm = rt.comm_world();
+    device::DeviceBuffer send(ctx.device(), 1 << 20), recv(ctx.device(), 1 << 20);
+    rt.allreduce(send.get(), recv.get(), 1024, mini::kFloat, ReduceOp::Sum,
+                 comm);  // plan band [0, 16384]
+    // A rewrite strictly inside the plan's validity band must still kill it
+    // (the band no longer sits inside one homogeneous rule).
+    const std::size_t dropped =
+        rt.retune_range(CollOp::Allreduce, 2048, 8192, Engine::Xccl);
+    EXPECT_EQ(dropped, 1u);
+  });
+}
+
+TEST(RetuneRange, NoopRetuneKeepsMatchingPlans) {
+  with_runtime([](core::XcclMpi& rt, fabric::RankContext& ctx) {
+    auto& comm = rt.comm_world();
+    device::DeviceBuffer send(ctx.device(), 1 << 20), recv(ctx.device(), 1 << 20);
+    rt.allreduce(send.get(), recv.get(), 1024, mini::kFloat, ReduceOp::Sum,
+                 comm);
+    // Re-pointing the band at the engine it already selects drops nothing.
+    EXPECT_EQ(rt.retune_range(CollOp::Allreduce, 0, 16384, Engine::Mpi), 0u);
+  });
+}
+
+TEST(RetuneRange, AdaptOpIsIdempotent) {
+  with_runtime([](core::XcclMpi& rt, fabric::RankContext&) {
+    rt.retune_range(CollOp::Allreduce, 0, 4096, Engine::Xccl);
+    // Regression: a second adopt (e.g. a later directive in one batch) must
+    // not reset the overlay and silently undo the retune.
+    rt.adapt_op(CollOp::Allreduce);
+    EXPECT_EQ(rt.effective_rules(CollOp::Allreduce)->front().engine,
+              Engine::Xccl);
+    EXPECT_EQ(rt.adaptive().select_entry(CollOp::Allreduce, 1024).engine,
+              Engine::Xccl);
+  });
+}
+
+TEST(RetuneRange, ClearAdaptiveRestoresStaticTable) {
+  with_runtime([](core::XcclMpi& rt, fabric::RankContext& ctx) {
+    auto& comm = rt.comm_world();
+    device::DeviceBuffer send(ctx.device(), 1 << 20), recv(ctx.device(), 1 << 20);
+    rt.retune_range(CollOp::Allreduce, 0, 4096, Engine::Xccl);
+    rt.allreduce(send.get(), recv.get(), 1024, mini::kFloat, ReduceOp::Sum,
+                 comm);
+    EXPECT_EQ(rt.last_dispatch().engine, Engine::Xccl);
+    rt.clear_adaptive();
+    EXPECT_TRUE(rt.adaptive().empty());
+    rt.allreduce(send.get(), recv.get(), 1024, mini::kFloat, ReduceOp::Sum,
+                 comm);
+    EXPECT_EQ(rt.last_dispatch().engine, Engine::Mpi);
+  });
+}
+
+TEST(RetuneRange, SetTuningClearsTheOverlay) {
+  with_runtime([](core::XcclMpi& rt, fabric::RankContext&) {
+    rt.retune_range(CollOp::Allreduce, 0, 4096, Engine::Xccl);
+    rt.set_tuning(core::TuningTable::uniform(Engine::Mpi));
+    EXPECT_TRUE(rt.adaptive().empty());
+  });
+}
+
+// ---- OnlineTuner ------------------------------------------------------------
+
+/// Drive `steps` rounds of one-call-per-size traffic + one tuner step on a
+/// 2x2 thetagpu world starting from `table`; returns rank 0's tuner state
+/// via the inspect callback.
+void run_tuner(const core::TuningTable& table, OnlineTunerConfig cfg,
+               int steps, const std::vector<std::size_t>& sizes,
+               const std::function<void(OnlineTuner&, core::XcclMpi&,
+                                        mini::Comm&)>& inspect,
+               bool settle = true) {
+  obs::set_level(obs::Level::Decisions);
+  obs::Registry::instance().reset();
+  obs::DecisionLog::instance().clear();
+  fabric::World world(
+      fabric::WorldConfig{sim::thetagpu(), 2, /*devices_per_node=*/2});
+  world.run([&](fabric::RankContext& ctx) {
+    core::XcclMpi rt(ctx, {.tuning = table});
+    auto& comm = rt.comm_world();
+    OnlineTuner tuner(cfg);
+    device::DeviceBuffer send(ctx.device(), 8 << 20), recv(ctx.device(), 8 << 20);
+    for (int s = 0; s < steps; ++s) {
+      for (std::size_t bytes : sizes) {
+        rt.allreduce(send.get(), recv.get(), bytes / sizeof(float),
+                     mini::kFloat, ReduceOp::Sum, comm);
+      }
+      tuner.step(rt, comm);
+    }
+    if (settle) {
+      // Revert any in-flight exploration so inspect sees the converged
+      // table, not whichever challenger step N happened to install.
+      tuner.freeze();
+      tuner.step(rt, comm);
+    }
+    if (ctx.rank() == 0) inspect(tuner, rt, comm);
+  });
+}
+
+OnlineTunerConfig fast_config() {
+  OnlineTunerConfig cfg;
+  cfg.epsilon = 0.5;
+  cfg.min_samples = 4;
+  cfg.halving_every = 8;
+  cfg.seed = 0x7e57ULL;
+  return cfg;
+}
+
+TEST(OnlineTuner, RecoversLargeBandFromMistunedTable) {
+  // Static table pins everything to flat MPI; on a 2x2 GPU world the 4 MB
+  // band is ~2x faster elsewhere, so the tuner must switch it.
+  core::TuningTable mistuned;
+  mistuned.set_rules(CollOp::Allreduce, {{SIZE_MAX, Engine::Mpi}});
+  run_tuner(mistuned, fast_config(), 40, {2048, 4u << 20},
+            [](OnlineTuner& tuner, core::XcclMpi& rt, mini::Comm&) {
+              ASSERT_EQ(tuner.cells().size(), 2u);
+              const CellState& big = tuner.cells().at({CollOp::Allreduce, 3});
+              EXPECT_NE(big.leader, Engine::Mpi);
+              EXPECT_GE(big.switches, 1u);
+              EXPECT_NE(
+                  rt.adaptive().select_entry(CollOp::Allreduce, 4u << 20).engine,
+                  Engine::Mpi);
+              // The mutation trail is in the history...
+              bool switched = false;
+              for (const TuneEvent& e : tuner.history()) {
+                switched |= e.kind == obs::TuneAudit::Switch && e.band == 3;
+              }
+              EXPECT_TRUE(switched);
+              // ...and audited in the decision ring, range edges included.
+              bool audited = false;
+              for (const auto& d : obs::DecisionLog::instance().records()) {
+                audited |= d.tune == obs::TuneAudit::Switch &&
+                           d.bytes == band_lo_bytes(3) &&
+                           d.breakpoint == band_hi_bytes(3) &&
+                           d.table_choice == Engine::Mpi;
+              }
+              EXPECT_TRUE(audited);
+              // tune.* telemetry mirrors the history.
+              EXPECT_GE(obs::Registry::instance()
+                            .counter("tune.switches")
+                            .value(),
+                        1);
+            });
+}
+
+TEST(OnlineTuner, HysteresisKeepsTiedLeader) {
+  // With an impossible improvement bar no switch may ever fire, no matter
+  // how long the loop runs: exploration reverts every time.
+  core::TuningTable mistuned;
+  mistuned.set_rules(CollOp::Allreduce, {{SIZE_MAX, Engine::Mpi}});
+  OnlineTunerConfig cfg = fast_config();
+  cfg.min_improvement = 1.0;  // nothing is 100% faster
+  run_tuner(mistuned, cfg, 30, {4u << 20},
+            [](OnlineTuner& tuner, core::XcclMpi& rt, mini::Comm&) {
+              for (const TuneEvent& e : tuner.history()) {
+                EXPECT_NE(e.kind, obs::TuneAudit::Switch);
+              }
+              const CellState& big = tuner.cells().at({CollOp::Allreduce, 3});
+              EXPECT_EQ(big.leader, Engine::Mpi);
+              EXPECT_EQ(
+                  rt.adaptive().select_entry(CollOp::Allreduce, 4u << 20).engine,
+                  Engine::Mpi);
+            });
+}
+
+TEST(OnlineTuner, FreezeSettlesInFlightExploration) {
+  core::TuningTable mistuned;
+  mistuned.set_rules(CollOp::Allreduce, {{SIZE_MAX, Engine::Mpi}});
+  OnlineTunerConfig cfg = fast_config();
+  cfg.epsilon = 1.0;          // always exploring
+  cfg.min_samples = 1000000;  // never enough samples to conclude
+  run_tuner(mistuned, cfg, 6, {4u << 20},
+            [](OnlineTuner& tuner, core::XcclMpi& rt, mini::Comm& comm) {
+              const CellState& before =
+                  tuner.cells().at({CollOp::Allreduce, 3});
+              ASSERT_TRUE(before.exploring);
+              tuner.freeze();
+              tuner.step(rt, comm);  // settling step
+              const CellState& c = tuner.cells().at({CollOp::Allreduce, 3});
+              EXPECT_FALSE(c.exploring);
+              EXPECT_EQ(c.installed, c.leader);
+              EXPECT_EQ(
+                  rt.adaptive().select_entry(CollOp::Allreduce, 4u << 20).engine,
+                  c.leader);
+              // Further frozen steps are empty but still collective-safe.
+              const std::size_t mutations = tuner.history().size();
+              tuner.step(rt, comm);
+              EXPECT_EQ(tuner.history().size(), mutations);
+            },
+            /*settle=*/false);  // this test drives the settle itself
+}
+
+TEST(OnlineTuner, HierArmPreEliminatedForUnsupportedOps) {
+  // Alltoall is outside the hier engine's set: its hier arm must be born
+  // eliminated so exploration never wastes installs on remapped picks.
+  core::TuningTable table;
+  table.set_rules(CollOp::Alltoall, {{SIZE_MAX, Engine::Mpi}});
+  obs::set_level(obs::Level::Decisions);
+  obs::Registry::instance().reset();
+  obs::DecisionLog::instance().clear();
+  fabric::World world(fabric::WorldConfig{sim::thetagpu(), 2, 2});
+  world.run([&](fabric::RankContext& ctx) {
+    core::XcclMpi rt(ctx, {.tuning = table});
+    auto& comm = rt.comm_world();
+    OnlineTuner tuner(fast_config());
+    device::DeviceBuffer send(ctx.device(), 1 << 20), recv(ctx.device(), 1 << 20);
+    for (int s = 0; s < 6; ++s) {
+      rt.alltoall(send.get(), 256, mini::kFloat, recv.get(), 256, mini::kFloat,
+                  comm);
+      tuner.step(rt, comm);
+    }
+    if (ctx.rank() == 0) {
+      const CellState& c = tuner.cells().at({CollOp::Alltoall, 0});
+      EXPECT_EQ(c.arms[static_cast<std::size_t>(Engine::Hier)].status,
+                ArmStatus::Eliminated);
+    }
+  });
+}
+
+TEST(OnlineTunerConfigEnv, ParsesAndValidates) {
+  setenv("MPIXCCL_TUNE_EPSILON", "0.25", 1);
+  setenv("MPIXCCL_TUNE_MIN_SAMPLES", "12", 1);
+  setenv("MPIXCCL_TUNE_MIN_IMPROVEMENT", "0.2", 1);
+  setenv("MPIXCCL_TUNE_ELIM_FACTOR", "3.5", 1);
+  setenv("MPIXCCL_TUNE_HALVING", "6", 1);
+  setenv("MPIXCCL_TUNE_SEED", "99", 1);
+  const OnlineTunerConfig c = OnlineTunerConfig::from_env();
+  EXPECT_DOUBLE_EQ(c.epsilon, 0.25);
+  EXPECT_EQ(c.min_samples, 12u);
+  EXPECT_DOUBLE_EQ(c.min_improvement, 0.2);
+  EXPECT_DOUBLE_EQ(c.eliminate_factor, 3.5);
+  EXPECT_EQ(c.halving_every, 6u);
+  EXPECT_EQ(c.seed, 99u);
+
+  setenv("MPIXCCL_TUNE_EPSILON", "1.5", 1);
+  EXPECT_THROW(OnlineTunerConfig::from_env(), Error);
+  setenv("MPIXCCL_TUNE_EPSILON", "abc", 1);
+  EXPECT_THROW(OnlineTunerConfig::from_env(), Error);
+  unsetenv("MPIXCCL_TUNE_EPSILON");
+  setenv("MPIXCCL_TUNE_HALVING", "0", 1);
+  EXPECT_THROW(OnlineTunerConfig::from_env(), Error);
+  for (const char* k :
+       {"MPIXCCL_TUNE_MIN_SAMPLES", "MPIXCCL_TUNE_MIN_IMPROVEMENT",
+        "MPIXCCL_TUNE_ELIM_FACTOR", "MPIXCCL_TUNE_HALVING",
+        "MPIXCCL_TUNE_SEED"}) {
+    unsetenv(k);
+  }
+}
+
+TEST(OnlineTunerConfigEnv, MasterSwitchParsing) {
+  unsetenv("MPIXCCL_TUNE_ONLINE");
+  EXPECT_FALSE(online_tuning_enabled());
+  for (const char* off : {"", "0", "off", "false"}) {
+    setenv("MPIXCCL_TUNE_ONLINE", off, 1);
+    EXPECT_FALSE(online_tuning_enabled()) << "'" << off << "'";
+  }
+  for (const char* on : {"1", "on", "yes"}) {
+    setenv("MPIXCCL_TUNE_ONLINE", on, 1);
+    EXPECT_TRUE(online_tuning_enabled()) << "'" << on << "'";
+  }
+  unsetenv("MPIXCCL_TUNE_ONLINE");
+}
+
+TEST(TunerCApi, CreateStepReportDestroy) {
+  obs::set_level(obs::Level::Decisions);
+  obs::Registry::instance().reset();
+  core::TuningTable table;
+  table.set_rules(CollOp::Allreduce, {{SIZE_MAX, Engine::Mpi}});
+  fabric::World world(fabric::WorldConfig{sim::thetagpu(), 1, 2});
+  world.run([&](fabric::RankContext& ctx) {
+    core::XcclMpi rt(ctx, {.tuning = table});
+    auto& comm = rt.comm_world();
+    mpixcclTuner_t tuner = mpixcclTunerCreate();
+    device::DeviceBuffer send(ctx.device(), 1 << 20), recv(ctx.device(), 1 << 20);
+    rt.allreduce(send.get(), recv.get(), 1024, mini::kFloat, ReduceOp::Sum,
+                 comm);
+    mpixcclTunerStep(tuner, &rt, &comm);
+    mpixcclTunerFreeze(tuner);
+    if (ctx.rank() == 0) {
+      const std::string report = mpixcclTunerReport(tuner);
+      EXPECT_NE(report.find("online tuner: 1 steps"), std::string::npos);
+    }
+    mpixcclTunerDestroy(tuner);
+    EXPECT_THROW(mpixcclTunerStep(nullptr, &rt, &comm), Error);
+  });
+}
+
+}  // namespace
+}  // namespace mpixccl::tune

@@ -5,6 +5,7 @@
 //   mpixccl sweep --system=mri --nodes=4 --op=allgather [--backend=...]
 //   mpixccl train --system=thetagpu --nodes=2 --model=resnet50 --batch=64
 //   mpixccl tune  --system=voyager --out=/tmp/voyager.tbl
+//   mpixccl tune  --online --system=thetagpu --nodes=2 --steps=48
 //   mpixccl hier  --system=mri --nodes=4 --op=allreduce
 //   mpixccl trace --system=thetagpu --out=/tmp/trace.json
 //   mpixccl top   --system=thetagpu [--nodes=2] [--rows=20]
@@ -35,6 +36,7 @@
 #include "omb/harness.hpp"
 #include "sim/profiles.hpp"
 #include "sim/trace.hpp"
+#include "tune/online.hpp"
 
 using namespace mpixccl;
 
@@ -165,7 +167,63 @@ int cmd_train(const Args& args) {
   return 0;
 }
 
+/// `mpixccl tune --online`: live demo of the adaptive controller. Starts
+/// from a deliberately mis-tuned static table (everything forced onto flat
+/// MPI), runs an allreduce workload across the size bands while stepping an
+/// OnlineTuner each iteration, then prints the per-arm report, the switch
+/// history and the adaptive table the controller converged onto.
+int cmd_tune_online(const Args& args) {
+  const sim::SystemProfile prof =
+      sim::profile_by_name(get(args, "system", "thetagpu"));
+  const int nodes = std::stoi(get(args, "nodes", "2"));
+  const int steps = std::stoi(get(args, "steps", "48"));
+
+  obs::set_level(obs::Level::Decisions);
+  obs::Registry::instance().reset();
+  obs::DecisionLog::instance().clear();
+
+  // Static table an offline tuner could plausibly have produced on another
+  // machine: flat MPI everywhere. On a multi-GPU system the CCL ring should
+  // win the large bands back online.
+  core::TuningTable mistuned;
+  mistuned.set_rules(core::CollOp::Allreduce, {{SIZE_MAX, core::Engine::Mpi}});
+
+  std::string report, table;
+  fabric::World world(fabric::WorldConfig{prof, nodes, /*devices_per_node=*/2});
+  world.run([&](fabric::RankContext& ctx) {
+    core::XcclMpi rt(ctx, {.tuning = mistuned});
+    auto& comm = rt.comm_world();
+    tune::OnlineTuner tuner(tune::OnlineTunerConfig::from_env());
+    device::DeviceBuffer send(ctx.device(), 4u << 20);
+    device::DeviceBuffer recv(ctx.device(), 4u << 20);
+    for (int s = 0; s < steps; ++s) {
+      // One call per size band the workload actually exercises.
+      for (const std::size_t bytes :
+           {std::size_t{2048}, std::size_t{32768}, std::size_t{512u << 10},
+            std::size_t{4u << 20}}) {
+        rt.allreduce(send.get(), recv.get(), bytes / sizeof(float),
+                     mini::kFloat, ReduceOp::Sum, comm);
+      }
+      tuner.step(rt, comm);
+    }
+    // Settle before reading: an exploration may be in flight, and the
+    // serialized table must show the converged leaders, not a challenger.
+    tuner.freeze();
+    tuner.step(rt, comm);
+    if (ctx.rank() == 0) {
+      report = tuner.report();
+      table = rt.adaptive().serialize();
+    }
+  });
+  std::printf("online tuning on %s (%d nodes x 2 devices), %d steps, "
+              "static table: allreduce=mpi everywhere\n\n%s\n",
+              prof.name.c_str(), nodes, steps, report.c_str());
+  std::printf("adaptive table after convergence:\n%s\n", table.c_str());
+  return 0;
+}
+
 int cmd_tune(const Args& args) {
+  if (get(args, "online", "") == "1") return cmd_tune_online(args);
   const sim::SystemProfile prof =
       sim::profile_by_name(get(args, "system", "thetagpu"));
   const int nodes = std::stoi(get(args, "nodes", "1"));
@@ -460,8 +518,32 @@ int cmd_perf(int argc, char** argv) {
   obs::DiffOptions dopt;
   dopt.rel_threshold = std::stod(get(opts, "rel", "0.10"));
   dopt.abs_floor = std::stod(get(opts, "abs", "0.5"));
-  const obs::BenchDoc baseline = obs::load_bench_json(files[0]);
-  const obs::BenchDoc current = obs::load_bench_json(files[1]);
+  // A gate that cannot read its inputs must fail loudly, never pass: name
+  // the file that broke and exit non-zero (2 = unusable inputs, distinct
+  // from 1 = genuine regression).
+  obs::BenchDoc baseline, current;
+  try {
+    baseline = obs::load_bench_json(files[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mpixccl perf diff: baseline unusable: %s\n",
+                 e.what());
+    return 2;
+  }
+  try {
+    current = obs::load_bench_json(files[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mpixccl perf diff: current unusable: %s\n",
+                 e.what());
+    return 2;
+  }
+  if (baseline.points.empty()) {
+    // Zero baseline points would make every diff vacuously green.
+    std::fprintf(stderr,
+                 "mpixccl perf diff: baseline '%s' contains no points — "
+                 "refusing a vacuous pass\n",
+                 files[0].c_str());
+    return 2;
+  }
   const obs::BenchDiff diff = obs::bench_diff(baseline, current, dopt);
   std::printf("%s", diff.report().c_str());
   return diff.ok() ? 0 : 1;
@@ -475,6 +557,11 @@ int usage() {
       "  sweep  --system=S --nodes=N --op=OP [--backend=B]\n"
       "  train  --system=S --nodes=N --model=M --batch=B --flavor=F\n"
       "  tune   --system=S [--nodes=N] [--out=FILE]\n"
+      "  tune   --online [--system=S] [--nodes=N] [--steps=K]\n"
+      "                                         adaptive-controller demo: "
+      "recover\n"
+      "                                         from a mis-tuned table "
+      "online\n"
       "  hier   --system=S [--nodes=N] [--op=OP]    compare engines incl. hier\n"
       "  trace  --system=S [--out=FILE]\n"
       "  obs    --system=S [--nodes=N] [--metrics=F] [--trace=F] "
