@@ -86,8 +86,11 @@ struct Plan {
   std::size_t max_bytes = SIZE_MAX;
   /// Resolved CCL communicator (engine == Xccl), owned by the XcclMpi cache.
   xccl::CclComm* ccl = nullptr;
-  /// Resolved node/leader splits (engine == Hier), owned by the HierEngine.
+  /// Resolved per-level subcomm chain (engine == Hier), owned by HierEngine.
   hier::HierEngine::HierComms* hier = nullptr;
+  /// Hier level-config epoch the chain was built at; a lookup under a newer
+  /// epoch misses (the chain no longer matches the configured hierarchy).
+  std::uint64_t hier_epoch = 0;
   /// Staging bytes pre-sized at build (hier scratch reserved for the shape).
   std::size_t resident_bytes = 0;
   double build_us = 0.0;    ///< virtual time the build cost (splits, bootstrap)

@@ -44,6 +44,10 @@ XcclMpi::XcclMpi(fabric::RankContext& ctx, XcclMpiOptions options)
           : ctx.profile().ccl;
   backend_ = xccl::make_backend(kind, ctx, cp);
   hier_ = std::make_unique<hier::HierEngine>(mpi_);
+  if (options_.hier_levels) hier_->set_levels(*options_.hier_levels);
+  if (options_.hier_single_copy_min) {
+    hier_->set_single_copy_min(*options_.hier_single_copy_min);
+  }
   auto& reg = obs::Registry::instance();
   ctr_plan_hit_ = &reg.counter("plan.cache.hit");
   ctr_plan_miss_ = &reg.counter("plan.cache.miss");
@@ -68,6 +72,17 @@ void XcclMpi::reset_stats() {
 void XcclMpi::invalidate_plans() {
   const std::size_t dropped = plans_.invalidate_all();
   if (dropped > 0) ctr_plan_invalidate_->add(dropped, rank());
+}
+
+bool XcclMpi::set_hier_levels(const std::string& spec) {
+  if (!hier_->set_levels(spec)) return false;
+  // Every plan holding a subcomm chain was built against the old hierarchy;
+  // its splits (and any reserved scratch shape) are stale. Flat plans keep
+  // their compiled state.
+  const std::size_t dropped =
+      plans_.invalidate_if([](const Plan& p) { return p.hier != nullptr; });
+  if (dropped > 0) ctr_plan_invalidate_->add(dropped, rank());
+  return true;
 }
 
 std::size_t XcclMpi::retune_range(CollOp op, std::size_t lo, std::size_t hi,
@@ -203,9 +218,15 @@ std::shared_ptr<const Plan> XcclMpi::plan_for(CollOp op, std::size_t bytes,
   key.size_class = plan_size_class(bytes);
   key.comm_uid = comm.uid();
   if (std::shared_ptr<Plan> hit = plans_.find(key, bytes)) {
-    ctr_plan_hit_->add(1, rank());
-    current_plan_id_ = hit->id;
-    return hit;
+    // Chain validity: a hier plan is only good at the level-config epoch it
+    // captured (the spec changing between reconfigurations must miss, not
+    // replay stale subcommunicators). set_hier_levels purges eagerly; this
+    // guards direct hier().set_levels() callers too.
+    if (hit->hier == nullptr || hit->hier_epoch == hier_->config_epoch()) {
+      ctr_plan_hit_->add(1, rank());
+      current_plan_id_ = hit->id;
+      return hit;
+    }
   }
   // Every key component is identical on every member of `comm` for a given
   // call site (uids are rank-local values but assigned in the same order),
@@ -252,6 +273,7 @@ std::shared_ptr<Plan> XcclMpi::build_plan(const PlanKey& key, CollOp op,
     plan->ccl = &ccl_comm(comm);
   } else if (plan->pick.engine == Engine::Hier) {
     plan->hier = &hier_->prepare(comm);
+    plan->hier_epoch = hier_->config_epoch();
     if (op == CollOp::Allreduce && plan->hier->usable && bytes > 0) {
       plan->resident_bytes = hier_->reserve_allreduce(
           *plan->hier, bytes / datatype_size(key.base), key.base);
@@ -329,7 +351,7 @@ std::string XcclMpi::profile_report() const {
 
 void XcclMpi::note(CollOp op, std::size_t bytes, const EnginePick& pick,
                    Engine engine, bool fell_back, bool composed,
-                   obs::FallbackReason reason) {
+                   obs::FallbackReason reason, std::string level_path) {
   ++note_seq_;
   last_ = Dispatch{engine, fell_back, composed};
   last_bytes_ = bytes;
@@ -360,6 +382,7 @@ void XcclMpi::note(CollOp op, std::size_t bytes, const EnginePick& pick,
   d.reason = reason;
   d.fell_back = fell_back;
   d.composed = composed;
+  d.level_path = std::move(level_path);
   d.time_us = context().clock().now();
   d.seq = obs::DecisionLog::instance().push(d);
   last_decision_ = d;
@@ -430,7 +453,7 @@ void XcclMpi::exec_allreduce(const Plan& p, const void* sendbuf, void* recvbuf,
   if (pick.engine == Engine::Hier) {
     if (hier_->allreduce(*p.hier, sendbuf, recvbuf, count, dt, op, comm)) {
       note(CollOp::Allreduce, bytes, pick, Engine::Hier, false, true,
-           obs::FallbackReason::None);
+           obs::FallbackReason::None, p.hier->level_path);
       return;
     }
     // Not node-blocked (or op/type outside hier's set): flat MPI.
@@ -469,7 +492,7 @@ void XcclMpi::exec_bcast(const Plan& p, void* buf, std::size_t count,
   if (pick.engine == Engine::Hier) {
     if (hier_->bcast(*p.hier, buf, count, dt, root, comm)) {
       note(CollOp::Bcast, bytes, pick, Engine::Hier, false, true,
-           obs::FallbackReason::None);
+           obs::FallbackReason::None, p.hier->level_path);
       return;
     }
     note(CollOp::Bcast, bytes, pick, Engine::Mpi, true, false,
@@ -507,7 +530,7 @@ void XcclMpi::exec_reduce(const Plan& p, const void* sendbuf, void* recvbuf,
   if (pick.engine == Engine::Hier) {
     if (hier_->reduce(*p.hier, sendbuf, recvbuf, count, dt, op, root, comm)) {
       note(CollOp::Reduce, bytes, pick, Engine::Hier, false, true,
-           obs::FallbackReason::None);
+           obs::FallbackReason::None, p.hier->level_path);
       return;
     }
     note(CollOp::Reduce, bytes, pick, Engine::Mpi, true, false,
@@ -554,7 +577,7 @@ void XcclMpi::exec_allgather(const Plan& p, const void* sendbuf,
     if (hier_->allgather(*p.hier, sendbuf, sendcount, st, recvbuf, recvcount,
                          rt, comm)) {
       note(CollOp::Allgather, bytes, pick, Engine::Hier, false, true,
-           obs::FallbackReason::None);
+           obs::FallbackReason::None, p.hier->level_path);
       return;
     }
     note(CollOp::Allgather, bytes, pick, Engine::Mpi, true, false,
@@ -599,7 +622,7 @@ void XcclMpi::exec_reduce_scatter(const Plan& p, const void* sendbuf,
     if (hier_->reduce_scatter_block(*p.hier, sendbuf, recvbuf, recvcount, dt,
                                     op, comm)) {
       note(CollOp::ReduceScatter, bytes, pick, Engine::Hier, false, true,
-           obs::FallbackReason::None);
+           obs::FallbackReason::None, p.hier->level_path);
       return;
     }
     note(CollOp::ReduceScatter, bytes, pick, Engine::Mpi, true, false,
@@ -988,7 +1011,7 @@ mini::Request XcclMpi::iallreduce(const void* sendbuf, void* recvbuf,
     // so like the MPI engine it completes before returning.
     if (hier_->allreduce(*p->hier, sendbuf, recvbuf, count, dt, op, comm)) {
       note(CollOp::Allreduce, bytes, pick, Engine::Hier, false, true,
-           obs::FallbackReason::None);
+           obs::FallbackReason::None, p->hier->level_path);
       return mini::Request::completed(context().clock().now());
     }
     note(CollOp::Allreduce, bytes, pick, Engine::Mpi, true, false,
@@ -1025,7 +1048,7 @@ mini::Request XcclMpi::ibcast(void* buf, std::size_t count, mini::Datatype dt,
   if (pick.engine == Engine::Hier) {
     if (hier_->bcast(*p->hier, buf, count, dt, root, comm)) {
       note(CollOp::Bcast, bytes, pick, Engine::Hier, false, true,
-           obs::FallbackReason::None);
+           obs::FallbackReason::None, p->hier->level_path);
       return mini::Request::completed(context().clock().now());
     }
     note(CollOp::Bcast, bytes, pick, Engine::Mpi, true, false,
@@ -1068,7 +1091,7 @@ mini::Request XcclMpi::iallgather(const void* sendbuf, std::size_t sendcount,
     if (hier_->allgather(*p->hier, sendbuf, sendcount, st, recvbuf, recvcount,
                          rt, comm)) {
       note(CollOp::Allgather, bytes, pick, Engine::Hier, false, true,
-           obs::FallbackReason::None);
+           obs::FallbackReason::None, p->hier->level_path);
       return mini::Request::completed(context().clock().now());
     }
     note(CollOp::Allgather, bytes, pick, Engine::Mpi, true, false,
@@ -1110,7 +1133,7 @@ mini::Request XcclMpi::ireduce(const void* sendbuf, void* recvbuf,
   if (pick.engine == Engine::Hier) {
     if (hier_->reduce(*p->hier, sendbuf, recvbuf, count, dt, op, root, comm)) {
       note(CollOp::Reduce, bytes, pick, Engine::Hier, false, true,
-           obs::FallbackReason::None);
+           obs::FallbackReason::None, p->hier->level_path);
       return mini::Request::completed(context().clock().now());
     }
     note(CollOp::Reduce, bytes, pick, Engine::Mpi, true, false,
@@ -1175,6 +1198,9 @@ void XcclMpi::note_replay(const Plan& p, CollOp op, std::size_t bytes,
   d.reason = reason;
   d.fell_back = fell_back;
   d.composed = composed;
+  if (engine == Engine::Hier && p.hier != nullptr) {
+    d.level_path = p.hier->level_path;
+  }
   d.time_us = context().clock().now();
   d.seq = 0;
   last_decision_ = d;
@@ -1213,6 +1239,9 @@ Persistent XcclMpi::make_persistent(CollOp op, const void* sendbuf,
   d.table_choice = h.plan_->pick.table_choice;
   d.engine = h.plan_->pick.engine;
   d.reason = h.plan_->pick.reason;
+  if (h.plan_->hier != nullptr && h.plan_->hier->usable) {
+    d.level_path = h.plan_->hier->level_path;
+  }
   d.time_us = context().clock().now();
   obs::DecisionLog::instance().push(d);
   return h;

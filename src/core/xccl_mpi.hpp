@@ -96,6 +96,13 @@ struct XcclMpiOptions {
   /// Disable the automatic MPI fallback (capability errors then surface as
   /// exceptions) — only for testing the fallback machinery itself.
   bool allow_fallback = true;
+  /// Sub-node level chain for the hierarchical engine ("socket:2,numa:2",
+  /// see sim::parse_level_spec; "node" forces flat two-level). Overrides
+  /// both the world topology's chain and MPIXCCL_HIER_LEVELS.
+  std::optional<std::string> hier_levels;
+  /// Single-copy vs copy-in-copy-out switchover for deep (>2-level) chains;
+  /// overrides MPIXCCL_HIER_SINGLE_COPY_MIN.
+  std::optional<std::size_t> hier_single_copy_min;
 };
 
 class XcclMpi {
@@ -124,6 +131,12 @@ class XcclMpi {
     options_.mode = m;
     invalidate_plans();
   }
+  /// Reconfigure the hierarchical engine's level chain at runtime. Must be
+  /// called uniformly on every rank (the next dispatch rebuilds the splits
+  /// collectively). When the chain actually changes, every plan holding a
+  /// subcomm chain is purged — stale splits from the old hierarchy must
+  /// never serve another dispatch. Returns true on an effective change.
+  bool set_hier_levels(const std::string& spec);
 
   // ---- Adaptive tuning overlay (driven by tune::OnlineTuner) ---------------
   /// The per-runtime overlay the online controller rewrites. Hybrid device
@@ -376,7 +389,8 @@ class XcclMpi {
   /// bumps the per-instance counters, and feeds the process-wide metrics
   /// registry and (when enabled) the decision log.
   void note(CollOp op, std::size_t bytes, const EnginePick& pick, Engine engine,
-            bool fell_back, bool composed, obs::FallbackReason reason);
+            bool fell_back, bool composed, obs::FallbackReason reason,
+            std::string level_path = {});
   /// Barrier-only variant (no CollOp for barrier; excluded from the
   /// decision log and the per-op registry, counted in PathStats only).
   void note(Engine engine, bool fell_back, bool composed);

@@ -34,7 +34,8 @@ int resolve_dpn(const WorldConfig& c) {
 
 World::World(WorldConfig config)
     : config_(std::move(config)),
-      topo_(config_.nodes, resolve_dpn(config_), config_.profile.vendor),
+      topo_(config_.nodes, resolve_dpn(config_), config_.profile.vendor,
+            sim::parse_level_spec(config_.hier_levels, resolve_dpn(config_))),
       devices_(config_.profile, resolve_world_size(config_)),
       clocks_(static_cast<std::size_t>(topo_.world_size())),
       streams_(static_cast<std::size_t>(topo_.world_size()),

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -26,6 +27,9 @@ struct WorldConfig {
   sim::SystemProfile profile;
   int nodes = 1;
   int devices_per_node = 0;  ///< 0 -> profile.devices_per_node
+  /// Sub-node hierarchy spec ("socket:2,numa:2", see sim::parse_level_spec).
+  /// Empty -> flat two-scope topology.
+  std::string hier_levels;
 };
 
 class World;

@@ -1,6 +1,7 @@
 #include "hier/hier.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -30,14 +31,76 @@ ReduceOp stage_op(ReduceOp op) { return op == ReduceOp::Avg ? ReduceOp::Sum : op
 
 bool avg_supported(DataType dt) { return is_floating(dt) || is_complex(dt); }
 
+bool same_chain(const std::vector<sim::TopoLevel>& a,
+                const std::vector<sim::TopoLevel>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].name != b[i].name || a[i].fanout != b[i].fanout ||
+        a[i].bw_scale != b[i].bw_scale || a[i].alpha_scale != b[i].alpha_scale) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
+HierEngine::HierEngine(mini::Mpi& mpi) : mpi_(&mpi) {
+  // Default chain: whatever sub-node hierarchy the world topology carries.
+  // MPIXCCL_HIER_LEVELS overrides it (XHC-style user-defined virtual
+  // hierarchies; "node" forces the flat two-level engine).
+  const sim::Topology& topo = mpi_->context().topology();
+  levels_ = topo.sub_levels();
+  if (const char* env = std::getenv("MPIXCCL_HIER_LEVELS"); env != nullptr) {
+    levels_ = sim::parse_level_spec(env, topo.devices_per_node());
+  }
+  if (const char* env = std::getenv("MPIXCCL_HIER_SINGLE_COPY_MIN");
+      env != nullptr) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == nullptr || *end != '\0' || *env == '\0') {
+      throw Error(std::string("HierSingleCopyMin: malformed size '") + env +
+                  "'");
+    }
+    single_copy_min_ = static_cast<std::size_t>(v);
+  }
+}
+
+bool HierEngine::set_levels(const std::string& spec) {
+  std::vector<sim::TopoLevel> next = sim::parse_level_spec(
+      spec, mpi_->context().topology().devices_per_node());
+  if (same_chain(next, levels_)) return false;
+  levels_ = std::move(next);
+  // Old cache entries stay allocated — persistent plans may still hold
+  // pointers into them — but the epoch bump makes them unreachable, so no
+  // stale subcommunicator chain is ever reused for a new dispatch.
+  ++epoch_;
+  return true;
+}
+
+std::size_t HierEngine::comm_cache_size() const {
+  std::size_t n = 0;
+  for (const auto& [key, hc] : cache_) n += (key.second == epoch_) ? 1 : 0;
+  return n;
+}
+
+std::vector<std::pair<fabric::ChannelId, const HierEngine::HierComms*>>
+HierEngine::cached_comms() const {
+  std::vector<std::pair<fabric::ChannelId, const HierComms*>> out;
+  for (const auto& [key, hc] : cache_) {
+    if (key.second == epoch_) out.emplace_back(key.first, &hc);
+  }
+  return out;
+}
+
 HierEngine::HierComms& HierEngine::prepare(mini::Comm& comm) {
-  const fabric::ChannelId key = comm.p2p_channel();
+  const std::pair<fabric::ChannelId, std::uint64_t> key{comm.p2p_channel(),
+                                                        epoch_};
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
 
   HierComms hc;
+  hc.epoch = epoch_;
   const sim::Topology& topo = mpi_->context().topology();
   const int p = comm.size();
 
@@ -45,7 +108,7 @@ HierEngine::HierComms& HierEngine::prepare(mini::Comm& comm) {
   // same member count L on every node, distinct nodes per block, and at
   // least two nodes of at least two ranks. The verdict is pure local
   // arithmetic over state every member shares, so all ranks agree without
-  // communicating — which is what lets the split below stay collective.
+  // communicating — which is what lets the splits below stay collective.
   int L = 0;
   const int first_node = topo.node_of(comm.world_rank(0));
   while (L < p && topo.node_of(comm.world_rank(L)) == first_node) ++L;
@@ -69,16 +132,78 @@ HierEngine::HierComms& HierEngine::prepare(mini::Comm& comm) {
     const int me = comm.rank();
     hc.per_node = L;
     hc.nodes = p / L;
+
+    // The sub-node chain refines the node blocks only when every block is a
+    // whole node in natural local order: then a member's position inside
+    // its block equals its topology-local index, and the per-dim link
+    // classes below price exactly what the fabric will charge. Misaligned
+    // (but still node-blocked) communicators keep the flat two-level chain.
+    bool aligned = L == topo.devices_per_node();
+    for (int i = 0; i < p && aligned; ++i) {
+      aligned = topo.local_of(comm.world_rank(i)) == i % L;
+    }
+    long chain_ranks = 1;
+    for (const sim::TopoLevel& lvl : levels_) chain_ranks *= lvl.fanout;
+
+    // Dim chain, innermost first. Each dim is named for the scope its
+    // exchanges span and carries the link class its partner pairs ride
+    // (partners differ in exactly one digit, so they share all deeper
+    // groups). Links come from the shared level spec, not from per-rank
+    // lookups: every member derives identical cost estimates, which is what
+    // keeps the pipelined schedule deterministic and deadlock-free.
+    struct DimSpec {
+      int size;
+      std::string name;
+      sim::LinkParams link;
+    };
+    const sim::MpiProfile& prof = mpi_->profile();
+    std::vector<DimSpec> spec;
+    if (aligned && !levels_.empty() && L % chain_ranks == 0) {
+      const auto K = levels_.size();
+      spec.push_back({static_cast<int>(L / chain_ranks), levels_[K - 1].name,
+                      prof.dev_intra});
+      double bw = 1.0;
+      double alpha = 1.0;
+      for (std::size_t j = K; j-- > 0;) {  // crossing levels_[j]'s boundary
+        bw *= levels_[j].bw_scale;
+        alpha *= levels_[j].alpha_scale;
+        sim::LinkParams link = prof.dev_intra;
+        link.bw_MBps *= bw;
+        link.alpha_us *= alpha;
+        spec.push_back(
+            {levels_[j].fanout,
+             j > 0 ? levels_[j - 1].name : std::string("node"), link});
+      }
+    } else {
+      spec.push_back({L, "node", prof.dev_intra});
+    }
+    spec.push_back({hc.nodes, "net", prof.dev_inter});
+    // A leaf group of one rank contributes no exchanges; drop it.
+    std::erase_if(spec, [](const DimSpec& d) { return d.size <= 1; });
+
     // The splits are collective and cost virtual time; the stage span keeps
     // the first dispatch through a communicator fully attributable (the
     // critical-path report would otherwise show its setup cost as a gap).
     obs::Span span(me, mpi_->context().clock(), "hier.comm_setup",
                    "hier.stage");
-    hc.node = mpi_->split(comm, me / L, me);
-    hc.cross = mpi_->split(comm, me % L, me);
+    int stride = 1;
+    for (const DimSpec& d : spec) {
+      const int digit = (me / stride) % d.size;
+      hc.dims.push_back(d.size);
+      hc.names.push_back(d.name);
+      hc.links.push_back(d.link);
+      hc.coord.push_back(digit);
+      // Color = my rank with this dim's digit zeroed: members of one
+      // subgroup differ only in that digit, and sorting by key keeps the
+      // subcommunicator rank equal to the digit.
+      hc.comms.push_back(mpi_->split(comm, me - digit * stride, me));
+      if (!hc.level_path.empty()) hc.level_path += '.';
+      hc.level_path += d.name + "(" + std::to_string(d.size) + ")";
+      stride *= d.size;
+    }
     hc.usable = true;
     MPIXCCL_LOG_DEBUG("hier", "rank ", me, ": hierarchical comms over ",
-                      hc.nodes, " nodes x ", hc.per_node, " ranks");
+                      hc.level_path);
   }
   return cache_.emplace(key, std::move(hc)).first->second;
 }
@@ -96,23 +221,41 @@ std::byte* HierEngine::scratch(device::DeviceBuffer& buf, std::size_t bytes) {
 
 namespace {
 
-/// Chunk/pipeline schedule for one allreduce shape, shared between the
-/// execute path and reserve_allreduce so pre-sizing matches exactly.
+/// Schedule family for one allreduce shape, shared between the execute path
+/// and reserve_allreduce so pre-sizing matches exactly.
+enum class ArMode {
+  Pipelined,  ///< n-level halving/doubling, chunked across level links
+  Staged,     ///< shard recursion (reduce-scatter up, allgather down)
+  Cico        ///< copy-in-copy-out leader ladder (deep chains, small sizes)
+};
+
 struct AllreduceShape {
-  bool two_level = false;
+  ArMode mode = ArMode::Staged;
   std::size_t chunks = 1;
   std::size_t unit = 0;
   std::size_t padded = 0;
 };
 
-AllreduceShape allreduce_shape(std::size_t elems, std::size_t esz, int per_node,
-                               int nodes) {
+AllreduceShape allreduce_shape(std::size_t elems, std::size_t esz,
+                               const std::vector<int>& dims,
+                               std::size_t single_copy_min) {
   AllreduceShape s;
   const std::size_t bytes = elems * esz;
-  const auto grain =
-      static_cast<std::size_t>(per_node) * static_cast<std::size_t>(nodes);
-  s.two_level = is_pof2(per_node) && is_pof2(nodes) && elems >= grain;
-  if (s.two_level) {
+  std::size_t grain = 1;
+  bool all_pof2 = true;
+  for (int d : dims) {
+    grain *= static_cast<std::size_t>(d);
+    all_pof2 = all_pof2 && is_pof2(d);
+  }
+  // Deep chains pay one shard latency per level; below the single-copy
+  // threshold the copy-in-copy-out ladder (whole-message leader hops) is
+  // cheaper. Two-level chains keep the single-copy schedules at every size.
+  if (dims.size() > 2 && bytes < single_copy_min) {
+    s.mode = ArMode::Cico;
+    return s;
+  }
+  if (all_pof2 && elems >= grain) {
+    s.mode = ArMode::Pipelined;
     if (bytes >= HierEngine::kPipelineMinBytes) {
       s.chunks = std::min(
           HierEngine::kMaxPipelineChunks,
@@ -120,11 +263,12 @@ AllreduceShape allreduce_shape(std::size_t elems, std::size_t esz, int per_node,
     }
     s.unit = ceil_div(ceil_div(elems, s.chunks), grain) * grain;
     s.chunks = ceil_div(elems, s.unit);  // drop now-empty tail chunks
+    s.padded = s.unit * s.chunks;
   } else {
-    s.unit = ceil_div(elems, static_cast<std::size_t>(per_node)) *
-             static_cast<std::size_t>(per_node);
+    const std::size_t within = grain / static_cast<std::size_t>(dims.back());
+    s.unit = ceil_div(elems, within) * within;
+    s.padded = s.unit;
   }
-  s.padded = s.two_level ? s.unit * s.chunks : s.unit;
   return s;
 }
 
@@ -134,14 +278,26 @@ std::size_t HierEngine::reserve_allreduce(const HierComms& hc,
                                           std::size_t elems, DataType base) {
   if (!hc.usable || elems == 0) return 0;
   const std::size_t esz = datatype_size(base);
-  const AllreduceShape s = allreduce_shape(elems, esz, hc.per_node, hc.nodes);
+  const AllreduceShape s =
+      allreduce_shape(elems, esz, hc.dims, single_copy_min_);
+  if (s.mode == ArMode::Cico) {
+    scratch(stage_, 2 * elems * esz);
+    return stage_.size();
+  }
   scratch(ws_, s.padded * esz);
-  if (s.two_level) {
+  if (s.mode == ArMode::Pipelined) {
     scratch(inbox_, s.chunks * (s.unit / 2) * esz);
     return ws_.size() + inbox_.size();
   }
-  const std::size_t shard = s.padded / static_cast<std::size_t>(hc.per_node);
-  scratch(stage_, 2 * shard * esz);
+  // Staged: one shard per chain step, plus the top-level allreduce output.
+  std::size_t total = 0;
+  std::size_t cur = s.padded;
+  for (std::size_t j = 0; j + 1 < hc.dims.size(); ++j) {
+    cur /= static_cast<std::size_t>(hc.dims[j]);
+    total += cur;
+  }
+  total += cur;
+  scratch(stage_, total * esz);
   return ws_.size() + stage_.size();
 }
 
@@ -165,29 +321,32 @@ bool HierEngine::allreduce(HierComms& hc, const void* sendbuf, void* recvbuf,
   const std::size_t elems = count * dt.count;
   const std::size_t esz = datatype_size(dt.base);
   const std::size_t bytes = elems * esz;
-  const AllreduceShape shape = allreduce_shape(elems, esz, hc.per_node, hc.nodes);
-  const bool two_level = shape.two_level;
-  const std::size_t chunks = shape.chunks;
-  const std::size_t unit = shape.unit;
-  const std::size_t padded = shape.padded;
+  const AllreduceShape shape =
+      allreduce_shape(elems, esz, hc.dims, single_copy_min_);
 
-  // Padded working copy. Every rank pads identically and the pad region is
-  // never copied out, so whatever the reduction leaves there is irrelevant.
-  std::byte* ws = scratch(ws_, padded * esz);
-  std::memcpy(ws, sendbuf, bytes);
-  if (padded > elems) std::memset(ws + bytes, 0, (padded - elems) * esz);
-
-  if (two_level) {
-    // One span for the whole pipelined schedule: its intra/inter exchanges
-    // interleave, so per-stage spans would overlap and mislead.
-    obs::Span span(mpi_->rank(), mpi_->context().clock(),
-                   "allreduce.pipelined", "hier.stage");
-    two_level_allreduce(ws, unit, chunks, dt.base, stage_op(op), hc, comm);
+  if (shape.mode == ArMode::Cico) {
+    cico_allreduce(sendbuf, recvbuf, elems, dt.base, stage_op(op), hc);
   } else {
-    staged_allreduce(ws, padded, dt.base, stage_op(op), hc);
+    // Padded working copy. Every rank pads identically and the pad region is
+    // never copied out, so whatever the reduction leaves there is irrelevant.
+    std::byte* ws = scratch(ws_, shape.padded * esz);
+    std::memcpy(ws, sendbuf, bytes);
+    if (shape.padded > elems) {
+      std::memset(ws + bytes, 0, (shape.padded - elems) * esz);
+    }
+    if (shape.mode == ArMode::Pipelined) {
+      // One span for the whole pipelined schedule: its per-level exchanges
+      // interleave, so per-stage spans would overlap and mislead.
+      obs::Span span(mpi_->rank(), mpi_->context().clock(),
+                     "allreduce.pipelined", "hier.stage");
+      pipelined_allreduce(ws, shape.unit, shape.chunks, dt.base, stage_op(op),
+                          hc);
+    } else {
+      staged_allreduce(ws, shape.padded, dt.base, stage_op(op), hc);
+    }
+    std::memcpy(recvbuf, ws, bytes);
   }
 
-  std::memcpy(recvbuf, ws, bytes);
   if (op == ReduceOp::Avg) {
     throw_if_error(scale_inplace(dt.base, recvbuf, elems,
                                  1.0 / static_cast<double>(comm.size())),
@@ -199,72 +358,146 @@ bool HierEngine::allreduce(HierComms& hc, const void* sendbuf, void* recvbuf,
 void HierEngine::staged_allreduce(std::byte* ws, std::size_t padded,
                                   DataType base, ReduceOp op, HierComms& hc) {
   const std::size_t esz = datatype_size(base);
-  const std::size_t shard = padded / static_cast<std::size_t>(hc.per_node);
   const mini::Datatype dtb{base, 1};
   const int rank = mpi_->rank();
   const sim::VirtualClock& clock = mpi_->context().clock();
-  std::byte* s0 = scratch(stage_, 2 * shard * esz);
-  std::byte* s1 = s0 + shard * esz;
-  {
-    obs::Span span(rank, clock, "allreduce.intra_rs", "hier.stage");
-    mpi_->reduce_scatter_block(ws, s0, shard, dtb, op, *hc.node);
+  const std::size_t D = hc.dims.size();
+
+  // Shard sizes up the chain and their offsets in the stage buffer. Level j
+  // reduce-scatters its input into a 1/dims[j] shard; the top dim runs a
+  // whole-shard allreduce; allgathers rebuild on the way back down.
+  std::vector<std::size_t> shard(D - 1);
+  std::vector<std::size_t> off(D - 1);
+  std::size_t total = 0;
+  std::size_t cur = padded;
+  for (std::size_t j = 0; j + 1 < D; ++j) {
+    cur /= static_cast<std::size_t>(hc.dims[j]);
+    shard[j] = cur;
+    off[j] = total;
+    total += cur;
   }
-  {
-    obs::Span span(rank, clock, "allreduce.inter_ar", "hier.stage");
-    mpi_->allreduce(s0, s1, shard, dtb, op, *hc.cross);
+  const std::size_t out_off = total;
+  std::byte* stg = scratch(stage_, (total + shard[D - 2]) * esz);
+
+  const std::byte* buf = ws;
+  for (std::size_t j = 0; j + 1 < D; ++j) {
+    obs::Span span(rank, clock, "allreduce.rs." + hc.names[j], "hier.stage");
+    mpi_->reduce_scatter_block(buf, stg + off[j] * esz, shard[j], dtb, op,
+                               hc.comms[j]);
+    buf = stg + off[j] * esz;
   }
+  std::byte* out = stg + out_off * esz;
   {
-    obs::Span span(rank, clock, "allreduce.intra_ag", "hier.stage");
-    mpi_->allgather(s1, shard, dtb, ws, shard, dtb, *hc.node);
+    obs::Span span(rank, clock, "allreduce.ar." + hc.names[D - 1],
+                   "hier.stage");
+    mpi_->allreduce(buf, out, shard[D - 2], dtb, op, hc.comms[D - 1]);
+  }
+  const std::byte* src = out;
+  for (std::size_t j = D - 1; j-- > 0;) {
+    std::byte* dst = (j == 0) ? ws : stg + off[j - 1] * esz;
+    obs::Span span(rank, clock, "allreduce.ag." + hc.names[j], "hier.stage");
+    mpi_->allgather(src, shard[j], dtb, dst, shard[j], dtb, hc.comms[j]);
+    src = dst;
   }
 }
 
-void HierEngine::two_level_allreduce(std::byte* ws, std::size_t unit,
+void HierEngine::cico_allreduce(const void* sendbuf, void* recvbuf,
+                                std::size_t elems, DataType base, ReduceOp op,
+                                HierComms& hc) {
+  const std::size_t esz = datatype_size(base);
+  const std::size_t bytes = elems * esz;
+  const mini::Datatype dtb{base, 1};
+  const std::size_t D = hc.dims.size();
+  const int rank = mpi_->rank();
+  const sim::VirtualClock& clock = mpi_->context().clock();
+
+  // XHC-style copy-in-copy-out: whole messages hop leader-to-leader instead
+  // of paying one shard exchange (alpha + rendezvous each) per level. A rank
+  // participates at step j iff it is the digit-0 leader of every deeper dim.
+  auto leader_through = [&hc](std::size_t j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      if (hc.coord[i] != 0) return false;
+    }
+    return true;
+  };
+
+  std::byte* stg = scratch(stage_, 2 * bytes);
+  std::byte* half[2] = {stg, stg + bytes};
+  const void* cur = sendbuf;
+  int pp = 0;
+  for (std::size_t j = 0; j + 1 < D; ++j) {
+    obs::Span span(rank, clock, "allreduce.cico_reduce." + hc.names[j],
+                   "hier.stage");
+    if (leader_through(j)) {
+      mpi_->reduce(cur, half[pp], elems, dtb, op, 0, hc.comms[j]);
+      cur = half[pp];
+      pp ^= 1;
+    }
+  }
+  {
+    obs::Span span(rank, clock, "allreduce.cico_ar." + hc.names[D - 1],
+                   "hier.stage");
+    if (leader_through(D - 1)) {
+      mpi_->allreduce(cur, recvbuf, elems, dtb, op, hc.comms[D - 1]);
+    }
+  }
+  for (std::size_t j = D - 1; j-- > 0;) {
+    obs::Span span(rank, clock, "allreduce.cico_bcast." + hc.names[j],
+                   "hier.stage");
+    if (leader_through(j)) {
+      mpi_->bcast(recvbuf, elems, dtb, 0, hc.comms[j]);
+    }
+  }
+}
+
+void HierEngine::pipelined_allreduce(std::byte* ws, std::size_t unit,
                                      std::size_t chunks, DataType base,
-                                     ReduceOp op, HierComms& hc,
-                                     mini::Comm& comm) {
-  (void)comm;
+                                     ReduceOp op, HierComms& hc) {
   const std::size_t esz = datatype_size(base);
   const mini::Datatype dtb{base, 1};
-  const int L = hc.per_node;
-  const int N = hc.nodes;
-  const int l = hc.node->rank();
-  const int n = hc.cross->rank();
+  const std::size_t D = hc.dims.size();
   const std::size_t inbox_stride = (unit / 2) * esz;
   std::byte* inbox = scratch(inbox_, chunks * inbox_stride);
 
-  // Per-chunk recursive halving/doubling over the composite (local, node)
-  // rank: intra halving first, inter halving/doubling on the 1/L shard, and
-  // intra doubling last. This is the flat Rabenseifner exchange volume with
-  // the schedule reordered so the large halves stay on intra-node links and
-  // only shard-sized segments cross nodes — and because every local rank
-  // drives its own cross-node column, all L NICs carry traffic at once
-  // (multi-root).
+  // Per-chunk recursive halving/doubling over the composite digit vector:
+  // halving dim by dim from the innermost out, then doubling back in. This
+  // is the flat Rabenseifner exchange volume with the schedule reordered so
+  // the large halves ride the fastest links and each slower boundary only
+  // carries its 1/prod(inner dims) shard — and because every inner-digit
+  // combination drives its own top-level column, all NICs carry traffic at
+  // once (multi-root).
   //
-  // Chunks pipeline: the intra-node fabric and the NIC are distinct
-  // hardware, so one exchange stays in flight on EACH link class while the
-  // other progresses — one chunk's inter-node shard exchange overlaps
-  // another chunk's intra-node halving/doubling. At most one exchange per
-  // class is outstanding, so neither link's bandwidth is double-booked.
-  enum class Phase { IntraRs, InterRs, InterAg, IntraAg, Done };
+  // Chunks pipeline: each level's link is distinct hardware, so one
+  // exchange stays in flight on EACH link class while the others progress —
+  // one chunk's level-(k+1) shard exchange overlaps another chunk's level-k
+  // halving/doubling. At most one exchange per dim is outstanding, so no
+  // link's bandwidth is double-booked.
+  //
+  // A chunk's position is one counter: step s < D is halving (reduce-
+  // scatter) over dim s; step s >= D is doubling (allgather) over dim
+  // 2D-1-s; step 2D is done.
   struct Chunk {
     std::size_t base = 0;  ///< chunk origin in ws, elems
     std::size_t off = 0;   ///< current segment offset within the chunk, elems
     std::size_t len = 0;   ///< current segment length, elems
-    Phase phase = Phase::IntraRs;
+    std::size_t step = 0;
     int mask = 0;
     int tag = 0;
-    mini::Request sreq, rreq;      ///< the in-flight exchange (either class)
+    mini::Request sreq, rreq;  ///< the in-flight exchange (any dim)
     std::size_t keep_off = 0, keep_len = 0;
     std::size_t grow_off = 0, grow_len = 0;
     bool pending = false;
+  };
+  const std::size_t kDone = 2 * D;
+  auto cur_dim = [D](const Chunk& c) {
+    return c.step < D ? c.step : 2 * D - 1 - c.step;
   };
 
   std::vector<Chunk> cs(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
     cs[c].base = c * unit;
     cs[c].len = unit;
-    cs[c].mask = L >> 1;
+    cs[c].mask = hc.dims[0] >> 1;
     cs[c].tag = static_cast<int>(c) * 1000;
   }
 
@@ -273,176 +506,137 @@ void HierEngine::two_level_allreduce(std::byte* ws, std::size_t unit,
   };
 
   // Estimated one-way exchange cost, used only to order completions. It is
-  // computed from the shared profile constants, so every rank derives the
-  // same schedule — symmetry is what makes the waits deadlock-free.
+  // computed from the chain's shared link classes, so every rank derives
+  // the same schedule — symmetry is what makes the waits deadlock-free.
   const sim::MpiProfile& prof = mpi_->profile();
-  auto est_cost = [&](std::size_t xfer_elems, bool intra) {
+  auto est_cost = [&](std::size_t xfer_elems, std::size_t j) {
     const std::size_t b = xfer_elems * esz;
-    const sim::LinkParams& link = intra ? prof.dev_intra : prof.dev_inter;
-    double cost = link.cost_us(b) + 2.0 * prof.per_op_us;
+    double cost = hc.links[j].cost_us(b) + 2.0 * prof.per_op_us;
     if (b > prof.eager_threshold) cost += prof.rndv_rtt_us;
     return cost;
   };
 
-  auto post_intra = [&](Chunk& c) -> double {
+  auto post = [&](Chunk& c) -> double {
+    const std::size_t j = cur_dim(c);
+    mini::Comm& sub = hc.comms[j];
+    const int digit = hc.coord[j];
     std::byte* cb = ws + c.base * esz;
-    const int partner = l ^ c.mask;
-    if (c.phase == Phase::IntraRs) {
+    const int partner = digit ^ c.mask;
+    if (c.step < D) {  // halving: exchange opposite halves, reduce the kept
       const std::size_t half = c.len / 2;
-      c.keep_off = ((l & c.mask) == 0) ? c.off : c.off + half;
+      c.keep_off = ((digit & c.mask) == 0) ? c.off : c.off + half;
       c.keep_len = half;
-      const std::size_t send = ((l & c.mask) == 0) ? c.off + half : c.off;
-      c.rreq = mpi_->irecv(chunk_inbox(c), half, dtb, partner, c.tag, *hc.node);
-      c.sreq =
-          mpi_->isend(cb + send * esz, half, dtb, partner, c.tag, *hc.node);
+      const std::size_t send = ((digit & c.mask) == 0) ? c.off + half : c.off;
+      c.rreq = mpi_->irecv(chunk_inbox(c), half, dtb, partner, c.tag, sub);
+      c.sreq = mpi_->isend(cb + send * esz, half, dtb, partner, c.tag, sub);
       ++c.tag;
       c.pending = true;
-      return est_cost(half, true);
+      return est_cost(half, j);
     }
-    // IntraAg: receive the partner's segment straight into place.
-    const std::size_t poff = ((l & c.mask) == 0) ? c.off + c.len : c.off - c.len;
+    // Doubling: receive the partner's segment straight into place.
+    const std::size_t poff =
+        ((digit & c.mask) == 0) ? c.off + c.len : c.off - c.len;
     c.grow_off = std::min(c.off, poff);
     c.grow_len = c.len * 2;
-    c.rreq = mpi_->irecv(cb + poff * esz, c.len, dtb, partner, c.tag, *hc.node);
-    c.sreq = mpi_->isend(cb + c.off * esz, c.len, dtb, partner, c.tag, *hc.node);
+    c.rreq = mpi_->irecv(cb + poff * esz, c.len, dtb, partner, c.tag, sub);
+    c.sreq = mpi_->isend(cb + c.off * esz, c.len, dtb, partner, c.tag, sub);
     ++c.tag;
     c.pending = true;
-    return est_cost(c.len, true);
+    return est_cost(c.len, j);
   };
 
-  auto complete_intra = [&](Chunk& c) {
+  auto complete = [&](Chunk& c) {
+    const std::size_t j = cur_dim(c);
     std::byte* cb = ws + c.base * esz;
     mpi_->wait(c.sreq);
     mpi_->wait(c.rreq);
     c.pending = false;
-    if (c.phase == Phase::IntraRs) {
+    if (c.step < D) {
       throw_if_error(apply_reduce(base, op, chunk_inbox(c),
                                   cb + c.keep_off * esz, c.keep_len),
-                     "HierEngine intra reduce-scatter");
+                     "HierEngine pipelined reduce-scatter");
       c.off = c.keep_off;
       c.len = c.keep_len;
       c.mask >>= 1;
       if (c.mask == 0) {
-        c.phase = Phase::InterRs;
-        c.mask = N >> 1;
+        ++c.step;
+        c.mask = (c.step < D) ? hc.dims[c.step] >> 1 : 1;
       }
     } else {
       c.off = c.grow_off;
       c.len = c.grow_len;
       c.mask <<= 1;
-      if (c.mask == L) c.phase = Phase::Done;
-    }
-  };
-
-  auto post_inter = [&](Chunk& c) -> double {
-    std::byte* cb = ws + c.base * esz;
-    const int partner = n ^ c.mask;
-    if (c.phase == Phase::InterRs) {
-      const std::size_t half = c.len / 2;
-      c.keep_off = ((n & c.mask) == 0) ? c.off : c.off + half;
-      c.keep_len = half;
-      const std::size_t send = ((n & c.mask) == 0) ? c.off + half : c.off;
-      c.rreq = mpi_->irecv(chunk_inbox(c), half, dtb, partner, c.tag, *hc.cross);
-      c.sreq = mpi_->isend(cb + send * esz, half, dtb, partner, c.tag, *hc.cross);
-      ++c.tag;
-      c.pending = true;
-      return est_cost(half, false);
-    }
-    // InterAg
-    const std::size_t poff = ((n & c.mask) == 0) ? c.off + c.len : c.off - c.len;
-    c.grow_off = std::min(c.off, poff);
-    c.grow_len = c.len * 2;
-    c.rreq = mpi_->irecv(cb + poff * esz, c.len, dtb, partner, c.tag, *hc.cross);
-    c.sreq = mpi_->isend(cb + c.off * esz, c.len, dtb, partner, c.tag, *hc.cross);
-    ++c.tag;
-    c.pending = true;
-    return est_cost(c.len, false);
-  };
-
-  auto complete_inter = [&](Chunk& c) {
-    std::byte* cb = ws + c.base * esz;
-    mpi_->wait(c.sreq);
-    mpi_->wait(c.rreq);
-    c.pending = false;
-    if (c.phase == Phase::InterRs) {
-      throw_if_error(apply_reduce(base, op, chunk_inbox(c),
-                                  cb + c.keep_off * esz, c.keep_len),
-                     "HierEngine inter reduce-scatter");
-      c.off = c.keep_off;
-      c.len = c.keep_len;
-      c.mask >>= 1;
-      if (c.mask == 0) {
-        c.phase = Phase::InterAg;
-        c.mask = 1;
-      }
-    } else {
-      c.off = c.grow_off;
-      c.len = c.grow_len;
-      c.mask <<= 1;
-      if (c.mask == N) {
-        c.phase = Phase::IntraAg;
+      if (c.mask == hc.dims[j]) {
+        ++c.step;
         c.mask = 1;
       }
     }
   };
 
-  // Scheduler. Chunk phases evolve identically on every rank (the loop only
-  // branches on shared deterministic state — phases and profile-derived cost
+  // Scheduler. Chunk steps evolve identically on every rank (the loop only
+  // branches on shared deterministic state — steps and chain-derived cost
   // estimates), so partners always meet at the same exchange in the same
   // order: no handshake is needed and no deadlock is possible.
-  auto next_intra = [&]() -> Chunk* {
-    // Drain tails (IntraAg) before opening new heads, keeping in-flight
-    // scratch bounded and the pipeline short.
-    for (auto& c : cs) {
-      if (!c.pending && c.phase == Phase::IntraAg) return &c;
-    }
-    for (auto& c : cs) {
-      if (!c.pending && c.phase == Phase::IntraRs) return &c;
-    }
-    return nullptr;
-  };
-  auto next_inter = [&]() -> Chunk* {
-    for (auto& c : cs) {
-      if (!c.pending && (c.phase == Phase::InterRs || c.phase == Phase::InterAg)) {
-        return &c;
+  auto next_for_dim = [&](std::size_t j) -> Chunk* {
+    if (j == 0) {
+      // Drain tails (the final doubling) before opening new heads, keeping
+      // in-flight scratch bounded and the pipeline short.
+      for (auto& c : cs) {
+        if (!c.pending && c.step == kDone - 1) return &c;
       }
+      for (auto& c : cs) {
+        if (!c.pending && c.step == 0) return &c;
+      }
+      return nullptr;
+    }
+    for (auto& c : cs) {
+      if (!c.pending && c.step < kDone && cur_dim(c) == j) return &c;
     }
     return nullptr;
   };
 
-  // Post as soon as a step is enabled; complete whichever in-flight
-  // exchange is estimated to finish first, so neither link class goes idle
-  // while the other still has work queued.
-  Chunk* xi = nullptr;  // chunk with an intra exchange in flight
-  Chunk* xx = nullptr;  // chunk with an inter exchange in flight
+  // Post as soon as a step is enabled (outermost dims first); complete
+  // whichever in-flight exchange is estimated to finish first, so no link
+  // class goes idle while another still has work queued.
+  std::vector<Chunk*> inflight(D, nullptr);
+  std::vector<double> done_at(D, 0.0);
   double now = 0.0;
-  double intra_done = 0.0;
-  double inter_done = 0.0;
   for (;;) {
-    if (xx == nullptr) {
-      xx = next_inter();
-      if (xx != nullptr) inter_done = now + post_inter(*xx);
+    for (std::size_t j = D; j-- > 0;) {
+      if (inflight[j] == nullptr) {
+        inflight[j] = next_for_dim(j);
+        if (inflight[j] != nullptr) done_at[j] = now + post(*inflight[j]);
+      }
     }
-    if (xi == nullptr) {
-      xi = next_intra();
-      if (xi != nullptr) intra_done = now + post_intra(*xi);
+    std::size_t pick = D;  // argmin over in-flight dims; ties -> innermost
+    for (std::size_t j = 0; j < D; ++j) {
+      if (inflight[j] != nullptr && (pick == D || done_at[j] < done_at[pick])) {
+        pick = j;
+      }
     }
-    if (xi == nullptr && xx == nullptr) break;  // all chunks Done
-    const bool take_intra =
-        xi != nullptr && (xx == nullptr || intra_done <= inter_done);
-    if (take_intra) {
-      now = std::max(now, intra_done);
-      complete_intra(*xi);
-      xi = nullptr;
-    } else {
-      now = std::max(now, inter_done);
-      complete_inter(*xx);
-      xx = nullptr;
-    }
+    if (pick == D) break;  // all chunks done
+    now = std::max(now, done_at[pick]);
+    complete(*inflight[pick]);
+    inflight[pick] = nullptr;
   }
 }
 
 // ---- Bcast ------------------------------------------------------------------
+
+namespace {
+
+/// `root`'s digit per dim of the chain.
+std::vector<int> digits_of(int rank, const std::vector<int>& dims) {
+  std::vector<int> r(dims.size());
+  int q = rank;
+  for (std::size_t j = 0; j < dims.size(); ++j) {
+    r[j] = q % dims[j];
+    q /= dims[j];
+  }
+  return r;
+}
+
+}  // namespace
 
 bool HierEngine::bcast(void* buf, std::size_t count, mini::Datatype dt, int root,
                        mini::Comm& comm) {
@@ -458,51 +652,84 @@ bool HierEngine::bcast(HierComms& hc, void* buf, std::size_t count,
   const std::size_t esz = datatype_size(dt.base);
   const std::size_t bytes = elems * esz;
   const mini::Datatype dtb{dt.base, 1};
-  const auto L = static_cast<std::size_t>(hc.per_node);
-  const int l_root = root % hc.per_node;
-  const int n_root = root / hc.per_node;
-
+  const std::size_t D = hc.dims.size();
   const int rank = mpi_->rank();
   const sim::VirtualClock& clock = mpi_->context().clock();
 
+  const std::vector<int> r = digits_of(root, hc.dims);
+  // Participants at step j are the ranks whose deeper digits all match the
+  // root's: exactly the subtree the data has reached by then.
+  auto on_root_path = [&](std::size_t j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      if (hc.coord[i] != r[i]) return false;
+    }
+    return true;
+  };
+
   if (bytes < kBcastScatterMinBytes) {
-    // Leader bcast: the root's cross-node column carries the message between
-    // nodes, then every node fans out locally.
-    {
-      obs::Span span(rank, clock, "bcast.leader_cross", "hier.stage");
-      if (hc.node->rank() == l_root) {
-        mpi_->bcast(buf, count, dt, n_root, *hc.cross);
+    // Leader chain: the root's column carries the message across each
+    // boundary from the outermost in, then every group fans out locally.
+    for (std::size_t j = D; j-- > 0;) {
+      obs::Span span(rank, clock, "bcast.leader." + hc.names[j], "hier.stage");
+      if (on_root_path(j)) {
+        mpi_->bcast(buf, count, dt, r[j], hc.comms[j]);
       }
     }
-    obs::Span span(rank, clock, "bcast.intra", "hier.stage");
-    mpi_->bcast(buf, count, dt, l_root, *hc.node);
     return true;
   }
 
-  // Multi-root: the root scatters L segments across its node, each local
-  // rank broadcasts its own segment down its cross-node column (keeping all
-  // L NICs busy at once), and nodes reassemble with an intra allgather.
-  const std::size_t seg_elems = ceil_div(elems, L);
-  const std::size_t padded = seg_elems * L;
+  // Multi-root: the root scatters segments down its own node's chain, each
+  // rank broadcasts its own segment over the network to its peer column
+  // (keeping all NICs busy at once), and nodes reassemble with per-level
+  // allgathers.
+  std::vector<std::size_t> stride(D);
+  stride[0] = 1;
+  for (std::size_t j = 1; j < D; ++j) {
+    stride[j] = stride[j - 1] * static_cast<std::size_t>(hc.dims[j - 1]);
+  }
+  const std::size_t within = stride[D - 1];  // ranks per node block
+  const std::size_t seg = ceil_div(elems, within);
+  const std::size_t padded = seg * within;
   std::byte* ws = scratch(ws_, padded * esz);
-  std::byte* seg = scratch(stage_, seg_elems * esz);
+  const std::size_t bmax = stride[D - 2] * seg;  // largest scattered block
+  std::byte* stg = scratch(stage_, 2 * bmax * esz);
+  std::byte* pp[2] = {stg, stg + bmax * esz};
+
   if (comm.rank() == root) {
     std::memcpy(ws, buf, bytes);
     std::memset(ws + bytes, 0, (padded - elems) * esz);
   }
-  {
-    obs::Span span(rank, clock, "bcast.scatter", "hier.stage");
-    if (hc.cross->rank() == n_root) {
-      mpi_->scatter(ws, seg_elems, dtb, seg, seg_elems, dtb, l_root, *hc.node);
+
+  // Scatter chain on the root's node, outermost within-node dim first. The
+  // receive slot alternates by step so late joiners land in the same buffer
+  // the chain's holders send from.
+  const std::byte* src = ws;
+  for (std::size_t j = D - 1; j-- > 0;) {
+    std::byte* dst = pp[(D - 2 - j) % 2];
+    obs::Span span(rank, clock, "bcast.scatter." + hc.names[j], "hier.stage");
+    if (hc.coord[D - 1] == r[D - 1] && on_root_path(j)) {
+      mpi_->scatter(src, stride[j] * seg, dtb, dst, stride[j] * seg, dtb, r[j],
+                    hc.comms[j]);
+      src = dst;
     }
   }
+
+  // Every rank's own segment crosses the network once, down its column.
+  std::byte* segbuf = pp[(D - 2) % 2];
   {
-    obs::Span span(rank, clock, "bcast.cross", "hier.stage");
-    mpi_->bcast(seg, seg_elems, dtb, n_root, *hc.cross);
+    obs::Span span(rank, clock, "bcast." + hc.names[D - 1], "hier.stage");
+    mpi_->bcast(segbuf, seg, dtb, r[D - 1], hc.comms[D - 1]);
   }
-  {
-    obs::Span span(rank, clock, "bcast.intra_ag", "hier.stage");
-    mpi_->allgather(seg, seg_elems, dtb, ws, seg_elems, dtb, *hc.node);
+
+  // Reassemble: allgather from the innermost dim out (concatenation by
+  // digit j rebuilds contiguous within-node order at each step).
+  const std::byte* asrc = segbuf;
+  for (std::size_t j = 0; j + 1 < D; ++j) {
+    std::byte* dst = (j == D - 2) ? ws : (asrc == pp[0] ? pp[1] : pp[0]);
+    obs::Span span(rank, clock, "bcast.ag." + hc.names[j], "hier.stage");
+    mpi_->allgather(asrc, stride[j] * seg, dtb, dst, stride[j] * seg, dtb,
+                    hc.comms[j]);
+    asrc = dst;
   }
   std::memcpy(buf, ws, bytes);
   return true;
@@ -534,24 +761,30 @@ bool HierEngine::reduce(HierComms& hc, const void* sendbuf, void* recvbuf,
   if (count == 0) return true;
 
   const std::size_t bytes = count * dt.size();
-  const int l_root = root % hc.per_node;
-  const int n_root = root / hc.per_node;
+  const std::size_t D = hc.dims.size();
   const int me = comm.rank();
-
-  // Stage 1: every node reduces to its member at the root's local index;
-  // stage 2: those leaders reduce across nodes to the root. The true root
-  // accumulates straight into recvbuf, other leaders stage into scratch.
-  std::byte* tmp = (me == root) ? static_cast<std::byte*>(recvbuf)
-                                : scratch(stage_, bytes);
   const sim::VirtualClock& clock = mpi_->context().clock();
-  {
-    obs::Span span(mpi_->rank(), clock, "reduce.intra", "hier.stage");
-    mpi_->reduce(sendbuf, tmp, count, dt, stage_op(op), l_root, *hc.node);
-  }
-  {
-    obs::Span span(mpi_->rank(), clock, "reduce.cross", "hier.stage");
-    if (hc.node->rank() == l_root) {
-      mpi_->reduce(tmp, recvbuf, count, dt, stage_op(op), n_root, *hc.cross);
+
+  const std::vector<int> r = digits_of(root, hc.dims);
+  auto on_root_path = [&](std::size_t j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      if (hc.coord[i] != r[i]) return false;
+    }
+    return true;
+  };
+
+  // Reduce toward the root's digit at each level from the innermost out.
+  // The true root accumulates straight into recvbuf at every step; other
+  // leaders stage into scratch (and feed it forward — mini::reduce accepts
+  // the aliased sendbuf, the same contract the 2-level engine relied on).
+  const void* cur = sendbuf;
+  std::byte* dst =
+      (me == root) ? static_cast<std::byte*>(recvbuf) : scratch(stage_, bytes);
+  for (std::size_t j = 0; j < D; ++j) {
+    obs::Span span(mpi_->rank(), clock, "reduce." + hc.names[j], "hier.stage");
+    if (on_root_path(j)) {
+      mpi_->reduce(cur, dst, count, dt, stage_op(op), r[j], hc.comms[j]);
+      cur = dst;
     }
   }
   if (me == root && op == ReduceOp::Avg) {
@@ -563,6 +796,24 @@ bool HierEngine::reduce(HierComms& hc, const void* sendbuf, void* recvbuf,
 }
 
 // ---- Allgather --------------------------------------------------------------
+
+namespace {
+
+/// Block index of comm rank `g` in the chain-major layout the staged
+/// allgather/reduce-scatter produce: digit 0 varies slowest.
+std::size_t chain_index(int g, const std::vector<int>& dims, std::size_t p) {
+  std::size_t idx = 0;
+  std::size_t span = p;
+  int q = g;
+  for (int d : dims) {
+    span /= static_cast<std::size_t>(d);
+    idx += static_cast<std::size_t>(q % d) * span;
+    q /= d;
+  }
+  return idx;
+}
+
+}  // namespace
 
 bool HierEngine::allgather(const void* sendbuf, std::size_t sendcount,
                            mini::Datatype st, void* recvbuf,
@@ -584,30 +835,37 @@ bool HierEngine::allgather(HierComms& hc, const void* sendbuf,
   if (!hc.usable) return false;
   if (blk == 0) return true;
 
-  const auto L = static_cast<std::size_t>(hc.per_node);
-  const auto N = static_cast<std::size_t>(hc.nodes);
+  const std::size_t D = hc.dims.size();
+  std::size_t p = 1;
+  for (int d : hc.dims) p *= static_cast<std::size_t>(d);
   const std::size_t selems = sendcount * st.count;
   const mini::Datatype stb{st.base, 1};
-
-  std::byte* col = scratch(stage_, N * blk);
-  std::byte* full = scratch(ws_, L * N * blk);
   const sim::VirtualClock& clock = mpi_->context().clock();
-  {
-    // Stage 1 (inter): gather my local-index column across nodes — each rank
-    // moves only its own block over the network.
-    obs::Span span(mpi_->rank(), clock, "allgather.cross", "hier.stage");
-    mpi_->allgather(sendbuf, selems, stb, col, selems, stb, *hc.cross);
+
+  // Gather from the outermost dim in: each rank's block crosses the slowest
+  // link exactly once, and every inner step exchanges whole columns on
+  // progressively faster links.
+  const std::size_t imax = p / static_cast<std::size_t>(hc.dims[0]);
+  std::byte* stg = scratch(stage_, 2 * imax * blk);
+  std::byte* pp[2] = {stg, stg + imax * blk};
+  std::byte* full = scratch(ws_, p * blk);
+  const std::byte* src = static_cast<const std::byte*>(sendbuf);
+  std::size_t cnt = 1;
+  int a = 0;
+  for (std::size_t j = D; j-- > 0;) {
+    std::byte* dst = (j == 0) ? full : pp[a];
+    obs::Span span(mpi_->rank(), clock, "allgather." + hc.names[j],
+                   "hier.stage");
+    mpi_->allgather(src, selems * cnt, stb, dst, selems * cnt, stb,
+                    hc.comms[j]);
+    src = dst;
+    a ^= 1;
+    cnt *= static_cast<std::size_t>(hc.dims[j]);
   }
-  {
-    // Stage 2 (intra): exchange whole columns within the node.
-    obs::Span span(mpi_->rank(), clock, "allgather.intra", "hier.stage");
-    mpi_->allgather(col, selems * N, stb, full, selems * N, stb, *hc.node);
-  }
-  // Stage 3: local reorder from (local, node)-major to comm-rank-major.
-  for (std::size_t i = 0; i < L; ++i) {
-    for (std::size_t j = 0; j < N; ++j) {
-      std::memcpy(mat(recvbuf, (j * L + i) * blk), full + (i * N + j) * blk, blk);
-    }
+  // Local reorder from chain-major to comm-rank-major.
+  for (std::size_t g = 0; g < p; ++g) {
+    std::memcpy(mat(recvbuf, g * blk),
+                full + chain_index(static_cast<int>(g), hc.dims, p) * blk, blk);
   }
   return true;
 }
@@ -636,33 +894,36 @@ bool HierEngine::reduce_scatter_block(HierComms& hc, const void* sendbuf,
 
   const std::size_t relems = recvcount * dt.count;
   const std::size_t blk = relems * datatype_size(dt.base);
-  const auto L = static_cast<std::size_t>(hc.per_node);
-  const auto N = static_cast<std::size_t>(hc.nodes);
+  const std::size_t D = hc.dims.size();
+  std::size_t p = 1;
+  for (int d : hc.dims) p *= static_cast<std::size_t>(d);
   const mini::Datatype dtb{dt.base, 1};
-
-  // Permute the p input blocks so destinations sharing a local index are
-  // contiguous: tmp[(l, n)] = block for comm rank n*L+l.
-  std::byte* tmp = scratch(ws_, L * N * blk);
-  for (std::size_t j = 0; j < N; ++j) {
-    for (std::size_t i = 0; i < L; ++i) {
-      std::memcpy(tmp + (i * N + j) * blk, cat(sendbuf, (j * L + i) * blk), blk);
-    }
-  }
-
-  // Stage 1 (intra): each node reduces and scatters whole columns; stage 2
-  // (inter): each column finishes the reduction across nodes, delivering my
-  // block — only 1/L of the flat engines' inter-node volume.
-  std::byte* part = scratch(stage_, N * blk);
   const sim::VirtualClock& clock = mpi_->context().clock();
-  {
-    obs::Span span(mpi_->rank(), clock, "rs.intra", "hier.stage");
-    mpi_->reduce_scatter_block(tmp, part, relems * N, dtb, stage_op(op),
-                               *hc.node);
+
+  // Permute the p input blocks into chain-major order so each level's
+  // reduce-scatter keeps a contiguous slice.
+  std::byte* tmp = scratch(ws_, p * blk);
+  for (std::size_t g = 0; g < p; ++g) {
+    std::memcpy(tmp + chain_index(static_cast<int>(g), hc.dims, p) * blk,
+                cat(sendbuf, g * blk), blk);
   }
-  {
-    obs::Span span(mpi_->rank(), clock, "rs.cross", "hier.stage");
-    mpi_->reduce_scatter_block(part, recvbuf, relems, dtb, stage_op(op),
-                               *hc.cross);
+
+  // Reduce-scatter from the innermost dim out: whole columns ride the fast
+  // links, and only my 1/prod(inner dims) slice crosses each boundary.
+  const std::size_t imax = p / static_cast<std::size_t>(hc.dims[0]);
+  std::byte* stg = scratch(stage_, 2 * imax * blk);
+  std::byte* pp[2] = {stg, stg + imax * blk};
+  const std::byte* src = tmp;
+  std::size_t cnt = p;
+  int a = 0;
+  for (std::size_t j = 0; j < D; ++j) {
+    cnt /= static_cast<std::size_t>(hc.dims[j]);
+    std::byte* dst = (j == D - 1) ? static_cast<std::byte*>(recvbuf) : pp[a];
+    obs::Span span(mpi_->rank(), clock, "rs." + hc.names[j], "hier.stage");
+    mpi_->reduce_scatter_block(src, dst, relems * cnt, dtb, stage_op(op),
+                               hc.comms[j]);
+    src = dst;
+    a ^= 1;
   }
   if (op == ReduceOp::Avg) {
     throw_if_error(scale_inplace(dt.base, recvbuf, relems,

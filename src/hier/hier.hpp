@@ -3,72 +3,91 @@
 // next to the flat MiniMPI algorithms and the flat xCCL backends).
 //
 // The flat engines treat the communicator as one homogeneous ring/tree, but
-// sim::Topology knows the intra/inter-node split, and on every profile the
-// two link classes differ by up to 8.5x in bandwidth. The HierEngine
-// composes each collective from per-node and cross-node stages so that the
-// bulk of the traffic stays on the fast intra-node links and only a
-// 1/devices-per-node shard crosses the network — the HiCCL / XHC /
-// NCCL-tree shape. Concretely, for a "node-blocked" communicator (members
-// grouped contiguously by node, L members on each of N nodes):
+// sim::Topology knows the locality hierarchy — not just the intra/inter-node
+// split but sub-node levels (NUMA domain, socket, cache group, or virtual
+// levels from MPIXCCL_HIER_LEVELS) whose link classes differ by up to 8.5x
+// in bandwidth. The HierEngine decomposes the communicator into an n-level
+// chain of per-level subcommunicators (the XHC / HiCCL shape) and composes
+// each collective from per-level stages so the bulk of the traffic stays on
+// the fastest links and only a 1/group-size shard crosses each slower
+// boundary:
 //
-//   Allreduce      intra-node reduce-scatter -> per-leader inter-node
-//                  allreduce (all L local ranks act as roots of their own
-//                  shard concurrently, keeping every NIC busy) -> intra-node
-//                  allgather. For power-of-two L and N this runs as a
-//                  two-level recursive-halving/doubling schedule, and large
-//                  messages are split into chunks whose inter-node exchanges
-//                  are posted early and waited late so they overlap other
-//                  chunks' intra-node work in virtual time (multi-root
-//                  chunked pipelining).
-//   Bcast          root scatters L segments across its node, each local rank
-//                  broadcasts its segment over its cross-node leader comm,
-//                  nodes reassemble with an intra allgather (small messages
-//                  skip the scatter: leader bcast + intra bcast).
-//   Reduce         intra-node reduce to the root's local index, cross-node
-//                  reduce among those leaders to the root.
-//   Allgather      cross-node allgather of the local block, intra-node
-//                  allgather of the node columns, local reorder.
-//   ReduceScatter  local permutation grouping blocks by destination local
-//                  index, intra-node reduce-scatter, cross-node
-//                  reduce-scatter.
+//   Allreduce      reduce-scatter up the chain (leaf group first, network
+//                  last), allgather back down. For power-of-two level sizes
+//                  this runs as an n-level recursive-halving/doubling
+//                  schedule, and large messages are split into chunks whose
+//                  exchanges pipeline across level links: while one chunk's
+//                  shard crosses level k+1, another chunk's halving/doubling
+//                  proceeds on level k (all link classes busy at once).
+//                  Small messages on deep chains switch to an XHC-style
+//                  copy-in-copy-out ladder (reduce to each level's leader,
+//                  allreduce among top leaders, broadcast back) instead of
+//                  paying per-level shard latencies; the switchover is
+//                  MPIXCCL_HIER_SINGLE_COPY_MIN.
+//   Bcast          root scatters segments down its own node's chain, each
+//                  rank broadcasts its segment over the network to its peer
+//                  column, nodes reassemble with per-level allgathers (small
+//                  messages skip the scatter: per-level leader bcasts).
+//   Reduce         per-level reduce toward the root's digit at each level,
+//                  network reduce among the final leaders.
+//   Allgather      allgather from the outermost level inward, local reorder.
+//   ReduceScatter  local permutation grouping blocks by level digits, then
+//                  per-level reduce-scatter from the innermost level out.
 //
-// Subcommunicators are built lazily via mini::Mpi::split from sim::Topology
-// and cached per parent communicator. Every collective returns false —
-// without communicating — when the communicator is not node-blocked or
-// spans fewer than two nodes; the dispatcher then falls back to flat MPI.
+// Subcommunicators are built lazily via mini::Mpi::split from the comm
+// layout and cached per (parent communicator, level-config epoch); changing
+// the level spec bumps the epoch so stale chains are never reused (old
+// entries stay alive because persistent plans hold pointers into them).
+// With no sub-node levels the chain degenerates to exactly the original
+// two-level node/leader engine, schedule for schedule. Every collective
+// returns false — without communicating — when the communicator is not
+// node-blocked or spans fewer than two nodes; the dispatcher then falls
+// back to flat MPI.
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
-#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "device/device.hpp"
 #include "mpi/mpi.hpp"
+#include "sim/topology.hpp"
 
 namespace mpixccl::hier {
 
 class HierEngine {
  public:
-  explicit HierEngine(mini::Mpi& mpi) : mpi_(&mpi) {}
+  /// Reads MPIXCCL_HIER_LEVELS (overriding the world topology's own level
+  /// chain) and MPIXCCL_HIER_SINGLE_COPY_MIN.
+  explicit HierEngine(mini::Mpi& mpi);
 
-  /// Node/leader subcommunicators for one parent communicator: `node` spans
-  /// the L members on my node (rank = local index), `cross` spans the N
-  /// ranks sharing my local index across nodes (rank = node index). Exposed
-  /// as an opaque reusable handle so persistent plans can resolve the splits
-  /// once at init and replay collectives without the per-call cache lookup;
-  /// treat the fields as read-only outside this engine.
+  /// Per-level subcommunicator chain for one parent communicator, ordered
+  /// innermost-first: comms[0] spans my leaf group, each following dim
+  /// crosses one more level boundary, comms.back() spans the node leaders
+  /// sharing my within-node index (the network dim). Exposed as an opaque
+  /// reusable handle so persistent plans can resolve the splits once at
+  /// init and replay collectives without the per-call cache lookup; treat
+  /// the fields as read-only outside this engine.
   struct HierComms {
     bool usable = false;
-    int nodes = 0;     ///< N
-    int per_node = 0;  ///< L
-    // Engaged iff usable (mini::Comm has no default state).
-    std::optional<mini::Comm> node;
-    std::optional<mini::Comm> cross;
+    std::uint64_t epoch = 0;  ///< level-config epoch this chain was built at
+    int nodes = 0;            ///< N (size of the network dim)
+    int per_node = 0;         ///< L (ranks per node block)
+    std::vector<int> dims;            ///< per-dim sizes, innermost first
+    std::vector<std::string> names;   ///< scope name per dim ("numa".."net")
+    std::vector<int> coord;           ///< my digit per dim
+    std::vector<mini::Comm> comms;    ///< per-dim subcommunicator (rank = digit)
+    std::vector<sim::LinkParams> links;  ///< est. link class per dim
+    std::string level_path;           ///< e.g. "numa(2).socket(2).node(2).net(2)"
   };
 
   /// Resolve (building the collective splits and caching them on first use)
-  /// the subcommunicator handle for `comm`. Check `.usable` before passing
-  /// the handle to the collective overloads below. The build is collective:
-  /// every member of `comm` must call it in the same order.
+  /// the subcommunicator chain for `comm` at the current level config.
+  /// Check `.usable` before passing the handle to the collective overloads
+  /// below. The build is collective: every member of `comm` must call it in
+  /// the same order.
   HierComms& prepare(mini::Comm& comm);
 
   // Each collective returns true when it served the call hierarchically and
@@ -115,36 +134,70 @@ class HierEngine {
   /// node (builds and caches the subcommunicators on first use).
   [[nodiscard]] bool applicable(mini::Comm& comm);
 
-  /// Cached subcommunicator sets (tests).
-  [[nodiscard]] std::size_t comm_cache_size() const { return cache_.size(); }
+  // ---- Level configuration ----------------------------------------------
+  /// Replace the sub-node level chain (parsed against the world topology's
+  /// devices-per-node). Bumps the config epoch when the chain actually
+  /// changes, so cached subcommunicator chains and dependent plans built
+  /// against the old hierarchy are never reused. Returns true on change.
+  bool set_levels(const std::string& spec);
+  /// Current sub-node level chain (outer-to-inner; empty = flat 2-level).
+  [[nodiscard]] const std::vector<sim::TopoLevel>& levels() const {
+    return levels_;
+  }
+  /// Monotonic counter, bumped by every effective set_levels change.
+  [[nodiscard]] std::uint64_t config_epoch() const { return epoch_; }
+  /// Message sizes below this switch deep (>2-level) chains from the
+  /// single-copy shard schedules to the copy-in-copy-out leader ladder.
+  [[nodiscard]] std::size_t single_copy_min() const { return single_copy_min_; }
+  void set_single_copy_min(std::size_t bytes) { single_copy_min_ = bytes; }
 
-  /// Message sizes at and above this threshold split the two-level allreduce
+  /// Cached subcommunicator chains built at the *current* epoch (tests,
+  /// `mpixccl topo`). Entries from earlier epochs stay allocated (persistent
+  /// plans may still hold pointers) but are unreachable and not counted.
+  [[nodiscard]] std::size_t comm_cache_size() const;
+  /// All cached chains (current epoch only), keyed by parent p2p channel —
+  /// introspection for `mpixccl topo`.
+  [[nodiscard]] std::vector<std::pair<fabric::ChannelId, const HierComms*>>
+  cached_comms() const;
+
+  /// Message sizes at and above this threshold split the n-level allreduce
   /// into pipelined chunks. Chunks below ~1 MB lose more to per-message
-  /// latency (alpha + rendezvous) than they gain from intra/inter overlap.
+  /// latency (alpha + rendezvous) than they gain from cross-level overlap.
   static constexpr std::size_t kPipelineMinBytes = 1 << 20;
   static constexpr std::size_t kPipelineChunkBytes = 1 << 19;
   static constexpr std::size_t kMaxPipelineChunks = 4;
   /// Bcast switches from leader-bcast to scatter + multi-root bcast +
   /// allgather at this size.
   static constexpr std::size_t kBcastScatterMinBytes = 1 << 16;
+  /// Default single-copy vs copy-in-copy-out switchover (deep chains only).
+  static constexpr std::size_t kSingleCopyMinBytes = 8192;
 
  private:
   /// Grow-on-demand device scratch (cached so repeated collectives do not
   /// pay the allocation).
   std::byte* scratch(device::DeviceBuffer& buf, std::size_t bytes);
 
-  /// Two-level recursive-halving/doubling allreduce over the padded working
-  /// buffer (requires power-of-two L and N), chunked and pipelined.
-  void two_level_allreduce(std::byte* ws, std::size_t unit, std::size_t chunks,
-                           DataType base, ReduceOp op, HierComms& hc,
-                           mini::Comm& comm);
+  /// n-level recursive-halving/doubling allreduce over the padded working
+  /// buffer (requires power-of-two dims), chunked and pipelined across
+  /// level links.
+  void pipelined_allreduce(std::byte* ws, std::size_t unit, std::size_t chunks,
+                           DataType base, ReduceOp op, HierComms& hc);
 
-  /// Staged fallback composition for non-power-of-two node or leader counts.
+  /// Staged shard recursion for non-power-of-two dims: reduce-scatter up
+  /// the chain, allreduce at the top, allgather back down.
   void staged_allreduce(std::byte* ws, std::size_t padded, DataType base,
                         ReduceOp op, HierComms& hc);
 
+  /// Copy-in-copy-out ladder for small messages on deep chains: reduce to
+  /// each level's leader, allreduce among node leaders, bcast back down.
+  void cico_allreduce(const void* sendbuf, void* recvbuf, std::size_t elems,
+                      DataType base, ReduceOp op, HierComms& hc);
+
   mini::Mpi* mpi_;
-  std::map<fabric::ChannelId, HierComms> cache_;
+  std::vector<sim::TopoLevel> levels_;  ///< active chain, outer-to-inner
+  std::uint64_t epoch_ = 0;
+  std::size_t single_copy_min_ = kSingleCopyMinBytes;
+  std::map<std::pair<fabric::ChannelId, std::uint64_t>, HierComms> cache_;
   device::DeviceBuffer ws_;      ///< padded working copy
   device::DeviceBuffer inbox_;   ///< reduce-scatter receive staging
   device::DeviceBuffer stage_;   ///< per-stage shard / segment staging

@@ -11,16 +11,41 @@ Mpi::Mpi(fabric::RankContext& ctx, const sim::MpiProfile& profile,
     : ctx_(&ctx),
       prof_(profile),
       world_(Comm::world(ctx.rank(), ctx.size(),
-                         fabric::derive_channel(0x4d504958ull, instance_salt))) {}
+                         fabric::derive_channel(0x4d504958ull, instance_salt))) {
+  // Per-depth device links inside a node. Index d = deepest common depth of
+  // the two ranks: depth K (leaf group) transfers ride the raw dev_intra
+  // link; each shallower depth crosses one more sub-node boundary, whose
+  // bw/alpha scales compound outward. Flat topologies get the single-entry
+  // table {dev_intra}, reproducing the original two-scope pricing exactly.
+  const auto& levels = ctx_->topology().sub_levels();
+  const int depth = ctx_->topology().depth();
+  dev_sub_links_.resize(static_cast<std::size_t>(depth) + 1, prof_.dev_intra);
+  double bw = 1.0, alpha = 1.0;
+  for (int d = depth - 1; d >= 0; --d) {
+    // Crossing the boundary of levels[d] separates groups at depth d.
+    bw *= levels[static_cast<std::size_t>(d)].bw_scale;
+    alpha *= levels[static_cast<std::size_t>(d)].alpha_scale;
+    sim::LinkParams& link = dev_sub_links_[static_cast<std::size_t>(d)];
+    link.bw_MBps = prof_.dev_intra.bw_MBps * bw;
+    link.alpha_us = prof_.dev_intra.alpha_us * alpha;
+  }
+}
 
 bool Mpi::is_device(const void* p) const {
   return device::BufferRegistry::instance().lookup(p).has_value();
 }
 
 const sim::LinkParams& Mpi::link_to(int peer_world, bool device) const {
-  const bool intra = ctx_->topology().same_node(ctx_->rank(), peer_world);
-  if (device) return intra ? prof_.dev_intra : prof_.dev_inter;
-  return intra ? prof_.host_intra : prof_.host_inter;
+  const sim::Topology& topo = ctx_->topology();
+  const bool intra = topo.same_node(ctx_->rank(), peer_world);
+  if (!device) return intra ? prof_.host_intra : prof_.host_inter;
+  if (!intra) return prof_.dev_inter;
+  return dev_sub_links_[static_cast<std::size_t>(
+      topo.deepest_common_depth(ctx_->rank(), peer_world))];
+}
+
+const sim::LinkParams& Mpi::device_link_to(int peer_world) const {
+  return link_to(peer_world, true);
 }
 
 fabric::CostFn Mpi::make_cost_fn(bool device_buf) {

@@ -134,6 +134,10 @@ class Mpi {
   /// "max latency across ranks" reductions outside timed regions.
   double max_over_ranks(double value, Comm& comm);
 
+  /// Effective device link between this rank and `peer_world`, resolved by
+  /// the deepest topology level the two ranks share (hier engine / tooling).
+  [[nodiscard]] const sim::LinkParams& device_link_to(int peer_world) const;
+
  private:
   friend struct CollectiveOps;
 
@@ -151,6 +155,9 @@ class Mpi {
   fabric::RankContext* ctx_;
   sim::MpiProfile prof_;
   Comm world_;
+  /// Device link per sub-node depth (index = deepest common depth, size
+  /// topology depth + 1; last entry is the raw dev_intra link).
+  std::vector<sim::LinkParams> dev_sub_links_;
 };
 
 }  // namespace mpixccl::mini

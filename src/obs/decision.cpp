@@ -49,6 +49,7 @@ std::string to_line(const DispatchDecision& d) {
   }
   if (d.reason != FallbackReason::None) os << " [" << to_string(d.reason) << ']';
   if (d.composed) os << " composed";
+  if (!d.level_path.empty()) os << " via " << d.level_path;
   return os.str();
 }
 

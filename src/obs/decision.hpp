@@ -104,6 +104,9 @@ struct DispatchDecision {
   FallbackReason reason = FallbackReason::None;
   bool fell_back = false;  ///< engine attempt bounced back to MPI at runtime
   bool composed = false;   ///< group send/recv or staged composition
+  /// Subcommunicator chain a hier dispatch ran over, innermost dim first
+  /// (e.g. "numa(2).socket(2).node(2).net(2)"); empty for flat engines.
+  std::string level_path;
   double time_us = 0.0;    ///< virtual time at completion of the decision
   /// Non-None marks an online-tuner table mutation rather than a dispatch
   /// (excluded from the per-engine/per-reason dispatch tallies).

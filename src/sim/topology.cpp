@@ -1,0 +1,109 @@
+#include "sim/topology.hpp"
+
+#include <cstdlib>
+#include <set>
+
+namespace mpixccl::sim {
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& token) {
+  throw Error("HierLevels: " + what + " '" + token + "'");
+}
+
+std::vector<std::string> split_on(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+int parse_fanout(const std::string& field, const std::string& token) {
+  if (field.empty()) fail("missing fanout in level", token);
+  char* end = nullptr;
+  long v = std::strtol(field.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') fail("non-numeric fanout in level", token);
+  if (v < 2 || v > 1 << 20) fail("fanout out of range (need >= 2) in level", token);
+  return static_cast<int>(v);
+}
+
+double parse_scale(const std::string& field, const std::string& token) {
+  char* end = nullptr;
+  double v = std::strtod(field.c_str(), &end);
+  if (field.empty() || end == nullptr || *end != '\0') {
+    fail("non-numeric scale in level", token);
+  }
+  if (!(v > 0.0)) fail("scale must be > 0 in level", token);
+  return v;
+}
+
+}  // namespace
+
+std::vector<TopoLevel> parse_level_spec(const std::string& spec,
+                                        int devices_per_node) {
+  const std::string trimmed = trim(spec);
+  if (trimmed.empty() || trimmed == "node") return {};
+
+  std::vector<TopoLevel> levels;
+  std::set<std::string> seen{"node", "net"};  // reserved built-in scope names
+  int group = devices_per_node;
+  for (const std::string& raw : split_on(trimmed, ',')) {
+    const std::string token = trim(raw);
+    if (token.empty()) fail("empty level token in", spec);
+
+    const std::vector<std::string> fields = split_on(token, ':');
+    if (fields.size() < 2) fail("missing fanout in level", token);
+    if (fields.size() > 4) fail("too many fields in level", token);
+
+    TopoLevel lvl;
+    lvl.name = trim(fields[0]);
+    if (lvl.name.empty()) fail("empty level name in", token);
+    if (lvl.name == "node" || lvl.name == "net") {
+      fail("reserved level name", lvl.name);
+    }
+    if (!seen.insert(lvl.name).second) fail("duplicate level name", lvl.name);
+    lvl.fanout = parse_fanout(trim(fields[1]), token);
+    if (fields.size() >= 3) lvl.bw_scale = parse_scale(trim(fields[2]), token);
+    if (fields.size() >= 4) lvl.alpha_scale = parse_scale(trim(fields[3]), token);
+
+    if (group % lvl.fanout != 0) {
+      fail("fanout does not divide group of " + std::to_string(group) +
+               " ranks (ragged domains) at level",
+           token);
+    }
+    group /= lvl.fanout;
+    if (group < 2) {
+      fail("level chain leaves single-rank groups (group size " +
+               std::to_string(group) + ") at level",
+           token);
+    }
+    levels.push_back(std::move(lvl));
+  }
+  return levels;
+}
+
+std::string describe_levels(const std::vector<TopoLevel>& levels) {
+  if (levels.empty()) return "node";
+  std::string out;
+  for (const TopoLevel& lvl : levels) {
+    if (!out.empty()) out += ',';
+    out += lvl.name + ":" + std::to_string(lvl.fanout);
+  }
+  return out;
+}
+
+}  // namespace mpixccl::sim

@@ -1,9 +1,23 @@
 #pragma once
-// Cluster topology: how global ranks map to (node, local device).
+// Cluster topology: how global ranks map to (node, local device), plus the
+// sub-node locality hierarchy (NUMA domains, sockets, cache groups — or
+// user-defined virtual levels).
+//
 // Ranks are laid out node-major — ranks [0, devs_per_node) are node 0 — the
-// same layout the paper's job launches use.
+// same layout the paper's job launches use. Within a node, sub-levels
+// subdivide the device block recursively: a level spec like
+// "socket:2,numa:2" splits each 8-device node into 2 sockets of 2 NUMA
+// domains of 2 devices, all contiguous in rank order. Each level carries
+// the bandwidth/latency scaling of its boundary relative to the level just
+// inside it, so the link model can price a transfer by the deepest level
+// the two ranks share (XHC-style multi-level hierarchies; see DESIGN.md).
+//
+// With no sub-levels configured the class degenerates exactly to the
+// original two-scope (intra/inter-node) topology.
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "common/status.hpp"
 #include "common/types.hpp"
@@ -11,11 +25,53 @@
 
 namespace mpixccl::sim {
 
+/// One sub-node hierarchy level, outer-to-inner. `fanout` is how many
+/// groups this level splits its parent group into. The scale factors apply
+/// to transfers that cross this level's boundary, relative to the link of
+/// the level just inside it (they compound outward): with dev_intra at
+/// 68 GB/s and "socket:2:0.5,numa:2:0.5", a cross-NUMA transfer sees
+/// 34 GB/s and a cross-socket transfer 17 GB/s.
+struct TopoLevel {
+  std::string name;
+  int fanout = 2;
+  double bw_scale = 0.5;     ///< bandwidth multiplier for crossing this level
+  double alpha_scale = 1.5;  ///< latency multiplier for crossing this level
+};
+
+/// Parse a level-spec string ("name:fanout[:bw_scale[:alpha_scale]]",
+/// comma-separated, outer-to-inner) and validate it against
+/// `devices_per_node`. Throws Error naming the offending token on: empty
+/// tokens, malformed fields, fanout < 2, non-positive scales, duplicate or
+/// reserved level names ("node"/"net"), fanouts that do not divide the
+/// enclosing group (ragged domains), and chains that leave single-rank
+/// leaf groups. An empty spec (or the literal "node") returns no levels.
+std::vector<TopoLevel> parse_level_spec(const std::string& spec,
+                                        int devices_per_node);
+
+/// Canonical "name:fanout,..." rendering of a level chain ("node" when
+/// empty). Round-trips through parse_level_spec modulo scale factors.
+std::string describe_levels(const std::vector<TopoLevel>& levels);
+
 class Topology {
  public:
-  Topology(int nodes, int devices_per_node, Vendor vendor)
-      : nodes_(nodes), devices_per_node_(devices_per_node), vendor_(vendor) {
+  Topology(int nodes, int devices_per_node, Vendor vendor,
+           std::vector<TopoLevel> levels = {})
+      : nodes_(nodes),
+        devices_per_node_(devices_per_node),
+        vendor_(vendor),
+        levels_(std::move(levels)) {
     require(nodes >= 1 && devices_per_node >= 1, "Topology: sizes must be >= 1");
+    // Depth-d group size: devices_per_node over the product of the outer d
+    // fanouts. parse_level_spec enforces divisibility; programmatic level
+    // lists go through the same checks here.
+    group_size_.push_back(devices_per_node_);
+    for (const TopoLevel& lvl : levels_) {
+      const int parent = group_size_.back();
+      require(lvl.fanout >= 2 && parent % lvl.fanout == 0 &&
+                  parent / lvl.fanout >= 1,
+              "Topology: level '" + lvl.name + "' does not divide its parent");
+      group_size_.push_back(parent / lvl.fanout);
+    }
   }
 
   [[nodiscard]] int nodes() const { return nodes_; }
@@ -35,10 +91,49 @@ class Topology {
     return same_node(a, b) ? LinkScope::IntraNode : LinkScope::InterNode;
   }
 
+  // ---- Sub-node hierarchy -------------------------------------------------
+
+  /// Sub-node levels, outer-to-inner (empty for the flat two-scope case).
+  [[nodiscard]] const std::vector<TopoLevel>& sub_levels() const {
+    return levels_;
+  }
+  /// Number of sub-node levels (K). Depths run 0 (node) .. K (leaf group).
+  [[nodiscard]] int depth() const { return static_cast<int>(levels_.size()); }
+
+  /// Ranks per group at depth `d` (0 = whole node, depth() = leaf group).
+  [[nodiscard]] int group_size(int d) const {
+    return group_size_[static_cast<std::size_t>(d)];
+  }
+  /// Global index of the depth-`d` group containing `rank`.
+  [[nodiscard]] int group_of(int rank, int d) const {
+    return rank / group_size(d);
+  }
+  [[nodiscard]] bool same_group(int a, int b, int d) const {
+    return group_of(a, d) == group_of(b, d);
+  }
+
+  /// Deepest depth at which `a` and `b` share a group: depth() when they
+  /// share the leaf group (or a == b), 0 when they share only the node, -1
+  /// across nodes.
+  [[nodiscard]] int deepest_common_depth(int a, int b) const {
+    if (!same_node(a, b)) return -1;
+    int d = depth();
+    while (d > 0 && !same_group(a, b, d)) --d;
+    return d;
+  }
+
+  /// Name of the depth-`d` group scope: "node" at 0, the level name below.
+  [[nodiscard]] std::string level_name(int d) const {
+    return d == 0 ? std::string("node")
+                  : levels_[static_cast<std::size_t>(d - 1)].name;
+  }
+
  private:
   int nodes_;
   int devices_per_node_;
   Vendor vendor_;
+  std::vector<TopoLevel> levels_;  ///< outer-to-inner
+  std::vector<int> group_size_;    ///< per depth, index 0 = node
 };
 
 }  // namespace mpixccl::sim

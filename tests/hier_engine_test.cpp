@@ -25,13 +25,17 @@ struct Topo {
   int nodes;
   int dpn;
   bool hier;  ///< hierarchical path expected (>= 2 nodes)
+  const char* levels = "";  ///< sub-node level chain (fat-NUMA topologies)
 };
 
 std::vector<Topo> topologies() {
   return {{"1x8", sim::thetagpu(), 1, 8, false},
           {"2x4", sim::thetagpu(), 2, 4, true},
           {"4x4", sim::mri(), 4, 4, true},
-          {"16x8", sim::thetagpu(), 16, 8, true}};
+          {"16x8", sim::thetagpu(), 16, 8, true},
+          // Fat-NUMA: 2 nodes x 2 sockets x 2 NUMA x 2 ranks — the oracle
+          // matrix covers the full 4-level schedule recursion.
+          {"2x8-numa", sim::thetagpu(), 2, 8, true, "socket:2,numa:2"}};
 }
 
 /// Run `body` on every rank of every test topology with an all-hier tuning
@@ -40,7 +44,7 @@ void for_each_topo(
     const std::function<void(XcclMpi&, const Topo&)>& body) {
   for (const Topo& t : topologies()) {
     SCOPED_TRACE(t.name);
-    fabric::World world(fabric::WorldConfig{t.prof, t.nodes, t.dpn});
+    fabric::World world(fabric::WorldConfig{t.prof, t.nodes, t.dpn, t.levels});
     world.run([&](fabric::RankContext& ctx) {
       XcclMpiOptions opt;
       opt.tuning = TuningTable::uniform(Engine::Hier);
@@ -317,6 +321,157 @@ TEST(HierDispatch, NonBlockedCommunicatorFallsBack) {
     EXPECT_EQ(rt.last_dispatch().engine, Engine::Hier);
     rt.bcast(buf.get(), 4096, mini::kFloat, 0, rt.comm_world());
     EXPECT_EQ(rt.hier().comm_cache_size(), 2u);  // world + scrambled
+  });
+}
+
+TEST(HierDispatch, LevelPathRecordedInDecision) {
+  // `mpixccl why` explains hier picks at level granularity: the decision
+  // records the full subcomm chain, flat and fat-NUMA alike.
+  const auto run = [](const Topo& t, const std::string& want_path) {
+    SCOPED_TRACE(t.name);
+    fabric::World world(fabric::WorldConfig{t.prof, t.nodes, t.dpn, t.levels});
+    world.run([&](fabric::RankContext& ctx) {
+      XcclMpiOptions opt;
+      opt.tuning = TuningTable::uniform(Engine::Hier);
+      XcclMpi rt(ctx, opt);
+      device::DeviceBuffer buf =
+          make_filled<float>(rt.context().device(), 4096, rt.rank());
+      rt.allreduce(buf.get(), buf.get(), 4096, mini::kFloat, ReduceOp::Sum,
+                   rt.comm_world());
+      EXPECT_EQ(rt.last_dispatch().engine, Engine::Hier);
+      EXPECT_EQ(rt.last_decision().level_path, want_path);
+      EXPECT_NE(obs::to_line(rt.last_decision()).find(" via " + want_path),
+                std::string::npos);
+    });
+  };
+  run({"2x4", sim::thetagpu(), 2, 4, true}, "node(4).net(2)");
+  run({"2x8-numa", sim::thetagpu(), 2, 8, true, "socket:2,numa:2"},
+      "numa(2).socket(2).node(2).net(2)");
+}
+
+TEST(HierDispatch, ReconfigInvalidatesCommCacheAndPlans) {
+  // Changing the hierarchy spec between runtime reconfigurations must
+  // invalidate the comm-split cache epoch and every plan compiled against
+  // the old chain — a stale chain would run the wrong schedule shape.
+  fabric::World world(fabric::WorldConfig{sim::thetagpu(), 2, 8});
+  world.run([&](fabric::RankContext& ctx) {
+    XcclMpiOptions opt;
+    opt.tuning = TuningTable::uniform(Engine::Hier);
+    XcclMpi rt(ctx, opt);
+    auto& dev = rt.context().device();
+    auto& comm = rt.comm_world();
+    const std::size_t count = 4096;
+    device::DeviceBuffer send = make_filled<float>(dev, count, rt.rank());
+    device::DeviceBuffer got(dev, count * sizeof(float));
+    device::DeviceBuffer ref(dev, count * sizeof(float));
+    rt.set_mode(Mode::PureMpi);
+    rt.allreduce(send.get(), ref.get(), count, mini::kFloat, ReduceOp::Sum,
+                 comm);
+    rt.set_mode(Mode::Hybrid);
+
+    rt.allreduce(send.get(), got.get(), count, mini::kFloat, ReduceOp::Sum,
+                 comm);
+    EXPECT_EQ(rt.last_decision().level_path, "node(8).net(2)");
+    EXPECT_EQ(rt.hier().comm_cache_size(), 1u);
+    const std::uint64_t epoch0 = rt.hier().config_epoch();
+    const std::uint64_t inval0 = rt.plan_cache().stats().invalidations;
+
+    // Reconfigure to a 4-level chain: hier plans purged, cache epoch bumps,
+    // the old chain no longer counts as cached.
+    EXPECT_TRUE(rt.set_hier_levels("socket:2,numa:2"));
+    EXPECT_GT(rt.hier().config_epoch(), epoch0);
+    EXPECT_GT(rt.plan_cache().stats().invalidations, inval0);
+    EXPECT_EQ(rt.hier().comm_cache_size(), 0u);
+
+    rt.allreduce(send.get(), got.get(), count, mini::kFloat, ReduceOp::Sum,
+                 comm);
+    EXPECT_EQ(rt.last_dispatch().engine, Engine::Hier);
+    EXPECT_EQ(rt.last_decision().level_path, "numa(2).socket(2).node(2).net(2)");
+    EXPECT_EQ(rt.hier().comm_cache_size(), 1u);
+    expect_buffers_agree(got.as<float>(), ref.as<float>(), count);
+
+    // Re-applying the same spec is a no-op: no purge, no epoch bump.
+    const std::uint64_t epoch1 = rt.hier().config_epoch();
+    const std::uint64_t inval1 = rt.plan_cache().stats().invalidations;
+    EXPECT_FALSE(rt.set_hier_levels("socket:2,numa:2"));
+    EXPECT_EQ(rt.hier().config_epoch(), epoch1);
+    EXPECT_EQ(rt.plan_cache().stats().invalidations, inval1);
+
+    // Back to flat: degenerate 2-level schedule, still correct.
+    EXPECT_TRUE(rt.set_hier_levels("node"));
+    rt.allreduce(send.get(), got.get(), count, mini::kFloat, ReduceOp::Sum,
+                 comm);
+    EXPECT_EQ(rt.last_decision().level_path, "node(8).net(2)");
+    expect_buffers_agree(got.as<float>(), ref.as<float>(), count);
+  });
+}
+
+TEST(HierDispatch, SmallMessageCopyInCopyOutOnDeepChains) {
+  // Below MPIXCCL_HIER_SINGLE_COPY_MIN a deep chain uses the copy-in-
+  // copy-out ladder instead of per-level reduce-scatter; results must agree
+  // with the flat oracle either way, and the threshold is adjustable.
+  fabric::World world(
+      fabric::WorldConfig{sim::thetagpu(), 2, 8, "socket:2,numa:2"});
+  world.run([&](fabric::RankContext& ctx) {
+    XcclMpiOptions opt;
+    opt.tuning = TuningTable::uniform(Engine::Hier);
+    XcclMpi rt(ctx, opt);
+    auto& dev = rt.context().device();
+    auto& comm = rt.comm_world();
+    EXPECT_EQ(rt.hier().single_copy_min(),
+              hier::HierEngine::kSingleCopyMinBytes);
+
+    const auto check = [&](std::size_t count) {
+      SCOPED_TRACE("count=" + std::to_string(count));
+      device::DeviceBuffer send = make_filled<float>(dev, count, rt.rank());
+      device::DeviceBuffer got(dev, count * sizeof(float));
+      device::DeviceBuffer ref(dev, count * sizeof(float));
+      rt.allreduce(send.get(), got.get(), count, mini::kFloat, ReduceOp::Sum,
+                   comm);
+      EXPECT_EQ(rt.last_dispatch().engine, Engine::Hier);
+      rt.set_mode(Mode::PureMpi);
+      rt.allreduce(send.get(), ref.get(), count, mini::kFloat, ReduceOp::Sum,
+                   comm);
+      rt.set_mode(Mode::Hybrid);
+      expect_buffers_agree(got.as<float>(), ref.as<float>(), count);
+    };
+    check(64);    // 256 B: CICO ladder
+    check(2047);  // 8188 B: just under the default switchover
+    check(2048);  // 8192 B: first single-copy size
+
+    // Raise the switchover so a 64 KB message takes the CICO path too.
+    rt.hier().set_single_copy_min(1 << 20);
+    check(16384);
+    rt.hier().set_single_copy_min(hier::HierEngine::kSingleCopyMinBytes);
+  });
+}
+
+TEST(HierDispatch, VirtualLevelsViaOptions) {
+  // XcclMpiOptions::hier_levels imposes a virtual hierarchy on a world
+  // whose simulated topology is flat — the XHC-style "bring your own
+  // locality tree" knob.
+  fabric::World world(fabric::WorldConfig{sim::thetagpu(), 2, 8});
+  world.run([&](fabric::RankContext& ctx) {
+    XcclMpiOptions opt;
+    opt.tuning = TuningTable::uniform(Engine::Hier);
+    opt.hier_levels = "quad:2";
+    opt.hier_single_copy_min = std::size_t{1024};
+    XcclMpi rt(ctx, opt);
+    EXPECT_EQ(rt.hier().single_copy_min(), 1024u);
+    auto& dev = rt.context().device();
+    const std::size_t count = 4096;
+    device::DeviceBuffer send = make_filled<float>(dev, count, rt.rank());
+    device::DeviceBuffer got(dev, count * sizeof(float));
+    device::DeviceBuffer ref(dev, count * sizeof(float));
+    rt.allreduce(send.get(), got.get(), count, mini::kFloat, ReduceOp::Sum,
+                 rt.comm_world());
+    EXPECT_EQ(rt.last_dispatch().engine, Engine::Hier);
+    EXPECT_EQ(rt.last_decision().level_path, "quad(4).node(2).net(2)");
+    rt.set_mode(Mode::PureMpi);
+    rt.allreduce(send.get(), ref.get(), count, mini::kFloat, ReduceOp::Sum,
+                 rt.comm_world());
+    rt.set_mode(Mode::Hybrid);
+    expect_buffers_agree(got.as<float>(), ref.as<float>(), count);
   });
 }
 

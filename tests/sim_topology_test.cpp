@@ -1,0 +1,174 @@
+// Tests for the n-level topology layer: level-spec parsing (every malformed
+// spec must throw naming the offending token, TuningTable-hardening style),
+// group arithmetic over the locality tree, and the per-depth device-link
+// pricing the MiniMPI cost model derives from the level chain.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fabric/world.hpp"
+#include "mpi/mpi.hpp"
+#include "sim/profiles.hpp"
+#include "sim/topology.hpp"
+
+namespace mpixccl::sim {
+namespace {
+
+void expect_parse_error(const std::string& spec, int dpn,
+                        const std::string& needle) {
+  try {
+    parse_level_spec(spec, dpn);
+    FAIL() << "expected parse failure for '" << spec << "'";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("HierLevels:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(needle), std::string::npos)
+        << "message '" << msg << "' does not name '" << needle << "'";
+  }
+}
+
+TEST(LevelSpec, EmptyAndNodeMeanFlat) {
+  EXPECT_TRUE(parse_level_spec("", 8).empty());
+  EXPECT_TRUE(parse_level_spec("   ", 8).empty());
+  EXPECT_TRUE(parse_level_spec("node", 8).empty());
+}
+
+TEST(LevelSpec, ParsesNamesFanoutsAndScales) {
+  const auto levels = parse_level_spec("socket:2:0.25:2.0, numa:2", 8);
+  ASSERT_EQ(levels.size(), 2u);
+  EXPECT_EQ(levels[0].name, "socket");
+  EXPECT_EQ(levels[0].fanout, 2);
+  EXPECT_DOUBLE_EQ(levels[0].bw_scale, 0.25);
+  EXPECT_DOUBLE_EQ(levels[0].alpha_scale, 2.0);
+  EXPECT_EQ(levels[1].name, "numa");
+  EXPECT_EQ(levels[1].fanout, 2);
+  EXPECT_DOUBLE_EQ(levels[1].bw_scale, 0.5);  // defaults
+  EXPECT_DOUBLE_EQ(levels[1].alpha_scale, 1.5);
+  EXPECT_EQ(describe_levels(levels), "socket:2,numa:2");
+  EXPECT_EQ(describe_levels({}), "node");
+}
+
+TEST(LevelSpec, EmptyLevelToken) {
+  expect_parse_error("socket:2,,numa:2", 8, "empty level token");
+  expect_parse_error(",socket:2", 8, "empty level token");
+  expect_parse_error("socket:2,", 8, "empty level token");
+}
+
+TEST(LevelSpec, MissingOrMalformedFanout) {
+  expect_parse_error("socket", 8, "missing fanout in level 'socket'");
+  expect_parse_error("socket:", 8, "missing fanout in level 'socket:'");
+  expect_parse_error("socket:two", 8, "non-numeric fanout in level 'socket:two'");
+  expect_parse_error("socket:1", 8, "fanout out of range");
+  expect_parse_error("socket:0", 8, "fanout out of range");
+  expect_parse_error("socket:-2", 8, "fanout out of range");
+  expect_parse_error(":2", 8, "empty level name");
+  expect_parse_error("socket:2:0.5:1.5:9", 8, "too many fields");
+  expect_parse_error("socket:2:fast", 8, "non-numeric scale");
+  expect_parse_error("socket:2:0", 8, "scale must be > 0");
+}
+
+TEST(LevelSpec, SingleRankLeafGroupsRejected) {
+  // dpn 4 split 2x2 leaves leaf groups of one rank: no exchange to run.
+  expect_parse_error("socket:2,numa:2", 4,
+                     "single-rank groups (group size 1) at level 'numa:2'");
+  expect_parse_error("socket:8", 8, "single-rank groups");
+}
+
+TEST(LevelSpec, RaggedDomainsRejected) {
+  // A fanout that does not divide the enclosing group would make NUMA
+  // domains of unequal size; the engine requires regular trees.
+  expect_parse_error("socket:4", 6,
+                     "does not divide group of 6 ranks (ragged domains)");
+  expect_parse_error("socket:2,numa:3", 8, "ragged domains");
+}
+
+TEST(LevelSpec, DuplicateAndReservedNames) {
+  expect_parse_error("socket:2,socket:2", 8, "duplicate level name 'socket'");
+  expect_parse_error("node:2", 8, "reserved level name 'node'");
+  expect_parse_error("socket:2,net:2", 8, "reserved level name 'net'");
+}
+
+TEST(TopologyGroups, FlatDegeneratesToTwoScopes) {
+  const Topology topo(2, 8, Vendor::Nvidia);
+  EXPECT_EQ(topo.depth(), 0);
+  EXPECT_EQ(topo.group_size(0), 8);
+  EXPECT_EQ(topo.deepest_common_depth(0, 7), 0);
+  EXPECT_EQ(topo.deepest_common_depth(0, 8), -1);
+  EXPECT_EQ(topo.level_name(0), "node");
+}
+
+TEST(TopologyGroups, GroupArithmetic) {
+  const Topology topo(2, 8, Vendor::Nvidia,
+                      parse_level_spec("socket:2,numa:2", 8));
+  EXPECT_EQ(topo.depth(), 2);
+  EXPECT_EQ(topo.group_size(0), 8);  // node
+  EXPECT_EQ(topo.group_size(1), 4);  // socket
+  EXPECT_EQ(topo.group_size(2), 2);  // numa
+  EXPECT_EQ(topo.level_name(1), "socket");
+  EXPECT_EQ(topo.level_name(2), "numa");
+
+  // Ranks 0,1 share a NUMA domain; 0,2 only the socket; 0,4 only the node;
+  // 0,8 nothing (different nodes).
+  EXPECT_EQ(topo.deepest_common_depth(0, 1), 2);
+  EXPECT_EQ(topo.deepest_common_depth(0, 2), 1);
+  EXPECT_EQ(topo.deepest_common_depth(0, 4), 0);
+  EXPECT_EQ(topo.deepest_common_depth(0, 8), -1);
+  EXPECT_EQ(topo.deepest_common_depth(3, 3), 2);
+
+  // Second node's groups mirror the first, offset by the node base.
+  EXPECT_EQ(topo.deepest_common_depth(8, 9), 2);
+  EXPECT_EQ(topo.deepest_common_depth(8, 12), 0);
+  EXPECT_TRUE(topo.same_group(10, 11, 2));
+  EXPECT_FALSE(topo.same_group(9, 10, 2));
+}
+
+TEST(TopologyGroups, NonPowerOfTwoFanouts) {
+  const Topology topo(1, 12, Vendor::Amd, parse_level_spec("socket:3", 12));
+  EXPECT_EQ(topo.depth(), 1);
+  EXPECT_EQ(topo.group_size(1), 4);
+  EXPECT_EQ(topo.deepest_common_depth(0, 3), 1);
+  EXPECT_EQ(topo.deepest_common_depth(0, 4), 0);
+}
+
+TEST(TopologyLinks, PerDepthDevicePricing) {
+  // The deepest shared level picks the link: cross-NUMA transfers see the
+  // scaled bandwidth/latency, cross-socket the compounded scales, and the
+  // leaf group the raw dev_intra link. The flat topology prices everything
+  // in-node at dev_intra (degenerate case).
+  const sim::SystemProfile prof = sim::thetagpu();
+  fabric::World world(
+      fabric::WorldConfig{prof, 2, 8, "socket:2:0.5:2.0,numa:2:0.5:1.5"});
+  world.run([&](fabric::RankContext& ctx) {
+    if (ctx.rank() != 0) return;
+    mini::Mpi mpi(ctx, prof.mpi);
+    const LinkParams& leaf = mpi.device_link_to(1);    // same NUMA
+    const LinkParams& numa = mpi.device_link_to(2);    // cross NUMA
+    const LinkParams& sock = mpi.device_link_to(4);    // cross socket
+    const LinkParams& inter = mpi.device_link_to(8);   // cross node
+    EXPECT_DOUBLE_EQ(leaf.bw_MBps, prof.mpi.dev_intra.bw_MBps);
+    EXPECT_DOUBLE_EQ(leaf.alpha_us, prof.mpi.dev_intra.alpha_us);
+    EXPECT_DOUBLE_EQ(numa.bw_MBps, prof.mpi.dev_intra.bw_MBps * 0.5);
+    EXPECT_DOUBLE_EQ(numa.alpha_us, prof.mpi.dev_intra.alpha_us * 1.5);
+    EXPECT_DOUBLE_EQ(sock.bw_MBps, prof.mpi.dev_intra.bw_MBps * 0.25);
+    EXPECT_DOUBLE_EQ(sock.alpha_us, prof.mpi.dev_intra.alpha_us * 3.0);
+    EXPECT_DOUBLE_EQ(inter.bw_MBps, prof.mpi.dev_inter.bw_MBps);
+  });
+}
+
+TEST(TopologyLinks, FlatWorldUnchanged) {
+  const sim::SystemProfile prof = sim::thetagpu();
+  fabric::World world(fabric::WorldConfig{prof, 2, 8, ""});
+  world.run([&](fabric::RankContext& ctx) {
+    if (ctx.rank() != 0) return;
+    mini::Mpi mpi(ctx, prof.mpi);
+    EXPECT_DOUBLE_EQ(mpi.device_link_to(7).bw_MBps,
+                     prof.mpi.dev_intra.bw_MBps);
+    EXPECT_DOUBLE_EQ(mpi.device_link_to(8).bw_MBps,
+                     prof.mpi.dev_inter.bw_MBps);
+  });
+}
+
+}  // namespace
+}  // namespace mpixccl::sim

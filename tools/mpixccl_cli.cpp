@@ -7,6 +7,7 @@
 //   mpixccl tune  --system=voyager --out=/tmp/voyager.tbl
 //   mpixccl tune  --online --system=thetagpu --nodes=2 --steps=48
 //   mpixccl hier  --system=mri --nodes=4 --op=allreduce
+//   mpixccl topo  --system=thetagpu --nodes=2 --levels=socket:2,numa:2
 //   mpixccl trace --system=thetagpu --out=/tmp/trace.json
 //   mpixccl top   --system=thetagpu [--nodes=2] [--rows=20]
 //   mpixccl plan  --system=thetagpu [--nodes=2] [--steps=4]
@@ -23,6 +24,7 @@
 #include <cstring>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -296,6 +298,106 @@ int cmd_hier(const Args& args) {
   return 0;
 }
 
+int cmd_topo(const Args& args) {
+  // Hierarchy inspector: the detected (or --levels= overridden) locality
+  // tree with per-level link pricing, the hier engine's subcommunicator
+  // chain (optionally a --virtual= engine-only hierarchy) with per-level
+  // leader ranks, and the comm-split cache state.
+  const sim::SystemProfile prof =
+      sim::profile_by_name(get(args, "system", "thetagpu"));
+  const int nodes = std::stoi(get(args, "nodes", "2"));
+  const std::string levels = get(args, "levels", "");
+  const std::string virt = get(args, "virtual", "");
+  fabric::World world(fabric::WorldConfig{prof, nodes, 0, levels});
+  const sim::Topology& topo = world.topology();
+
+  std::printf("system %s: %d nodes x %d devices/node, levels %s\n",
+              prof.name.c_str(), topo.nodes(), topo.devices_per_node(),
+              sim::describe_levels(topo.sub_levels()).c_str());
+  const int K = topo.depth();
+  // Depth-first over the locality tree: each group nests under its parent,
+  // leader = lowest rank in the group.
+  auto print_tree = [&](auto&& self, int d, int lo) -> void {
+    const int gsz = topo.group_size(d);
+    std::printf("%*s%s %d  ranks [%d, %d]  leader %d\n", 2 * d, "",
+                topo.level_name(d).c_str(), lo / gsz, lo, lo + gsz - 1, lo);
+    if (d == K) return;
+    const int child = topo.group_size(d + 1);
+    for (int c = lo; c < lo + gsz; c += child) self(self, d + 1, c);
+  };
+  for (int node = 0; node < topo.nodes(); ++node) {
+    print_tree(print_tree, 0, topo.rank_of(node, 0));
+  }
+
+  std::ostringstream report;
+  world.run([&](fabric::RankContext& ctx) {
+    core::XcclMpiOptions opts;
+    if (!virt.empty()) opts.hier_levels = virt;
+    core::XcclMpi rt(ctx, opts);
+    auto& comm = rt.comm_world();
+    (void)rt.hier().applicable(comm);  // collective: builds + caches the chain
+    ctx.barrier();
+    if (ctx.rank() != 0) return;
+
+    report << "device link by deepest shared scope (rank 0 view):\n";
+    for (int d = K; d >= 0; --d) {
+      const int peer = (d == K) ? 1 : topo.group_size(d + 1);
+      if (peer >= topo.devices_per_node()) continue;  // scope has one member
+      const sim::LinkParams& link = rt.mpi().device_link_to(peer);
+      char line[128];
+      std::snprintf(line, sizeof(line),
+                    "  %-8s alpha %6.2f us   bw %9.0f MB/s\n",
+                    topo.level_name(d).c_str(), link.alpha_us, link.bw_MBps);
+      report << line;
+    }
+    if (topo.nodes() > 1) {
+      const sim::LinkParams& link =
+          rt.mpi().device_link_to(topo.devices_per_node());
+      char line[128];
+      std::snprintf(line, sizeof(line),
+                    "  %-8s alpha %6.2f us   bw %9.0f MB/s\n", "net",
+                    link.alpha_us, link.bw_MBps);
+      report << line;
+    }
+
+    const auto& hc = rt.hier().prepare(comm);
+    if (!virt.empty()) {
+      report << "virtual hierarchy (engine-only): " << virt << "\n";
+    }
+    if (hc.usable) {
+      report << "hier chain over comm_world: " << hc.level_path
+             << "  (innermost dim first)\n";
+      int stride = 1;
+      for (std::size_t j = 0; j < hc.dims.size(); ++j) {
+        report << "  dim " << j << "  " << hc.names[j] << "(" << hc.dims[j]
+               << ")  leaders";
+        // Leaders of dim j: digit 0 in every inner dim (the ranks that
+        // carry data across this boundary in the leader-chain schedules).
+        int printed = 0;
+        for (int r = 0; r < comm.size() && printed < 16; r += stride) {
+          report << ' ' << r;
+          ++printed;
+        }
+        if (comm.size() / stride > printed) report << " ...";
+        report << '\n';
+        stride *= hc.dims[j];
+      }
+    } else {
+      report << "hier chain over comm_world: n/a (needs >= 2 nodes x >= 2 "
+                "devices)\n";
+    }
+    report << "comm-split cache: " << rt.hier().comm_cache_size()
+           << " chain(s) at epoch " << rt.hier().config_epoch() << '\n';
+    for (const auto& [ch, cached] : rt.hier().cached_comms()) {
+      report << "  channel " << ch << "  "
+             << (cached->usable ? cached->level_path : std::string("unusable"))
+             << "  (" << cached->comms.size() << " subcomms)\n";
+    }
+  });
+  std::fputs(report.str().c_str(), stdout);
+  return 0;
+}
+
 int cmd_trace(const Args& args) {
   const sim::SystemProfile prof =
       sim::profile_by_name(get(args, "system", "thetagpu"));
@@ -563,6 +665,9 @@ int usage() {
       "                                         from a mis-tuned table "
       "online\n"
       "  hier   --system=S [--nodes=N] [--op=OP]    compare engines incl. hier\n"
+      "  topo   --system=S [--nodes=N] [--levels=SPEC] [--virtual=SPEC]\n"
+      "                                         print the locality tree, hier\n"
+      "                                         chain + leaders, split cache\n"
       "  trace  --system=S [--out=FILE]\n"
       "  obs    --system=S [--nodes=N] [--metrics=F] [--trace=F] "
       "[--decisions=F]\n"
@@ -596,6 +701,7 @@ int main(int argc, char** argv) {
     if (cmd == "train") return cmd_train(args);
     if (cmd == "tune") return cmd_tune(args);
     if (cmd == "hier") return cmd_hier(args);
+    if (cmd == "topo") return cmd_topo(args);
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "obs") return cmd_obs(args);
     if (cmd == "top") return cmd_top(args);
