@@ -1,0 +1,24 @@
+#pragma once
+// Fleet snapshot protocol: gather every rank's fleet state (obs/fleet.hpp)
+// to rank 0 over the library's OWN collectives — the telemetry plane rides
+// the data plane it observes, exactly as NCCL/RCCL deployments piggyback
+// health gathers on the job's communicator. Lives in core (not obs) because
+// obs must not link against the runtime; obs owns the data structures and
+// their wire format, core owns the collective transport.
+
+#include "core/xccl_mpi.hpp"
+#include "obs/fleet.hpp"
+
+namespace mpixccl::core {
+
+/// Collective over `comm` (every member must call). Serializes the calling
+/// rank's state, allgathers the blob sizes, gathervs the blobs to `root`,
+/// and on `root` reduces them into a FleetSnapshot stamped with the
+/// runtime's profile/topology. Non-root ranks get an empty snapshot (world
+/// size 0). The local state is captured BEFORE the gather's own collectives
+/// run, so the snapshot never contains the gather traffic itself.
+[[nodiscard]] obs::fleet::FleetSnapshot gather_fleet(XcclMpi& rt,
+                                                     mini::Comm& comm,
+                                                     int root = 0);
+
+}  // namespace mpixccl::core

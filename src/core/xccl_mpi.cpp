@@ -7,8 +7,10 @@
 #include "common/log.hpp"
 #include "device/buffer_registry.hpp"
 #include "obs/analyze.hpp"
+#include "obs/fleet.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "sim/topology.hpp"
 #include "sim/trace.hpp"
 
 namespace mpixccl::core {
@@ -53,6 +55,15 @@ XcclMpi::XcclMpi(fabric::RankContext& ctx, XcclMpiOptions options)
   ctr_plan_miss_ = &reg.counter("plan.cache.miss");
   ctr_plan_evict_ = &reg.counter("plan.cache.evict");
   ctr_plan_invalidate_ = &reg.counter("plan.cache.invalidate");
+  // Identity stamp for exported snapshots: which rank out of how many, on
+  // which profile/topology (degrades to rank -1 once a second distinct rank
+  // constructs a runtime in this process — the threads-as-ranks norm).
+  const sim::Topology& topo = ctx.topology();
+  obs::set_snapshot_meta(
+      ctx.rank(), topo.world_size(), ctx.profile().name,
+      sim::describe_levels(topo.sub_levels()) + "(" +
+          std::to_string(topo.devices_per_node()) + ").net(" +
+          std::to_string(topo.nodes()) + ")");
   MPIXCCL_LOG_INFO("core", "rank ", ctx.rank(), ": MPI-xCCL over ",
                    backend_->name(), " (", ctx.profile().name, ")");
 }
@@ -225,6 +236,7 @@ std::shared_ptr<const Plan> XcclMpi::plan_for(CollOp op, std::size_t bytes,
     if (hit->hier == nullptr || hit->hier_epoch == hier_->config_epoch()) {
       ctr_plan_hit_->add(1, rank());
       current_plan_id_ = hit->id;
+      obs::fleet::note_plan(rank(), hit->id);
       return hit;
     }
   }
@@ -234,6 +246,7 @@ std::shared_ptr<const Plan> XcclMpi::plan_for(CollOp op, std::size_t bytes,
   ctr_plan_miss_->add(1, rank());
   std::shared_ptr<Plan> plan = build_plan(key, op, bytes, comm);
   current_plan_id_ = plan->id;
+  obs::fleet::note_plan(rank(), plan->id);
   const std::size_t evicted = plans_.insert(plan);
   if (evicted > 0) ctr_plan_evict_->add(evicted, rank());
   return plan;
@@ -284,7 +297,11 @@ std::shared_ptr<Plan> XcclMpi::build_plan(const PlanKey& key, CollOp op,
 }
 
 XcclMpi::ScopedOpTimer::ScopedOpTimer(XcclMpi& rt, CollOp op)
-    : rt_(&rt), op_(op), t0_(rt.context().clock().now()), seq0_(rt.note_seq_) {
+    : rt_(&rt),
+      op_(op),
+      t0_(rt.context().clock().now()),
+      seq0_(rt.note_seq_),
+      fleet_seq_(obs::fleet::dispatch_enter(rt.rank(), op, t0_)) {
   // Cleared so a dispatch that never consults the plan cache (composed ops,
   // scan) does not inherit the previous call's plan id in its flight record.
   rt.current_plan_id_ = 0;
@@ -294,7 +311,10 @@ XcclMpi::ScopedOpTimer::~ScopedOpTimer() {
   // The dispatch never reached note() (it threw first): there is no current
   // engine/byte record for this call, so recording anything would attribute
   // the sample to the previous call. Drop it.
-  if (rt_->note_seq_ == seq0_) return;
+  if (rt_->note_seq_ == seq0_) {
+    obs::fleet::dispatch_abort(rt_->rank());
+    return;
+  }
   const double now = rt_->context().clock().now();
   const double elapsed = now - t0_;
   OpProfile& prof = rt_->op_profiles_[op_];
@@ -325,6 +345,8 @@ XcclMpi::ScopedOpTimer::~ScopedOpTimer() {
                         rt_->last_decision_, rt_->current_plan_id_});
   sim::Trace::instance().record(rt_->rank(), to_string(op_),
                                 to_string(rt_->last_.engine), t0_, now);
+  obs::fleet::dispatch_exit(rt_->rank(), fleet_seq_, op_, bytes,
+                            rt_->last_.engine, now);
 }
 
 std::string XcclMpi::profile_report() const {
@@ -1205,6 +1227,7 @@ void XcclMpi::note_replay(const Plan& p, CollOp op, std::size_t bytes,
   d.seq = 0;
   last_decision_ = d;
   current_plan_id_ = p.id;
+  obs::fleet::note_plan(rank(), p.id);
 
   obs::Registry::instance().record_call(op, engine, rank(), bytes);
 }

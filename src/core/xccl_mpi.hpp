@@ -411,6 +411,7 @@ class XcclMpi {
     CollOp op_;
     double t0_;
     std::uint64_t seq0_;  ///< note_seq_ at construction; unchanged => no note()
+    std::uint64_t fleet_seq_;  ///< this rank's fleet dispatch seq (arrival key)
   };
 
   // Composed (send/recv-based) xCCL collectives; return a fallback-able

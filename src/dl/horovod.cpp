@@ -9,6 +9,7 @@
 #include "device/device.hpp"
 #include "fabric/world.hpp"
 #include "mpi/mpi.hpp"
+#include "obs/fleet.hpp"
 #include "obs/obs.hpp"
 #include "tune/online.hpp"
 #include "xccl/backend.hpp"
@@ -276,6 +277,9 @@ TrainerResult run_training(const sim::SystemProfile& profile, int nodes,
       ctx.device().launch_kernel(config.model.optimizer_us, compute, clock, {});
       compute.synchronize(clock);
       registry.counter("dl.steps").add(1, ctx.rank());
+      // Step-boundary liveness beat: a long compute phase between collectives
+      // must not read as a hang to the watchdog.
+      obs::fleet::app_beat(ctx.rank());
       registry.histogram("dl.step_us").observe(clock.now() - step_t0);
       registry.histogram("dl.comm_wait_us").observe(wait_us);
       comm->tune_step();

@@ -6,6 +6,7 @@
 
 #include "common/log.hpp"
 #include "common/status.hpp"
+#include "sim/fault.hpp"
 
 namespace mpixccl::fabric {
 
@@ -45,6 +46,20 @@ World::World(WorldConfig config)
   for (int r = 0; r < topo_.world_size(); ++r) {
     endpoints_.push_back(std::make_unique<Endpoint>(r));
   }
+  auto& faults = sim::FaultInjector::instance();
+  if (!config_.faults.empty()) {
+    faults.configure(sim::FaultPlan::parse(config_.faults));
+  } else if (!faults.active()) {
+    faults.configure(sim::FaultPlan::from_env());
+  }
+  apply_fault_scales();
+}
+
+void World::apply_fault_scales() {
+  auto& faults = sim::FaultInjector::instance();
+  for (int r = 0; r < topo_.world_size(); ++r) {
+    clock(r).set_scale(faults.slowdown_of(r));
+  }
 }
 
 void World::run(const std::function<void(RankContext&)>& body) {
@@ -71,6 +86,7 @@ void World::run(const std::function<void(RankContext&)>& body) {
 
 void World::reset_time() {
   for (auto& c : clocks_) c.reset();
+  apply_fault_scales();  // the injector may have been reconfigured since
   for (auto& s : streams_) {
     s = device::Stream(config_.profile.device.stream_sync_us);
   }

@@ -30,6 +30,11 @@ struct WorldConfig {
   /// Sub-node hierarchy spec ("socket:2,numa:2", see sim::parse_level_spec).
   /// Empty -> flat two-scope topology.
   std::string hier_levels;
+  /// Fault spec ("slow=3:5,stall=1:4:300", see sim::FaultPlan::parse)
+  /// installed into the process-wide sim::FaultInjector before the rank
+  /// clocks are built. Empty -> leave the injector as configured (which
+  /// lets MPIXCCL_SIM_FAULTS or a prior programmatic configure() apply).
+  std::string faults;
 };
 
 class World;
@@ -93,6 +98,7 @@ class World {
   friend class RankContext;
   void do_barrier();
   void do_sync_clocks(int rank);
+  void apply_fault_scales();
 
   WorldConfig config_;
   sim::Topology topo_;

@@ -8,6 +8,7 @@
 #include "common/log.hpp"
 #include "common/reduce.hpp"
 #include "common/status.hpp"
+#include "obs/fleet.hpp"
 #include "obs/obs.hpp"
 
 namespace mpixccl::hier {
@@ -381,21 +382,20 @@ void HierEngine::staged_allreduce(std::byte* ws, std::size_t padded,
 
   const std::byte* buf = ws;
   for (std::size_t j = 0; j + 1 < D; ++j) {
-    obs::Span span(rank, clock, "allreduce.rs." + hc.names[j], "hier.stage");
+    obs::fleet::LevelSpan span(rank, clock, "allreduce.rs", hc.names[j]);
     mpi_->reduce_scatter_block(buf, stg + off[j] * esz, shard[j], dtb, op,
                                hc.comms[j]);
     buf = stg + off[j] * esz;
   }
   std::byte* out = stg + out_off * esz;
   {
-    obs::Span span(rank, clock, "allreduce.ar." + hc.names[D - 1],
-                   "hier.stage");
+    obs::fleet::LevelSpan span(rank, clock, "allreduce.ar", hc.names[D - 1]);
     mpi_->allreduce(buf, out, shard[D - 2], dtb, op, hc.comms[D - 1]);
   }
   const std::byte* src = out;
   for (std::size_t j = D - 1; j-- > 0;) {
     std::byte* dst = (j == 0) ? ws : stg + off[j - 1] * esz;
-    obs::Span span(rank, clock, "allreduce.ag." + hc.names[j], "hier.stage");
+    obs::fleet::LevelSpan span(rank, clock, "allreduce.ag", hc.names[j]);
     mpi_->allgather(src, shard[j], dtb, dst, shard[j], dtb, hc.comms[j]);
     src = dst;
   }
@@ -426,8 +426,8 @@ void HierEngine::cico_allreduce(const void* sendbuf, void* recvbuf,
   const void* cur = sendbuf;
   int pp = 0;
   for (std::size_t j = 0; j + 1 < D; ++j) {
-    obs::Span span(rank, clock, "allreduce.cico_reduce." + hc.names[j],
-                   "hier.stage");
+    obs::fleet::LevelSpan span(rank, clock, "allreduce.cico_reduce",
+                               hc.names[j]);
     if (leader_through(j)) {
       mpi_->reduce(cur, half[pp], elems, dtb, op, 0, hc.comms[j]);
       cur = half[pp];
@@ -435,15 +435,15 @@ void HierEngine::cico_allreduce(const void* sendbuf, void* recvbuf,
     }
   }
   {
-    obs::Span span(rank, clock, "allreduce.cico_ar." + hc.names[D - 1],
-                   "hier.stage");
+    obs::fleet::LevelSpan span(rank, clock, "allreduce.cico_ar",
+                               hc.names[D - 1]);
     if (leader_through(D - 1)) {
       mpi_->allreduce(cur, recvbuf, elems, dtb, op, hc.comms[D - 1]);
     }
   }
   for (std::size_t j = D - 1; j-- > 0;) {
-    obs::Span span(rank, clock, "allreduce.cico_bcast." + hc.names[j],
-                   "hier.stage");
+    obs::fleet::LevelSpan span(rank, clock, "allreduce.cico_bcast",
+                               hc.names[j]);
     if (leader_through(j)) {
       mpi_->bcast(recvbuf, elems, dtb, 0, hc.comms[j]);
     }
@@ -547,6 +547,12 @@ void HierEngine::pipelined_allreduce(std::byte* ws, std::size_t unit,
 
   auto complete = [&](Chunk& c) {
     const std::size_t j = cur_dim(c);
+    // Per-level attribution for the fleet skew tables: the wait below is the
+    // time this rank spent blocked on dim j's exchange (a late partner at
+    // that level shows up here), and completes are issued sequentially, so
+    // the spans never overlap even when chunks pipeline.
+    obs::fleet::LevelSpan span(mpi_->rank(), mpi_->context().clock(),
+                               "allreduce.pipe", hc.names[j]);
     std::byte* cb = ws + c.base * esz;
     mpi_->wait(c.sreq);
     mpi_->wait(c.rreq);
@@ -670,7 +676,7 @@ bool HierEngine::bcast(HierComms& hc, void* buf, std::size_t count,
     // Leader chain: the root's column carries the message across each
     // boundary from the outermost in, then every group fans out locally.
     for (std::size_t j = D; j-- > 0;) {
-      obs::Span span(rank, clock, "bcast.leader." + hc.names[j], "hier.stage");
+      obs::fleet::LevelSpan span(rank, clock, "bcast.leader", hc.names[j]);
       if (on_root_path(j)) {
         mpi_->bcast(buf, count, dt, r[j], hc.comms[j]);
       }
@@ -706,7 +712,7 @@ bool HierEngine::bcast(HierComms& hc, void* buf, std::size_t count,
   const std::byte* src = ws;
   for (std::size_t j = D - 1; j-- > 0;) {
     std::byte* dst = pp[(D - 2 - j) % 2];
-    obs::Span span(rank, clock, "bcast.scatter." + hc.names[j], "hier.stage");
+    obs::fleet::LevelSpan span(rank, clock, "bcast.scatter", hc.names[j]);
     if (hc.coord[D - 1] == r[D - 1] && on_root_path(j)) {
       mpi_->scatter(src, stride[j] * seg, dtb, dst, stride[j] * seg, dtb, r[j],
                     hc.comms[j]);
@@ -717,7 +723,7 @@ bool HierEngine::bcast(HierComms& hc, void* buf, std::size_t count,
   // Every rank's own segment crosses the network once, down its column.
   std::byte* segbuf = pp[(D - 2) % 2];
   {
-    obs::Span span(rank, clock, "bcast." + hc.names[D - 1], "hier.stage");
+    obs::fleet::LevelSpan span(rank, clock, "bcast", hc.names[D - 1]);
     mpi_->bcast(segbuf, seg, dtb, r[D - 1], hc.comms[D - 1]);
   }
 
@@ -726,7 +732,7 @@ bool HierEngine::bcast(HierComms& hc, void* buf, std::size_t count,
   const std::byte* asrc = segbuf;
   for (std::size_t j = 0; j + 1 < D; ++j) {
     std::byte* dst = (j == D - 2) ? ws : (asrc == pp[0] ? pp[1] : pp[0]);
-    obs::Span span(rank, clock, "bcast.ag." + hc.names[j], "hier.stage");
+    obs::fleet::LevelSpan span(rank, clock, "bcast.ag", hc.names[j]);
     mpi_->allgather(asrc, stride[j] * seg, dtb, dst, stride[j] * seg, dtb,
                     hc.comms[j]);
     asrc = dst;
@@ -781,7 +787,7 @@ bool HierEngine::reduce(HierComms& hc, const void* sendbuf, void* recvbuf,
   std::byte* dst =
       (me == root) ? static_cast<std::byte*>(recvbuf) : scratch(stage_, bytes);
   for (std::size_t j = 0; j < D; ++j) {
-    obs::Span span(mpi_->rank(), clock, "reduce." + hc.names[j], "hier.stage");
+    obs::fleet::LevelSpan span(mpi_->rank(), clock, "reduce", hc.names[j]);
     if (on_root_path(j)) {
       mpi_->reduce(cur, dst, count, dt, stage_op(op), r[j], hc.comms[j]);
       cur = dst;
@@ -854,8 +860,7 @@ bool HierEngine::allgather(HierComms& hc, const void* sendbuf,
   int a = 0;
   for (std::size_t j = D; j-- > 0;) {
     std::byte* dst = (j == 0) ? full : pp[a];
-    obs::Span span(mpi_->rank(), clock, "allgather." + hc.names[j],
-                   "hier.stage");
+    obs::fleet::LevelSpan span(mpi_->rank(), clock, "allgather", hc.names[j]);
     mpi_->allgather(src, selems * cnt, stb, dst, selems * cnt, stb,
                     hc.comms[j]);
     src = dst;
@@ -919,7 +924,7 @@ bool HierEngine::reduce_scatter_block(HierComms& hc, const void* sendbuf,
   for (std::size_t j = 0; j < D; ++j) {
     cnt /= static_cast<std::size_t>(hc.dims[j]);
     std::byte* dst = (j == D - 1) ? static_cast<std::byte*>(recvbuf) : pp[a];
-    obs::Span span(mpi_->rank(), clock, "rs." + hc.names[j], "hier.stage");
+    obs::fleet::LevelSpan span(mpi_->rank(), clock, "rs", hc.names[j]);
     mpi_->reduce_scatter_block(src, dst, relems * cnt, dtb, stage_op(op),
                                hc.comms[j]);
     src = dst;

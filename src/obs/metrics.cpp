@@ -66,6 +66,70 @@ void render_hist_json(std::ostringstream& os, const HistogramSnapshot& h) {
 
 }  // namespace
 
+HistogramSnapshot merge_histograms(const HistogramSnapshot& a,
+                                   const HistogramSnapshot& b) {
+  HistogramSnapshot m;
+  m.count = a.count + b.count;
+  m.sum = a.sum + b.sum;
+  // Two-pointer merge on the ascending upper bounds. Equal bounds (the
+  // common case: both sides come from the same log2 bucketing) collapse
+  // into one bucket with summed counts; +inf compares equal to +inf, so
+  // the unbounded tails merge too.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.buckets.size() || j < b.buckets.size()) {
+    if (j >= b.buckets.size() ||
+        (i < a.buckets.size() && a.buckets[i].first < b.buckets[j].first)) {
+      m.buckets.push_back(a.buckets[i++]);
+    } else if (i >= a.buckets.size() ||
+               b.buckets[j].first < a.buckets[i].first) {
+      m.buckets.push_back(b.buckets[j++]);
+    } else {
+      m.buckets.emplace_back(a.buckets[i].first,
+                             a.buckets[i].second + b.buckets[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  return m;
+}
+
+std::string hist_to_json(const HistogramSnapshot& h) {
+  std::ostringstream os;
+  render_hist_json(os, h);
+  return os.str();
+}
+
+namespace {
+std::mutex g_meta_mu;
+SnapshotMeta g_meta;
+}  // namespace
+
+void set_snapshot_meta(int rank, int world_size, std::string_view profile,
+                       std::string_view topology) {
+  std::lock_guard lock(g_meta_mu);
+  // First stamp wins the rank label; a second distinct rank proves this
+  // process merges ranks, so the label degrades to -1.
+  if (g_meta.world_size != 0 && g_meta.rank != rank) {
+    g_meta.rank = -1;
+  } else {
+    g_meta.rank = rank;
+  }
+  g_meta.world_size = world_size;
+  g_meta.profile = std::string(profile);
+  g_meta.topology = std::string(topology);
+}
+
+SnapshotMeta snapshot_meta() {
+  std::lock_guard lock(g_meta_mu);
+  return g_meta;
+}
+
+void clear_snapshot_meta() {
+  std::lock_guard lock(g_meta_mu);
+  g_meta = SnapshotMeta{};
+}
+
 double HistogramSnapshot::percentile(double q) const {
   if (count == 0) return 0.0;
   q = std::min(std::max(q, 0.0), 1.0);
@@ -173,6 +237,7 @@ Histogram& Registry::histogram(std::string_view name) {
 
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot s;
+  s.meta = snapshot_meta();
   for (const core::CollOp op : core::kAllCollOps) {
     for (const core::Engine e :
          {core::Engine::Mpi, core::Engine::Xccl, core::Engine::Hier}) {
@@ -233,7 +298,14 @@ void Registry::reset() {
 
 std::string MetricsSnapshot::to_json(std::string_view extra_fields) const {
   std::ostringstream os;
-  os << "{\"schema\":\"mpixccl.metrics.v1\",\"collectives\":[";
+  os << "{\"schema\":\"mpixccl.metrics.v1\",";
+  if (meta.world_size > 0) {
+    os << "\"meta\":{\"rank\":" << meta.rank
+       << ",\"world_size\":" << meta.world_size << ",\"profile\":\""
+       << json_escape(meta.profile) << "\",\"topology\":\""
+       << json_escape(meta.topology) << "\"},";
+  }
+  os << "\"collectives\":[";
   bool first = true;
   for (const CollRow& r : collectives) {
     if (!first) os << ',';

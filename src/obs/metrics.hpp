@@ -102,6 +102,19 @@ struct HistogramSnapshot {
   [[nodiscard]] double p99() const { return percentile(0.99); }
 };
 
+/// Merge two snapshots of the same log2-bucketed histogram family (e.g. the
+/// same latency metric captured on different ranks): counts and sums add,
+/// buckets align by their upper bound. Totals are preserved exactly and the
+/// merged percentiles stay within the parts' range — the invariants the
+/// fleet snapshot's rank-merged latency view relies on.
+[[nodiscard]] HistogramSnapshot merge_histograms(const HistogramSnapshot& a,
+                                                 const HistogramSnapshot& b);
+
+/// One histogram snapshot as a JSON object ({"count":..,"sum":..,"p50":..,
+/// "buckets":[...]}) — the representation both the metrics and fleet
+/// exporters embed.
+[[nodiscard]] std::string hist_to_json(const HistogramSnapshot& h);
+
 // ---- Message-size bands -----------------------------------------------------
 // Coarse size classes for per-(collective, engine, size-band) latency
 // attribution: fine enough to separate the tuning table's small/crossover/
@@ -177,9 +190,30 @@ struct NamedValue {
   double value = 0.0;
 };
 
+/// Identity stamp for exported snapshots so multi-rank dumps can be joined
+/// offline: which rank wrote this document, out of how many, on which
+/// profile/topology. In the threads-as-ranks simulation every rank shares
+/// one registry, so `rank` degrades to -1 ("merged across ranks") as soon
+/// as a second distinct rank registers.
+struct SnapshotMeta {
+  int rank = -1;
+  int world_size = 0;  ///< 0 = never stamped; meta is omitted from exports
+  std::string profile;
+  std::string topology;
+};
+
+/// Stamp (or re-stamp) the process-wide snapshot identity; called by the
+/// runtime constructor on every rank.
+void set_snapshot_meta(int rank, int world_size, std::string_view profile,
+                       std::string_view topology);
+[[nodiscard]] SnapshotMeta snapshot_meta();
+/// Forget the stamp (tests).
+void clear_snapshot_meta();
+
 /// Point-in-time merge of the whole registry, renderable as JSON
 /// ("mpixccl.metrics.v1") or CSV.
 struct MetricsSnapshot {
+  SnapshotMeta meta;                 ///< filled by Registry::snapshot()
   std::vector<CollRow> collectives;  ///< rows with calls > 0 only
   std::vector<NamedValue> counters;
   std::vector<NamedValue> gauges;

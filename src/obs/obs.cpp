@@ -6,7 +6,9 @@
 #include <mutex>
 #include <sstream>
 
+#include "common/status.hpp"
 #include "obs/analyze.hpp"
+#include "obs/fleet.hpp"
 #include "sim/trace.hpp"
 
 namespace mpixccl::obs {
@@ -107,29 +109,67 @@ void init_from_env() {
       DecisionLog::instance();
       FlightRecorder::instance();
       sim::Trace::instance();
-      std::atexit([] { flush(); });
+      std::atexit([] {
+        const std::vector<std::string> errors = flush();
+        if (errors.empty()) return;
+        for (const std::string& e : errors) {
+          std::fprintf(stderr, "mpixccl obs: %s\n", e.c_str());
+        }
+        // Exiting from an atexit handler: exit() here would recurse, and
+        // returning would report success for a run whose requested
+        // artifacts were silently dropped.
+        std::_Exit(1);
+      });
+    }
+
+    // Fleet telemetry layer (obs/fleet.hpp): arrival-skew profiling and the
+    // hang watchdog, both off unless asked for.
+    if (env_str("MPIXCCL_FLEET") == "1") fleet::set_profiling(true);
+    if (const std::string ring = env_str("MPIXCCL_FLEET_RING");
+        !ring.empty()) {
+      const long n = std::strtol(ring.c_str(), nullptr, 10);
+      if (n > 0) fleet::set_ring_capacity(static_cast<std::size_t>(n));
+    }
+    if (const fleet::WatchdogConfig wd = fleet::WatchdogConfig::from_env();
+        wd.timeout_ms > 0.0) {
+      fleet::Watchdog::instance().start(wd);
     }
   });
 }
 
-void flush() {
+std::vector<std::string> flush() {
   EnvConfig cfg;
   {
     std::lock_guard lock(g_cfg_mu);
     cfg = g_cfg;
   }
+  std::vector<std::string> errors;
+  const auto attempt = [&errors](const char* what, const std::string& path,
+                                 const auto& write) {
+    try {
+      write();
+    } catch (const std::exception& e) {
+      errors.push_back(std::string(what) + " export to '" + path +
+                       "' failed: " + e.what());
+    }
+  };
   if (!cfg.metrics_file.empty()) {
     // The composite export: the registry snapshot with the flight-recorder
     // top-K riding along as a top-level field.
-    save_metrics_json(cfg.metrics_file);
-    Registry::instance().save_csv(csv_sibling(cfg.metrics_file));
+    attempt("metrics", cfg.metrics_file,
+            [&] { save_metrics_json(cfg.metrics_file); });
+    const std::string csv = csv_sibling(cfg.metrics_file);
+    attempt("metrics CSV", csv, [&] { Registry::instance().save_csv(csv); });
   }
   if (!cfg.trace_file.empty()) {
-    sim::Trace::instance().save_chrome_json(cfg.trace_file);
+    attempt("trace", cfg.trace_file,
+            [&] { sim::Trace::instance().save_chrome_json(cfg.trace_file); });
   }
   if (!cfg.decisions_file.empty()) {
-    DecisionLog::instance().save_report(cfg.decisions_file);
+    attempt("decisions", cfg.decisions_file,
+            [&] { DecisionLog::instance().save_report(cfg.decisions_file); });
   }
+  return errors;
 }
 
 std::string report() {

@@ -21,6 +21,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "obs/decision.hpp"
 #include "obs/metrics.hpp"
@@ -67,14 +68,23 @@ struct EnvConfig {
 [[nodiscard]] EnvConfig env_config();
 
 /// Apply the environment once per process (idempotent): set the level
-/// (export files imply the level they need), and register an atexit hook
-/// that writes every configured file — so any bench or harness run "emits
-/// snapshots for free" when the variables are set.
+/// (export files imply the level they need), arm the fleet telemetry layer
+/// (MPIXCCL_FLEET=1 enables arrival profiling, MPIXCCL_FLEET_RING sizes the
+/// per-rank arrival ring, MPIXCCL_WATCHDOG_TIMEOUT_MS starts the hang
+/// watchdog), and register an atexit hook that writes every configured
+/// export file — so any bench or harness run "emits snapshots for free"
+/// when the variables are set. The exit hook makes the process exit with
+/// status 1 (after a clear stderr message) when any export file cannot be
+/// written: a run whose requested artifacts are missing must not look
+/// green to the harness that asked for them.
 void init_from_env();
 
 /// Write all env-configured artifacts now (also runs at exit). Safe to call
-/// repeatedly; later calls overwrite with fresher snapshots.
-void flush();
+/// repeatedly; later calls overwrite with fresher snapshots. Never throws:
+/// returns one human-readable message per artifact that could not be
+/// written (empty = everything requested is on disk), so callers — the CLI,
+/// the exit hook — choose between reporting and exiting nonzero.
+[[nodiscard]] std::vector<std::string> flush();
 
 /// Merged human-readable report: per-(collective, engine) calls / bytes /
 /// mean size / mean virtual latency from the registry, followed by the

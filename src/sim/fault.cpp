@@ -1,0 +1,121 @@
+#include "sim/fault.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace mpixccl::sim {
+
+namespace {
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  while (!s.empty()) {
+    const auto pos = s.find(sep);
+    out.push_back(s.substr(0, pos));
+    if (pos == std::string_view::npos) break;
+    s.remove_prefix(pos + 1);
+  }
+  return out;
+}
+
+double parse_num(std::string_view tok, std::string_view what) {
+  char* end = nullptr;
+  const std::string text(tok);
+  const double v = std::strtod(text.c_str(), &end);
+  require(end == text.c_str() + text.size() && !text.empty(),
+          "FaultPlan: bad " + std::string(what) + " '" + text + "'");
+  return v;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  for (std::string_view item : split(spec, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    require(eq != std::string_view::npos,
+            "FaultPlan: token '" + std::string(item) + "' has no '='");
+    const std::string_view kind = item.substr(0, eq);
+    const auto fields = split(item.substr(eq + 1), ':');
+    if (kind == "slow") {
+      require(fields.size() == 2, "FaultPlan: slow wants RANK:FACTOR, got '" +
+                                      std::string(item) + "'");
+      const int rank = static_cast<int>(parse_num(fields[0], "slow rank"));
+      const double factor = parse_num(fields[1], "slow factor");
+      require(rank >= 0, "FaultPlan: slow rank must be >= 0");
+      require(factor > 0.0, "FaultPlan: slow factor must be > 0");
+      plan.slowdown[rank] = factor;
+    } else if (kind == "stall") {
+      require(fields.size() == 3, "FaultPlan: stall wants RANK:SEQ:MS, got '" +
+                                      std::string(item) + "'");
+      Stall st;
+      st.rank = static_cast<int>(parse_num(fields[0], "stall rank"));
+      st.at_seq = static_cast<std::uint64_t>(parse_num(fields[1], "stall seq"));
+      st.real_ms = parse_num(fields[2], "stall ms");
+      require(st.rank >= 0, "FaultPlan: stall rank must be >= 0");
+      require(st.real_ms >= 0.0, "FaultPlan: stall ms must be >= 0");
+      if (st.at_seq == 0) st.at_seq = 1;
+      plan.stall = st;
+    } else {
+      throw Error("FaultPlan: unknown fault kind '" + std::string(kind) + "'");
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* v = std::getenv("MPIXCCL_SIM_FAULTS");
+  return v != nullptr ? parse(v) : FaultPlan{};
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector inj;
+  return inj;
+}
+
+void FaultInjector::configure(FaultPlan plan) {
+  std::lock_guard lock(mu_);
+  const bool active = !plan.empty();
+  stall_armed_.store(plan.stall.has_value(), std::memory_order_relaxed);
+  plan_ = std::move(plan);
+  active_.store(active, std::memory_order_relaxed);
+}
+
+double FaultInjector::slowdown_of(int rank) const {
+  if (!active()) return 1.0;
+  std::lock_guard lock(mu_);
+  const auto it = plan_.slowdown.find(rank);
+  return it == plan_.slowdown.end() ? 1.0 : it->second;
+}
+
+double FaultInjector::maybe_stall(int rank, std::uint64_t seq) {
+  if (!active() || !stall_armed_.load(std::memory_order_relaxed)) return 0.0;
+  double ms = 0.0;
+  {
+    std::lock_guard lock(mu_);
+    if (!plan_.stall || plan_.stall->rank != rank ||
+        plan_.stall->at_seq != seq) {
+      return 0.0;
+    }
+    // One-shot: re-arming requires a fresh configure(). Consumed under the
+    // lock so concurrent ranks cannot double-fire.
+    if (!stall_armed_.exchange(false, std::memory_order_relaxed)) return 0.0;
+    ms = plan_.stall->real_ms;
+  }
+  if (ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+  return ms;
+}
+
+FaultPlan FaultInjector::plan() const {
+  std::lock_guard lock(mu_);
+  return plan_;
+}
+
+}  // namespace mpixccl::sim

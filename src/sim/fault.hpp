@@ -1,0 +1,86 @@
+#pragma once
+// Deterministic per-rank fault injection for the simulated cluster: the
+// testability half of the fleet-health story (obs/fleet.hpp). Two fault
+// shapes cover the failure modes the telemetry must attribute:
+//
+//  * slowdown — a rank's VirtualClock runs with scale > 1, so every modeled
+//    cost (kernels, staging copies, explicit compute advances) takes that
+//    many times longer in *virtual* time. Fully deterministic: the slowed
+//    rank arrives late at every collective by exactly the stretched deltas,
+//    which is what the arrival-skew profiler and straggler board must name.
+//  * stall — a rank sleeps in *real* time at the entry of its Nth dispatch.
+//    Peers genuinely block on it (transfers are real futures), which is what
+//    the hang watchdog must detect within its real-time timeout.
+//
+// Faults are configured programmatically (tests, `mpixccl health --slow`)
+// or from MPIXCCL_SIM_FAULTS ("slow=RANK:FACTOR[,slow=...][,stall=RANK:SEQ:MS]").
+// fabric::World applies the slowdowns to its clocks at construction; the
+// dispatch-entry hook in obs/fleet consults maybe_stall().
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mpixccl::sim {
+
+/// Parsed fault specification.
+struct FaultPlan {
+  /// rank -> virtual-clock scale (e.g. {3, 5.0} = rank 3 runs 5x slower).
+  std::map<int, double> slowdown;
+
+  /// Real-time sleep of `real_ms` at the entry of rank `rank`'s dispatch
+  /// number `at_seq` (1-based count of dispatches on that rank; 0 = first).
+  struct Stall {
+    int rank = -1;
+    std::uint64_t at_seq = 1;
+    double real_ms = 0.0;
+  };
+  std::optional<Stall> stall;
+
+  [[nodiscard]] bool empty() const { return slowdown.empty() && !stall; }
+
+  /// Parse "slow=3:5.0,stall=1:4:300". Throws Error naming the offending
+  /// token on malformed input.
+  static FaultPlan parse(std::string_view spec);
+  /// Parse MPIXCCL_SIM_FAULTS if set; empty plan otherwise.
+  static FaultPlan from_env();
+};
+
+/// Process-wide injector. Inactive (the default) costs one relaxed atomic
+/// load on the paths that consult it.
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// Install a plan (replacing any previous one). An empty plan deactivates.
+  void configure(FaultPlan plan);
+  void clear() { configure({}); }
+
+  [[nodiscard]] bool active() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Clock scale for `rank` (1.0 when healthy or inactive).
+  [[nodiscard]] double slowdown_of(int rank) const;
+
+  /// Sleep in real time if the plan stalls (rank, seq); seq is the 1-based
+  /// dispatch count on that rank. Fires once per configure(). Returns the
+  /// milliseconds slept (0 when no stall applied).
+  double maybe_stall(int rank, std::uint64_t seq);
+
+  [[nodiscard]] FaultPlan plan() const;
+
+ private:
+  FaultInjector() = default;
+
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  std::atomic<bool> active_{false};
+  std::atomic<bool> stall_armed_{false};
+};
+
+}  // namespace mpixccl::sim

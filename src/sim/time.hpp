@@ -20,20 +20,31 @@ class VirtualClock {
  public:
   [[nodiscard]] TimeUs now() const { return now_us_; }
 
-  /// Advance by a non-negative delta.
+  /// Advance by a non-negative delta, stretched by this rank's time scale.
   void advance(TimeUs delta_us) {
     assert(delta_us >= 0.0);
-    now_us_ += delta_us;
+    now_us_ += delta_us * scale_;
   }
 
   /// Jump forward to `t` if `t` is later (synchronization with a peer);
-  /// never moves backwards.
+  /// never moves backwards. Not scaled: the peer's completion instant is an
+  /// absolute point on the shared timeline, not work this rank performs.
   void advance_to(TimeUs t) { now_us_ = std::max(now_us_, t); }
 
   void reset(TimeUs t = 0.0) { now_us_ = t; }
 
+  /// Per-rank slowdown factor (sim::FaultInjector): every advance() delta —
+  /// kernel launches, staging copies, modeled compute — costs `s` times as
+  /// much virtual time on this rank. 1.0 is a healthy rank.
+  void set_scale(double s) {
+    assert(s > 0.0);
+    scale_ = s;
+  }
+  [[nodiscard]] double scale() const { return scale_; }
+
  private:
   TimeUs now_us_ = 0.0;
+  double scale_ = 1.0;
 };
 
 }  // namespace mpixccl::sim

@@ -22,20 +22,24 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/fleet_gather.hpp"
 #include "core/tuner.hpp"
 #include "core/xccl_mpi.hpp"
 #include "obs/analyze.hpp"
 #include "device/device.hpp"
 #include "dl/horovod.hpp"
 #include "fabric/world.hpp"
+#include "obs/fleet.hpp"
 #include "obs/obs.hpp"
 #include "omb/harness.hpp"
+#include "sim/fault.hpp"
 #include "sim/profiles.hpp"
 #include "sim/trace.hpp"
 #include "tune/online.hpp"
@@ -528,6 +532,84 @@ int cmd_top(const Args& args) {
   return 0;
 }
 
+int cmd_health(const Args& args) {
+  // Fleet-health surface: run a trainer-like workload (per-rank compute
+  // phase, then a three-size allreduce sweep across all engines) with
+  // arrival-skew profiling on, optionally injecting a per-rank slowdown
+  // ("--slow=3:5" runs rank 3's local work 5x slower) or a one-shot real
+  // stall ("--stall=1:4:300"), then gather every rank's telemetry to rank 0
+  // over the library's own collectives and print the straggler board.
+  const sim::SystemProfile prof =
+      sim::profile_by_name(get(args, "system", "thetagpu"));
+  const int nodes = std::stoi(get(args, "nodes", "2"));
+  const int steps = std::stoi(get(args, "steps", "8"));
+  const double watchdog_ms = std::stod(get(args, "watchdog-ms", "0"));
+
+  std::string faults;
+  if (const std::string slow = get(args, "slow", ""); !slow.empty()) {
+    faults = "slow=" + slow;
+  }
+  if (const std::string stall = get(args, "stall", ""); !stall.empty()) {
+    if (!faults.empty()) faults += ',';
+    faults += "stall=" + stall;
+  }
+
+  obs::fleet::reset();
+  obs::fleet::set_profiling(true);
+  obs::DecisionLog::instance().set_enabled(true);
+  if (watchdog_ms > 0.0) {
+    obs::fleet::Watchdog::instance().start({.timeout_ms = watchdog_ms});
+  }
+
+  core::TuningTable table;
+  table.set_rules(core::CollOp::Allreduce,
+                  {{16384, core::Engine::Mpi},
+                   {1u << 20, core::Engine::Hier},
+                   {SIZE_MAX, core::Engine::Xccl}});
+
+  fabric::WorldConfig wc{prof, nodes,
+                         std::stoi(get(args, "devices", "2"))};
+  wc.hier_levels = get(args, "levels", "");
+  wc.faults = faults;
+  fabric::World world(wc);
+
+  obs::fleet::FleetSnapshot snap;
+  world.run([&](fabric::RankContext& ctx) {
+    core::XcclMpi rt(ctx, {.tuning = table});
+    auto& comm = rt.comm_world();
+    device::DeviceBuffer send(ctx.device(), 4u << 20);
+    device::DeviceBuffer recv(ctx.device(), 4u << 20);
+    for (int s = 0; s < steps; ++s) {
+      // The compute phase between collectives is rank-local work — exactly
+      // what a slowed rank stretches — so arrivals at the next collective
+      // skew by the injected factor.
+      for (const std::size_t bytes :
+           {std::size_t{4096}, std::size_t{262144}, std::size_t{4u << 20}}) {
+        ctx.clock().advance(200.0);
+        rt.allreduce(send.get(), recv.get(), bytes / sizeof(float),
+                     mini::kFloat, ReduceOp::Sum, comm);
+      }
+    }
+    obs::fleet::FleetSnapshot local = core::gather_fleet(rt, comm);
+    if (ctx.rank() == 0) snap = std::move(local);
+  });
+
+  std::printf("%s", snap.report().c_str());
+  if (const std::string out = get(args, "out", ""); !out.empty()) {
+    std::ofstream ofs(out);
+    require(ofs.good(), "health: cannot open " + out);
+    ofs << snap.to_json() << '\n';
+    require(ofs.good(), "health: failed writing " + out);
+    std::printf("fleet snapshot:   %s\n", out.c_str());
+  }
+
+  obs::fleet::Watchdog::instance().stop();
+  obs::fleet::set_profiling(false);
+  sim::FaultInjector::instance().clear();
+  obs::set_level(obs::Level::Metrics);
+  return 0;
+}
+
 int cmd_plan(const Args& args) {
   // Plan-cache surface: run a persistent-collective demo workload, then dump
   // rank 0's plan cache — keys, chosen engine, validity band, hit counts and
@@ -676,6 +758,13 @@ int usage() {
       "report\n"
       "  top    --system=S [--nodes=N] [--rows=K]  hottest rows, flight\n"
       "                                         recorder, critical path\n"
+      "  health --system=S [--nodes=N] [--levels=SPEC] [--slow=R:F]\n"
+      "         [--stall=R:SEQ:MS] [--steps=K] [--watchdog-ms=T] "
+      "[--out=FILE]\n"
+      "                                         fleet telemetry demo: "
+      "arrival\n"
+      "                                         skew, straggler board, hier\n"
+      "                                         level attribution, watchdog\n"
       "  plan   --system=S [--nodes=N] [--steps=K]  persistent-collective "
       "demo,\n"
       "                                         dump the plan cache\n"
@@ -705,6 +794,7 @@ int main(int argc, char** argv) {
     if (cmd == "trace") return cmd_trace(args);
     if (cmd == "obs") return cmd_obs(args);
     if (cmd == "top") return cmd_top(args);
+    if (cmd == "health") return cmd_health(args);
     if (cmd == "plan") return cmd_plan(args);
     return usage();
   } catch (const std::exception& e) {
